@@ -1,0 +1,178 @@
+//! A simplified ExtractFix-style repairer (Gao et al., TOSEM 2021).
+//!
+//! ExtractFix extracts a *crash-free constraint* from the sanitizer at the
+//! crash location and back-propagates it (weakest precondition) to the
+//! patch location, then synthesizes one patch implying it. In this
+//! reproduction the crash-free constraint is the subject's specification
+//! `σ`; back-propagation along the single failing path is performed by the
+//! concolic executor's symbolic substitution (the captured `σ` is already
+//! expressed over the program inputs at the patch location). Synthesis
+//! picks the first concrete candidate whose guarded path makes `σ`
+//! unviolable on the failing path.
+
+use std::time::Instant;
+
+use cpr_concolic::HolePatch;
+use cpr_core::{
+    build_patch_pool, equivalent, lower_expr_src, rank_order, RepairConfig, RepairProblem,
+    Session,
+};
+use cpr_smt::{Model, SatResult, TermData};
+
+/// Result of an ExtractFix-style run.
+#[derive(Debug, Clone)]
+pub struct ExtractFixReport {
+    /// Subject name.
+    pub subject: String,
+    /// The single generated patch, rendered.
+    pub patch: Option<String>,
+    /// Whether a plausible patch was generated at all.
+    pub generated: bool,
+    /// Whether the patch is semantically equivalent to the developer patch.
+    pub correct: bool,
+    /// Wall-clock milliseconds.
+    pub wall_millis: u64,
+}
+
+/// Runs the ExtractFix-style repairer: one failing path, one crash-free
+/// constraint, one synthesized patch.
+pub fn extractfix(problem: &RepairProblem, config: &RepairConfig) -> ExtractFixReport {
+    let start = Instant::now();
+    let mut sess = Session::new(problem, config);
+
+    // Observe the failing path under the baseline (buggy) behaviour to
+    // extract the crash-free constraint σ and the path to the crash.
+    let baseline = problem
+        .baseline_expr
+        .as_deref()
+        .and_then(|src| lower_expr_src(&mut sess.pool, src).ok())
+        .unwrap_or_else(|| sess.pool.ff());
+    let hole = HolePatch {
+        theta: baseline,
+        params: Model::new(),
+    };
+    let Some(failing) = problem.failing_inputs.first() else {
+        return ExtractFixReport {
+            subject: problem.name.clone(),
+            patch: None,
+            generated: false,
+            correct: false,
+            wall_millis: start.elapsed().as_millis() as u64,
+        };
+    };
+    let input = sess.input_model(failing);
+    let exec = sess.exec.clone();
+    let run = exec.execute(&mut sess.pool, &problem.program, &input, Some(&hole));
+    let Some(sigma) = run.sigma else {
+        // The failing execution never reached the sanitizer: nothing to
+        // extract a constraint from.
+        return ExtractFixReport {
+            subject: problem.name.clone(),
+            patch: None,
+            generated: false,
+            correct: false,
+            wall_millis: start.elapsed().as_millis() as u64,
+        };
+    };
+
+    // Candidate patches from the shared synthesizer (identical space).
+    let (entries, _) = build_patch_pool(&mut sess, problem, config);
+    let order = rank_order(&sess.pool, &entries);
+
+    // Pick the first (simplest) concrete instantiation whose guarded path
+    // leaves σ unviolable: φ_ρ ∧ ¬σ must be unsatisfiable, i.e. the patch
+    // implies the back-propagated crash-free constraint on this path.
+    // Constant guards are skipped only when a non-constant candidate
+    // qualifies (ExtractFix prefers semantic patches over early exits).
+    let mut chosen: Option<cpr_smt::TermId> = None;
+    let mut constant_fallback: Option<cpr_smt::TermId> = None;
+    for &idx in &order {
+        let patch = &entries[idx].patch;
+        let rep = match patch.representative() {
+            Some(r) => r,
+            None => continue,
+        };
+        let mut map = std::collections::HashMap::new();
+        for (v, val) in rep.iter() {
+            let c = sess.pool.int(val.as_int().unwrap_or(0));
+            map.insert(v, c);
+        }
+        let inst = sess.pool.substitute(patch.theta, &map);
+        let mut phi = run.constraints_for_patch(&mut sess.pool, inst);
+        let not_sigma = sess.pool.not(sigma);
+        phi.push(not_sigma);
+        if matches!(sess.check(&phi), SatResult::Unsat) {
+            if matches!(sess.pool.data(inst), TermData::BoolConst(_)) {
+                if constant_fallback.is_none() {
+                    constant_fallback = Some(inst);
+                }
+            } else {
+                chosen = Some(inst);
+                break;
+            }
+        }
+    }
+    let chosen = chosen.or(constant_fallback);
+
+    let (display, correct) = match chosen {
+        None => (None, false),
+        Some(inst) => {
+            let correct = problem
+                .developer_patch
+                .as_deref()
+                .map(|src| {
+                    lower_expr_src(&mut sess.pool, src)
+                        .map(|dev| equivalent(&mut sess, inst, dev))
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            (Some(sess.pool.display(inst)), correct)
+        }
+    };
+    ExtractFixReport {
+        subject: problem.name.clone(),
+        generated: display.is_some(),
+        patch: display,
+        correct,
+        wall_millis: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_core::test_input;
+    use cpr_lang::{check, parse};
+    use cpr_synth::{ComponentSet, SynthConfig};
+
+    #[test]
+    fn extractfix_generates_a_patch_implying_crash_freedom() {
+        let program = parse(
+            "program p {
+               input x in [-10, 10];
+               if (__patch_cond__(x)) { return 1; }
+               bug div_by_zero requires (x != 0);
+               return 100 / x;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let problem = RepairProblem::new(
+            "demo",
+            program,
+            ComponentSet::new()
+                .with_all_comparisons()
+                .with_variables(["x"])
+                .with_constants(&[0]),
+            SynthConfig::default(),
+            vec![test_input(&[("x", 0)])],
+        )
+        .with_developer_patch("x == 0")
+        .with_baseline("false");
+        let report = extractfix(&problem, &RepairConfig::quick());
+        assert!(report.generated, "no patch generated");
+        let p = report.patch.unwrap();
+        // The guard must cover x == 0 (the only crashing input).
+        assert!(p.contains('x') || p == "true", "suspicious patch {p}");
+    }
+}

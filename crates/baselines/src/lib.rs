@@ -1,0 +1,29 @@
+//! Baseline repair techniques for the CPR evaluation.
+//!
+//! The paper compares CPR against four tools:
+//!
+//! * its own custom **CEGIS** implementation (§5, Table 1) — reimplemented
+//!   here faithfully: shared concolic engine, shared synthesizer, split
+//!   budget, one-candidate-at-a-time counterexample refinement;
+//! * **ExtractFix** (Table 2) — reimplemented at the concept level as
+//!   crash-free-constraint-driven single-patch synthesis;
+//! * **Angelix** (Table 2) — reimplemented as test-driven angelic-value
+//!   inference plus synthesis;
+//! * **Prophet** (Table 2) — reimplemented as test-validated enumeration
+//!   ranked by a fixed prior standing in for the learned model.
+//!
+//! All four reuse the same substrate crates as CPR so the comparison
+//! isolates the *strategy*, exactly as the paper's own CEGIS section argues.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod angelix;
+mod cegis;
+mod extractfix;
+mod prophet;
+
+pub use angelix::{angelix, AngelixReport};
+pub use cegis::{cegis, CegisReport};
+pub use extractfix::{extractfix, ExtractFixReport};
+pub use prophet::{prophet, ProphetReport};

@@ -1,0 +1,213 @@
+//! A simplified Prophet-style repairer (Long & Rinard, POPL 2016).
+//!
+//! Prophet enumerates concrete candidate patches, validates them against the
+//! available test suite, and ranks the survivors with a *learned* model of
+//! patch correctness. This reproduction replaces the learned model with a
+//! fixed prior over the same features Prophet's model weighs most: smaller
+//! expressions, comparisons against zero or program variables, and a strong
+//! penalty for constant (functionality-deleting) guards. Validation is
+//! purely test-based, so with the benchmark's sparse test suites the
+//! top-ranked patch overfits — the behaviour Table 2 of the CPR paper
+//! reports.
+
+use std::time::Instant;
+
+use cpr_concolic::HolePatch;
+use cpr_core::{equivalent, lower_expr_src, RepairConfig, RepairProblem, Session};
+use cpr_smt::{Model, TermData, TermId};
+use cpr_synth::enumerate;
+
+/// Result of a Prophet-style run.
+#[derive(Debug, Clone)]
+pub struct ProphetReport {
+    /// Subject name.
+    pub subject: String,
+    /// Top-ranked plausible patch, rendered.
+    pub patch: Option<String>,
+    /// Whether any plausible patch was found.
+    pub generated: bool,
+    /// Whether the top-ranked patch matches the developer patch.
+    pub correct: bool,
+    /// Number of plausible (test-passing) concrete patches.
+    pub plausible: usize,
+    /// Wall-clock milliseconds.
+    pub wall_millis: u64,
+}
+
+/// Fixed prior standing in for Prophet's learned correctness model.
+fn prior(sess: &Session, inst: TermId) -> i64 {
+    let mut score = 100 - sess.pool.tree_size(inst) as i64 * 5;
+    match sess.pool.data(inst) {
+        // Constant guards delete functionality — heavily penalized by the
+        // learned model too (they rarely appear in human patches).
+        TermData::BoolConst(_) => score -= 90,
+        TermData::Cmp(op, _, b) => {
+            // Comparisons against zero are the most common human fix shape.
+            if matches!(sess.pool.data(b), TermData::IntConst(0)) {
+                score += 15;
+            }
+            if matches!(op, cpr_smt::CmpOp::Eq | cpr_smt::CmpOp::Ne) {
+                score += 5;
+            }
+        }
+        _ => {}
+    }
+    score
+}
+
+/// Runs the Prophet-style repairer using only the provided tests.
+pub fn prophet(problem: &RepairProblem, config: &RepairConfig) -> ProphetReport {
+    let start = Instant::now();
+    let mut sess = Session::new(problem, config);
+    let candidates = enumerate(&mut sess.pool, &problem.components, &problem.synth);
+    let (plo, phi) = problem.synth.param_range;
+
+    // Concrete instantiation grid for parameters: a deterministic sweep
+    // capped to keep the candidate count Prophet-sized.
+    let mut param_values: Vec<i64> = vec![0, 1, -1, plo, phi, 2, -2, 4, 8];
+    param_values.retain(|v| *v >= plo && *v <= phi);
+    param_values.dedup();
+
+    let mut plausible: Vec<(i64, TermId)> = Vec::new();
+    let exec = sess.exec.clone();
+    'cand: for cand in candidates {
+        let assignments: Vec<Vec<i64>> = if cand.params.is_empty() {
+            vec![Vec::new()]
+        } else if cand.params.len() == 1 {
+            param_values.iter().map(|&v| vec![v]).collect()
+        } else {
+            let mut out = Vec::new();
+            for &a in &param_values {
+                for &b in &param_values {
+                    out.push(vec![a, b]);
+                }
+            }
+            out
+        };
+        for point in assignments {
+            if plausible.len() >= 512 {
+                break 'cand;
+            }
+            let mut binding = Model::new();
+            for (&p, &v) in cand.params.iter().zip(&point) {
+                binding.set(p, v);
+            }
+            let hole = HolePatch {
+                theta: cand.theta,
+                params: binding.clone(),
+            };
+            // Validate on the full provided test suite.
+            let mut ok = true;
+            for input in problem
+                .failing_inputs
+                .iter()
+                .chain(problem.passing_inputs.iter())
+            {
+                let m = sess.input_model(input);
+                let run = exec.execute(&mut sess.pool, &problem.program, &m, Some(&hole));
+                if run.outcome.is_failure() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                let mut map = std::collections::HashMap::new();
+                for (&p, &v) in cand.params.iter().zip(&point) {
+                    let c = sess.pool.int(v);
+                    map.insert(p, c);
+                }
+                let inst = sess.pool.substitute(cand.theta, &map);
+                let score = prior(&sess, inst);
+                plausible.push((score, inst));
+            }
+        }
+    }
+
+    plausible.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    plausible.dedup_by_key(|(_, t)| *t);
+    let top = plausible.first().map(|&(_, t)| t);
+    let (display, correct) = match top {
+        None => (None, false),
+        Some(inst) => {
+            let correct = problem
+                .developer_patch
+                .as_deref()
+                .map(|src| {
+                    lower_expr_src(&mut sess.pool, src)
+                        .map(|dev| equivalent(&mut sess, inst, dev))
+                        .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            (Some(sess.pool.display(inst)), correct)
+        }
+    };
+    ProphetReport {
+        subject: problem.name.clone(),
+        generated: display.is_some(),
+        patch: display,
+        correct,
+        plausible: plausible.len(),
+        wall_millis: start.elapsed().as_millis() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_core::test_input;
+    use cpr_lang::{check, parse};
+    use cpr_synth::{ComponentSet, SynthConfig};
+
+    fn problem(passing: Vec<cpr_core::TestInput>) -> RepairProblem {
+        let program = parse(
+            "program p {
+               input x in [-10, 10];
+               if (__patch_cond__(x)) { return 1; }
+               bug div_by_zero requires (x != 0);
+               return 100 / x;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        RepairProblem::new(
+            "demo",
+            program,
+            ComponentSet::new()
+                .with_all_comparisons()
+                .with_variables(["x"])
+                .with_constants(&[0]),
+            SynthConfig::default(),
+            vec![test_input(&[("x", 0)])],
+        )
+        .with_developer_patch("x == 0")
+        .with_passing_inputs(passing)
+    }
+
+    #[test]
+    fn prophet_finds_plausible_patches() {
+        let report = prophet(&problem(Vec::new()), &RepairConfig::quick());
+        assert!(report.generated);
+        assert!(report.plausible > 1, "search space trivially small");
+    }
+
+    #[test]
+    fn prophet_prior_penalizes_constant_guards() {
+        let report = prophet(&problem(Vec::new()), &RepairConfig::quick());
+        let top = report.patch.unwrap();
+        assert_ne!(top, "true", "prior failed to demote the tautology");
+    }
+
+    #[test]
+    fn prophet_with_more_tests_narrows_the_pool() {
+        let few = prophet(&problem(Vec::new()), &RepairConfig::quick());
+        let more = prophet(
+            &problem(vec![
+                test_input(&[("x", 1)]),
+                test_input(&[("x", -1)]),
+                test_input(&[("x", 5)]),
+            ]),
+            &RepairConfig::quick(),
+        );
+        assert!(more.plausible <= few.plausible);
+    }
+}

@@ -1,0 +1,90 @@
+//! Cross-baseline integration tests on registry subjects: determinism,
+//! assert-driven subjects, and the relative-correctness ordering the
+//! paper's Table 2 reports.
+
+use cpr_baselines::{angelix, cegis, extractfix, prophet};
+use cpr_core::RepairConfig;
+use cpr_subjects::all_subjects;
+
+fn quick() -> RepairConfig {
+    RepairConfig {
+        max_iterations: 20,
+        max_millis: Some(6_000),
+        max_expansion: 8,
+        ..RepairConfig::default()
+    }
+}
+
+fn subject(bug: &str) -> cpr_subjects::Subject {
+    all_subjects()
+        .into_iter()
+        .find(|s| s.bug_id == bug)
+        .expect("subject registered")
+}
+
+#[test]
+fn cegis_handles_assert_driven_subjects() {
+    // ManyBugs/865f7b2 has no bug marker — its oracle is assertions.
+    let s = subject("865f7b2");
+    let r = cegis(&s.problem(), &quick());
+    assert!(r.p_init > 0);
+    assert!(r.p_final <= r.p_init);
+}
+
+#[test]
+fn cegis_never_reduces_more_than_its_discards() {
+    for bug in ["CVE-2017-7595", "CVE-2016-9387"] {
+        let s = subject(bug);
+        let r = cegis(&s.problem(), &quick());
+        // p_final = p_init - discarded by construction; ratio is tiny.
+        assert!(r.reduction_ratio() < 15.0, "{bug}: {}", r.reduction_ratio());
+    }
+}
+
+#[test]
+fn extractfix_needs_a_reachable_crash_constraint() {
+    // On a subject whose failing path reaches the sanitizer, a patch
+    // implying crash-freedom is produced.
+    let s = subject("CVE-2016-8691");
+    let r = extractfix(&s.problem(), &quick());
+    assert!(r.generated, "no patch for {}", s.name());
+    // On the assert-only ManyBugs subject there is no crash constraint to
+    // extract (the paper: "these cannot be handled by ExtractFix").
+    let s = subject("865f7b2");
+    let r = extractfix(&s.problem(), &quick());
+    assert!(!r.generated);
+}
+
+#[test]
+fn prophet_and_angelix_are_deterministic() {
+    let s = subject("CVE-2017-5969");
+    let p1 = prophet(&s.problem(), &quick());
+    let p2 = prophet(&s.problem(), &quick());
+    assert_eq!(p1.patch, p2.patch);
+    assert_eq!(p1.plausible, p2.plausible);
+    let a1 = angelix(&s.problem(), &quick());
+    let a2 = angelix(&s.problem(), &quick());
+    assert_eq!(a1.patch, a2.patch);
+}
+
+#[test]
+fn baselines_respect_the_paper_correctness_ordering_on_a_slice() {
+    // Angelix (test-driven, one failing test) should not beat the
+    // constraint-driven ExtractFix-style tool across this slice.
+    let slice = ["CVE-2016-8691", "CVE-2017-7595", "CVE-2017-15025"];
+    let mut angelix_ok = 0;
+    let mut extractfix_ok = 0;
+    for bug in slice {
+        let s = subject(bug);
+        if angelix(&s.problem(), &quick()).correct {
+            angelix_ok += 1;
+        }
+        if extractfix(&s.problem(), &quick()).correct {
+            extractfix_ok += 1;
+        }
+    }
+    assert!(
+        extractfix_ok >= angelix_ok,
+        "extractfix {extractfix_ok} < angelix {angelix_ok}"
+    );
+}

@@ -1,0 +1,203 @@
+//! Criterion micro-benchmarks for the substrate crates: solver queries,
+//! region algebra, term simplification, the concrete interpreter, and the
+//! concolic executor.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpr_concolic::{ConcolicExecutor, HolePatch};
+use cpr_lang::{check, parse, Interp};
+use cpr_smt::{Domains, Model, Region, Solver, SolverConfig, Sort, TermPool};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver");
+
+    g.bench_function("sat_linear", |b| {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Sort::Int);
+        let xt = pool.var_term(x);
+        let c3 = pool.int(3);
+        let c9 = pool.int(9);
+        let q = [pool.gt(xt, c3), pool.lt(xt, c9)];
+        let mut domains = Domains::new();
+        domains.bound(x, -1000, 1000);
+        b.iter(|| {
+            let mut solver = Solver::new(SolverConfig::default());
+            assert!(solver.check(&pool, &q, &domains).is_sat());
+        })
+    });
+
+    g.bench_function("sat_nonlinear_product_zero", |b| {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Sort::Int);
+        let y = pool.var("y", Sort::Int);
+        let xt = pool.var_term(x);
+        let yt = pool.var_term(y);
+        let c3 = pool.int(3);
+        let c5 = pool.int(5);
+        let zero = pool.int(0);
+        let m = pool.mul(xt, yt);
+        let q = [pool.gt(xt, c3), pool.le(yt, c5), pool.eq(m, zero)];
+        let mut domains = Domains::new();
+        domains.bound(x, -64, 64);
+        domains.bound(y, -64, 64);
+        b.iter(|| {
+            let mut solver = Solver::new(SolverConfig::default());
+            assert!(solver.check(&pool, &q, &domains).is_sat());
+        })
+    });
+
+    g.bench_function("unsat_nonlinear", |b| {
+        let mut pool = TermPool::new();
+        let x = pool.var("x", Sort::Int);
+        let y = pool.var("y", Sort::Int);
+        let xt = pool.var_term(x);
+        let yt = pool.var_term(y);
+        let one = pool.int(1);
+        let zero = pool.int(0);
+        let m = pool.mul(xt, yt);
+        let q = [pool.ge(xt, one), pool.ge(yt, one), pool.eq(m, zero)];
+        let mut domains = Domains::new();
+        domains.bound(x, -64, 64);
+        domains.bound(y, -64, 64);
+        b.iter(|| {
+            let mut solver = Solver::new(SolverConfig::default());
+            assert!(solver.check(&pool, &q, &domains).is_unsat());
+        })
+    });
+
+    g.bench_function("sat_region_disjunction", |b| {
+        // A disjunction-of-boxes T_ρ constraint conjoined with a bound —
+        // the shape of every Reduce query.
+        let mut pool = TermPool::new();
+        let a = pool.var("a", Sort::Int);
+        let bvar = pool.var("b", Sort::Int);
+        let region = Region::full(vec![a, bvar], -10, 10);
+        let parts = region.split_at(&[3, -2]);
+        let refined = Region::union(vec![a, bvar], parts).merged();
+        let t = refined.to_term(&mut pool);
+        let at = pool.var_term(a);
+        let c5 = pool.int(5);
+        let bound = pool.gt(at, c5);
+        let domains = Domains::new();
+        b.iter(|| {
+            let mut solver = Solver::new(SolverConfig::default());
+            assert!(solver.check(&pool, &[t, bound], &domains).is_sat());
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_regions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region");
+    let mut pool = TermPool::new();
+    let a = pool.var("a", Sort::Int);
+    let b2 = pool.var("b", Sort::Int);
+
+    g.bench_function("split_2d", |b| {
+        let region = Region::full(vec![a, b2], -100, 100);
+        b.iter(|| region.split_at(&[17, -4]))
+    });
+
+    g.bench_function("split_merge_volume_chain", |b| {
+        b.iter(|| {
+            let mut region = Region::full(vec![a, b2], -20, 20);
+            for p in [[0, 0], [5, 5], [-7, 3], [10, -10], [1, 2]] {
+                let parts = region.split_at(&p);
+                region = Region::union(vec![a, b2], parts).merged();
+            }
+            region.volume()
+        })
+    });
+
+    g.bench_function("union_volume_overlapping", |b| {
+        use cpr_smt::{Interval, ParamBox};
+        let boxes: Vec<ParamBox> = (0..12)
+            .map(|i| {
+                ParamBox::new(vec![
+                    Interval::of(-30 + i * 4, 10 + i * 4),
+                    Interval::of(-50 + i * 3, i * 3),
+                ])
+            })
+            .collect();
+        let region = Region::from_boxes(vec![a, b2], boxes);
+        b.iter(|| region.volume())
+    });
+
+    g.finish();
+}
+
+fn bench_terms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("terms");
+    g.bench_function("build_and_simplify_path_constraint", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let x = pool.named_var("x", Sort::Int);
+            let mut acc = pool.tt();
+            for i in 0..64 {
+                let ci = pool.int(i);
+                let cmp = pool.gt(x, ci);
+                let cmp = if i % 3 == 0 { pool.not(cmp) } else { cmp };
+                acc = pool.and(acc, cmp);
+            }
+            pool.simplify(acc)
+        })
+    });
+    g.finish();
+}
+
+const LOOP_SRC: &str = "program p {
+    input n in [0, 24];
+    input k in [0, 8];
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < n) { acc = acc + max(i, k); i = i + 1; }
+    if (__patch_cond__(acc, n)) { return 0 - 1; }
+    bug bound requires (acc >= 0);
+    return acc;
+  }";
+
+fn bench_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("execution");
+    let program = parse(LOOP_SRC).unwrap();
+    check(&program).unwrap();
+
+    g.bench_function("interpreter_loop24", |b| {
+        let mut pool = TermPool::new();
+        let acc = pool.named_var("acc", Sort::Int);
+        let zero = pool.int(0);
+        let theta = pool.lt(acc, zero);
+        let patch = cpr_lang::ConcretePatch {
+            pool: &pool,
+            expr: theta,
+            binding: Model::new(),
+        };
+        let inputs: HashMap<String, i64> =
+            [("n".to_string(), 24i64), ("k".to_string(), 3i64)].into();
+        b.iter(|| Interp::new().run(&program, &inputs, Some(&patch)))
+    });
+
+    g.bench_function("concolic_loop24", |b| {
+        let mut pool = TermPool::new();
+        let n = pool.var("n", Sort::Int);
+        let k = pool.var("k", Sort::Int);
+        let acc = pool.named_var("acc", Sort::Int);
+        let zero = pool.int(0);
+        let theta = pool.lt(acc, zero);
+        let mut input = Model::new();
+        input.set(n, 24i64);
+        input.set(k, 3i64);
+        let hole = HolePatch {
+            theta,
+            params: Model::new(),
+        };
+        b.iter(|| ConcolicExecutor::new().execute(&mut pool, &program, &input, Some(&hole)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_regions, bench_terms, bench_execution);
+criterion_main!(benches);

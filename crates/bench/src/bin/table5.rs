@@ -1,0 +1,39 @@
+//! Regenerates **Table 5** of the paper: impact of the parameter range
+//! ([-1,1] / [-10,10] / [-100,100]) on repair success, for the two subjects
+//! the paper selects (Jasper/CVE-2016-8691 and Libtiff/CVE-2016-10094).
+
+use cpr_bench::{emit, pct, rank_str, run_cpr_with_range, TextTable};
+use cpr_subjects::extractfix;
+
+fn main() {
+    let names = ["Jasper/CVE-2016-8691", "Libtiff/CVE-2016-10094"];
+    let ranges = [(-1, 1), (-10, 10), (-100, 100)];
+    let mut table = TextTable::new([
+        "Project", "Bug ID", "Range", "#Iter", "phiE", "|PInit|", "|PFinal|", "Ratio", "Rank",
+    ]);
+    for s in extractfix::subjects() {
+        if !names.contains(&s.name().as_str()) {
+            continue;
+        }
+        for range in ranges {
+            eprintln!("[table5] {} range [{}, {}] ...", s.name(), range.0, range.1);
+            let r = run_cpr_with_range(&s, range);
+            table.row([
+                s.project.to_owned(),
+                s.bug_id.to_owned(),
+                format!("[{}, {}]", range.0, range.1),
+                r.iterations.to_string(),
+                r.paths_explored.to_string(),
+                r.p_init.to_string(),
+                r.p_final.to_string(),
+                pct(r.reduction_ratio()),
+                rank_str(r.dev_rank),
+            ]);
+        }
+    }
+    emit(
+        "table5",
+        "Table 5: Impact of different parameter ranges on the repair success of CPR",
+        &table.render(),
+    );
+}

@@ -1,0 +1,293 @@
+//! Generational search over path constraints and the scored input queue.
+//!
+//! Implements the `PickNewInput` machinery of the paper's Algorithm 1
+//! (§3.4): starting from the last explored path, every suffix term is
+//! negated to obtain new path-constraint prefixes (SAGE-style generational
+//! search). Candidate inputs are scored by how likely they are to exercise
+//! the patch and bug locations, based on the parent run's evidence.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use cpr_smt::{Model, TermId, TermPool};
+
+use crate::exec::{ConcolicResult, PathStep};
+
+/// A path-constraint prefix obtained by negating one branch of an explored
+/// path (all earlier branches kept, all later ones dropped).
+#[derive(Debug, Clone)]
+pub struct PrefixFlip {
+    /// The constraints of the new prefix (last one negated).
+    pub constraints: Vec<TermId>,
+    /// Index of the flipped branch in the parent path.
+    pub flipped_index: usize,
+    /// Whether the flipped branch was a patch-hole branch.
+    pub flipped_patch_branch: bool,
+}
+
+/// Enumerates all prefix flips of a path, in deepest-first order (deep flips
+/// stay close to the parent path, which tends to preserve patch/bug-location
+/// coverage).
+pub fn prefix_flips(pool: &mut TermPool, path: &[PathStep]) -> Vec<PrefixFlip> {
+    let mut out = Vec::with_capacity(path.len());
+    for i in (0..path.len()).rev() {
+        let mut constraints: Vec<TermId> = path[..i].iter().map(|s| s.constraint).collect();
+        constraints.push(pool.not(path[i].constraint));
+        out.push(PrefixFlip {
+            constraints,
+            flipped_index: i,
+            flipped_patch_branch: path[i].from_patch(),
+        });
+    }
+    out
+}
+
+/// Dedup set over path prefixes (hashes of oriented constraint sequences),
+/// so the search never asks the solver about the same prefix twice.
+#[derive(Debug, Default, Clone)]
+pub struct SeenPrefixes {
+    seen: HashSet<u64>,
+}
+
+impl SeenPrefixes {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts the prefix; returns `true` if it was new.
+    pub fn insert(&mut self, constraints: &[TermId]) -> bool {
+        let mut h = DefaultHasher::new();
+        constraints.hash(&mut h);
+        self.seen.insert(h.finish())
+    }
+
+    /// Number of distinct prefixes recorded.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no prefix has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// A generated input waiting to be explored, with its priority score.
+#[derive(Debug, Clone)]
+pub struct CandidateInput {
+    /// The concrete input values.
+    pub model: Model,
+    /// Priority (higher = explored earlier).
+    pub score: i64,
+    /// The prefix that produced it (for bookkeeping / debugging).
+    pub flipped_index: usize,
+}
+
+impl PartialEq for CandidateInput {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.flipped_index == other.flipped_index
+    }
+}
+impl Eq for CandidateInput {}
+impl PartialOrd for CandidateInput {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for CandidateInput {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .cmp(&other.score)
+            .then_with(|| self.flipped_index.cmp(&other.flipped_index))
+    }
+}
+
+/// Scores a candidate produced by flipping branch `flip` of the parent run
+/// `parent`: inputs derived from runs that exercised the patch and bug
+/// locations — and flips beyond the patch branch — are preferred (§3.4,
+/// "ranked based on how often they trigger the execution of the patch and
+/// bug location").
+pub fn score_candidate(parent: &ConcolicResult, flip: &PrefixFlip) -> i64 {
+    let mut score = 0;
+    if parent.hit_patch {
+        score += 2;
+    }
+    if parent.hit_bug {
+        score += 3;
+    }
+    // Flipping a branch after the patch hole keeps the hole on the path.
+    if let Some(patch_pos) = parent.path.iter().position(|s| s.from_patch()) {
+        if flip.flipped_index > patch_pos {
+            score += 2;
+        }
+    }
+    // Deep flips stay close to the parent path.
+    score += (flip.flipped_index.min(31)) as i64 / 8;
+    score
+}
+
+/// Max-priority queue of candidate inputs awaiting exploration.
+#[derive(Debug, Default, Clone)]
+pub struct InputQueue {
+    heap: BinaryHeap<CandidateInput>,
+}
+
+impl InputQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a candidate.
+    pub fn push(&mut self, candidate: CandidateInput) {
+        self.heap.push(candidate);
+    }
+
+    /// Removes and returns the highest-scored candidate.
+    pub fn pop(&mut self) -> Option<CandidateInput> {
+        self.heap.pop()
+    }
+
+    /// Number of waiting candidates.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_lang::Outcome;
+    use cpr_smt::Sort;
+
+    fn fake_path(pool: &mut TermPool, n: usize) -> Vec<PathStep> {
+        (0..n)
+            .map(|i| {
+                let x = pool.named_var("x", Sort::Int);
+                let c = pool.int(i as i64);
+                PathStep {
+                    constraint: pool.gt(x, c),
+                    patch_obs: if i == 1 { Some((0, true)) } else { None },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_flips_enumerate_all_suffixes() {
+        let mut pool = TermPool::new();
+        let path = fake_path(&mut pool, 4);
+        let flips = prefix_flips(&mut pool, &path);
+        assert_eq!(flips.len(), 4);
+        // Deepest first.
+        assert_eq!(flips[0].flipped_index, 3);
+        assert_eq!(flips[0].constraints.len(), 4);
+        assert_eq!(flips[3].flipped_index, 0);
+        assert_eq!(flips[3].constraints.len(), 1);
+        // The flipped constraint is the negation.
+        let orig = path[3].constraint;
+        let neg = pool.not(orig);
+        assert_eq!(*flips[0].constraints.last().unwrap(), neg);
+        // Patch branch is flagged.
+        assert!(flips.iter().any(|f| f.flipped_patch_branch));
+    }
+
+    #[test]
+    fn seen_prefixes_dedup() {
+        let mut pool = TermPool::new();
+        let path = fake_path(&mut pool, 3);
+        let flips = prefix_flips(&mut pool, &path);
+        let mut seen = SeenPrefixes::new();
+        assert!(seen.insert(&flips[0].constraints));
+        assert!(!seen.insert(&flips[0].constraints));
+        assert!(seen.insert(&flips[1].constraints));
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn queue_pops_highest_score() {
+        let mut q = InputQueue::new();
+        q.push(CandidateInput {
+            model: Model::new(),
+            score: 1,
+            flipped_index: 0,
+        });
+        q.push(CandidateInput {
+            model: Model::new(),
+            score: 5,
+            flipped_index: 1,
+        });
+        q.push(CandidateInput {
+            model: Model::new(),
+            score: 3,
+            flipped_index: 2,
+        });
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().score, 5);
+        assert_eq!(q.pop().unwrap().score, 3);
+        assert_eq!(q.pop().unwrap().score, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_is_fifo_stable_under_equal_scores() {
+        let mut q = InputQueue::new();
+        for i in 0..4 {
+            q.push(CandidateInput {
+                model: Model::new(),
+                score: 7,
+                flipped_index: i,
+            });
+        }
+        // Ties break on the flip index (deeper first), deterministically.
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|c| c.flipped_index)).collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_path_has_no_flips() {
+        let mut pool = TermPool::new();
+        let flips = prefix_flips(&mut pool, &[]);
+        assert!(flips.is_empty());
+    }
+
+    #[test]
+    fn scoring_prefers_bug_hitting_parents_and_post_patch_flips() {
+        let mut pool = TermPool::new();
+        let path = fake_path(&mut pool, 4);
+        let parent_hit = ConcolicResult {
+            path: path.clone(),
+            sigma: None,
+            hit_patch: true,
+            hit_bug: true,
+            outcome: Outcome::Returned(0),
+            inputs: Model::new(),
+            steps: 4,
+            observations: Vec::new(),
+            asserts: Vec::new(),
+        };
+        let parent_miss = ConcolicResult {
+            path,
+            sigma: None,
+            hit_patch: false,
+            hit_bug: false,
+            outcome: Outcome::Returned(0),
+            inputs: Model::new(),
+            steps: 4,
+            observations: Vec::new(),
+            asserts: Vec::new(),
+        };
+        let flips = prefix_flips(&mut pool, &parent_hit.path);
+        let deep = &flips[0]; // flipped_index 3, after the patch branch at 1
+        let shallow = &flips[3]; // flipped_index 0, before the patch branch
+        assert!(score_candidate(&parent_hit, deep) > score_candidate(&parent_hit, shallow));
+        assert!(score_candidate(&parent_hit, deep) > score_candidate(&parent_miss, deep));
+    }
+}

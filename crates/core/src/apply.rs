@@ -1,0 +1,254 @@
+//! Patch application: splicing a synthesized patch expression back into the
+//! subject program and rendering the repaired source.
+//!
+//! This is the inverse of [`lower_expr`](crate::lower_expr): solver terms
+//! over program variables are *unlowered* into subject-language expressions,
+//! with template parameters substituted by concrete values, and the
+//! program's patch hole is replaced by the result.
+
+use cpr_lang::{ast::Span, BinOp, Expr, Program, Stmt, UnOp};
+use cpr_smt::{Model, TermData, TermId, TermPool};
+
+/// Converts a solver term back into a subject-language expression.
+///
+/// # Errors
+///
+/// Returns a message for terms with no subject-language counterpart
+/// (`ite`, which only arises from hand-written SMT-LIB templates).
+pub fn term_to_expr(pool: &TermPool, t: TermId) -> Result<Expr, String> {
+    let span = Span::default();
+    Ok(match pool.data(t) {
+        TermData::BoolConst(b) => Expr::Bool(b, span),
+        TermData::IntConst(v) => Expr::Int(v, span),
+        TermData::Var(v) => Expr::Var(pool.var_name(v).to_owned(), span),
+        TermData::Not(a) => Expr::Unary(UnOp::Not, Box::new(term_to_expr(pool, a)?), span),
+        TermData::Neg(a) => Expr::Unary(UnOp::Neg, Box::new(term_to_expr(pool, a)?), span),
+        TermData::And(a, b) => bin(pool, BinOp::And, a, b)?,
+        TermData::Or(a, b) => bin(pool, BinOp::Or, a, b)?,
+        TermData::Cmp(op, a, b) => {
+            let op = match op {
+                cpr_smt::CmpOp::Eq => BinOp::Eq,
+                cpr_smt::CmpOp::Ne => BinOp::Ne,
+                cpr_smt::CmpOp::Lt => BinOp::Lt,
+                cpr_smt::CmpOp::Le => BinOp::Le,
+                cpr_smt::CmpOp::Gt => BinOp::Gt,
+                cpr_smt::CmpOp::Ge => BinOp::Ge,
+            };
+            bin(pool, op, a, b)?
+        }
+        TermData::Arith(op, a, b) => {
+            let op = match op {
+                cpr_smt::ArithOp::Add => BinOp::Add,
+                cpr_smt::ArithOp::Sub => BinOp::Sub,
+                cpr_smt::ArithOp::Mul => BinOp::Mul,
+                cpr_smt::ArithOp::Div => BinOp::Div,
+                cpr_smt::ArithOp::Rem => BinOp::Rem,
+            };
+            bin(pool, op, a, b)?
+        }
+        TermData::Ite(..) => {
+            return Err("`ite` has no subject-language expression form".into())
+        }
+    })
+}
+
+fn bin(pool: &TermPool, op: BinOp, a: TermId, b: TermId) -> Result<Expr, String> {
+    Ok(Expr::Binary(
+        op,
+        Box::new(term_to_expr(pool, a)?),
+        Box::new(term_to_expr(pool, b)?),
+        Span::default(),
+    ))
+}
+
+/// Produces the repaired program: the patch template `theta`, with its
+/// parameters substituted by the concrete values in `binding`, spliced into
+/// the program's patch hole.
+///
+/// # Errors
+///
+/// Returns a message when the program has no hole or the instantiated
+/// template cannot be rendered in the subject language.
+pub fn apply_patch(
+    program: &Program,
+    pool: &mut TermPool,
+    theta: TermId,
+    binding: &Model,
+) -> Result<Program, String> {
+    if program.hole().is_none() {
+        return Err("program has no patch hole".into());
+    }
+    // Instantiate the template parameters.
+    let mut map = std::collections::HashMap::new();
+    for (v, val) in binding.iter() {
+        let c = pool.int(val.as_int().unwrap_or(0));
+        map.insert(v, c);
+    }
+    let instantiated = pool.substitute(theta, &map);
+    let replacement = term_to_expr(pool, instantiated)?;
+
+    let mut patched = program.clone();
+    for stmt in &mut patched.body {
+        replace_in_stmt(stmt, &replacement);
+    }
+    Ok(patched)
+}
+
+fn replace_in_stmt(stmt: &mut Stmt, replacement: &Expr) {
+    match stmt {
+        Stmt::Decl { init: Some(e), .. } => replace_in_expr(e, replacement),
+        Stmt::Decl { .. } => {}
+        Stmt::Assign { value, .. } => replace_in_expr(value, replacement),
+        Stmt::AssignIndex { index, value, .. } => {
+            replace_in_expr(index, replacement);
+            replace_in_expr(value, replacement);
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            replace_in_expr(cond, replacement);
+            for s in then_body {
+                replace_in_stmt(s, replacement);
+            }
+            for s in else_body {
+                replace_in_stmt(s, replacement);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            replace_in_expr(cond, replacement);
+            for s in body {
+                replace_in_stmt(s, replacement);
+            }
+        }
+        Stmt::Return { value, .. } => replace_in_expr(value, replacement),
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
+            replace_in_expr(cond, replacement)
+        }
+        Stmt::Bug { spec, .. } => replace_in_expr(spec, replacement),
+    }
+}
+
+fn replace_in_expr(e: &mut Expr, replacement: &Expr) {
+    match e {
+        Expr::Hole(..) => *e = replacement.clone(),
+        Expr::Int(..) | Expr::Bool(..) | Expr::Var(..) => {}
+        Expr::Index(_, idx, _) => replace_in_expr(idx, replacement),
+        Expr::Unary(_, inner, _) => replace_in_expr(inner, replacement),
+        Expr::Binary(_, a, b, _) => {
+            replace_in_expr(a, replacement);
+            replace_in_expr(b, replacement);
+        }
+        Expr::Call(_, args, _) | Expr::UserCall(_, args, _) => {
+            for a in args {
+                replace_in_expr(a, replacement);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_expr_src;
+    use cpr_lang::{check, parse, pretty, Interp, Outcome};
+    use cpr_smt::Sort;
+    use std::collections::HashMap;
+
+    const SRC: &str = "program p {
+        input x in [-10, 10];
+        input y in [-10, 10];
+        if (__patch_cond__(x, y)) { return 1; }
+        bug div_by_zero requires (x * y != 0);
+        return 100 / (x * y);
+      }";
+
+    #[test]
+    fn term_to_expr_roundtrips_through_lowering() {
+        let mut pool = TermPool::new();
+        for src in [
+            "x == 0 || y == 0",
+            "x + y * 2 - abs_free > 0",
+            "!(x < y) && x != 3",
+        ] {
+            let t = lower_expr_src(&mut pool, src).unwrap();
+            let e = term_to_expr(&pool, t).unwrap();
+            let t2 = crate::lower_expr(&mut pool, &e).unwrap();
+            assert_eq!(t, t2, "{src}");
+        }
+    }
+
+    #[test]
+    fn ite_is_rejected() {
+        let mut pool = TermPool::new();
+        let t = pool.parse_term("(ite (> x 0) x (- x))").unwrap();
+        assert!(term_to_expr(&pool, t).is_err());
+    }
+
+    #[test]
+    fn applied_patch_repairs_and_reparses() {
+        let program = parse(SRC).unwrap();
+        check(&program).unwrap();
+        let mut pool = TermPool::new();
+        // Abstract patch x == a || y == b with binding a=0, b=0.
+        let theta = pool.parse_term("(or (= x a) (= y b))").unwrap();
+        let a = pool.find_var("a").unwrap();
+        let b = pool.find_var("b").unwrap();
+        let mut binding = Model::new();
+        binding.set(a, 0i64);
+        binding.set(b, 0i64);
+
+        let patched = apply_patch(&program, &mut pool, theta, &binding).unwrap();
+        // The patched program is well-formed and hole-free.
+        check(&patched).unwrap();
+        assert!(patched.hole().is_none());
+        let printed = pretty(&patched);
+        assert!(printed.contains("((x == 0) || (y == 0))"), "{printed}");
+        let reparsed = parse(&printed).unwrap();
+        check(&reparsed).unwrap();
+
+        // And it actually repairs the exploit.
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), 7i64);
+        inputs.insert("y".to_string(), 0i64);
+        let r = Interp::new().run(&patched, &inputs, None);
+        assert_eq!(r.outcome, Outcome::Returned(1));
+        // Non-crashing inputs still flow through the division.
+        inputs.insert("y".to_string(), 2i64);
+        let r = Interp::new().run(&patched, &inputs, None);
+        assert_eq!(r.outcome, Outcome::Returned(100 / 14));
+    }
+
+    #[test]
+    fn expression_holes_are_replaced_too() {
+        let program = parse(
+            "program p {
+               input n in [0, 9];
+               var s: int = 0;
+               s = __patch_expr__(n);
+               bug b requires (s >= 0);
+               return s;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let mut pool = TermPool::new();
+        let n = pool.named_var("n", Sort::Int);
+        let one = pool.int(1);
+        let theta = pool.add(n, one);
+        let patched = apply_patch(&program, &mut pool, theta, &Model::new()).unwrap();
+        let printed = pretty(&patched);
+        assert!(printed.contains("s = (n + 1);"), "{printed}");
+        check(&patched).unwrap();
+    }
+
+    #[test]
+    fn missing_hole_is_an_error() {
+        let program = parse("program p { input x in [0, 5]; return x; }").unwrap();
+        let mut pool = TermPool::new();
+        let t = pool.tt();
+        assert!(apply_patch(&program, &mut pool, t, &Model::new()).is_err());
+    }
+}

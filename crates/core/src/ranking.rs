@@ -1,0 +1,119 @@
+//! Patch ranking (paper §3.5.3).
+//!
+//! Patches gain rank for every explored path they are feasible with, gain
+//! extra rank when that path exercises the bug location, and are
+//! deprioritized when they behave like functionality deletion (forcing one
+//! control-flow direction for *all* inputs of a partition, e.g. tautology or
+//! contradiction guards).
+
+use cpr_smt::TermPool;
+use cpr_synth::AbstractPatch;
+
+/// Accumulated ranking evidence for one patch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankScore {
+    /// Paths this patch was feasible with.
+    pub feasible: u32,
+    /// Feasible paths that also exercised the bug location.
+    pub bug_hits: u32,
+    /// Partitions on which the patch forced a single control-flow direction
+    /// (functionality-deletion evidence).
+    pub deletion_evidence: u32,
+}
+
+impl RankScore {
+    /// The scalar ranking key (higher is better).
+    pub fn value(&self) -> i64 {
+        i64::from(self.feasible) + 2 * i64::from(self.bug_hits)
+            - 4 * i64::from(self.deletion_evidence)
+    }
+}
+
+/// A pool entry: an abstract patch plus its ranking evidence.
+#[derive(Debug, Clone)]
+pub struct PoolEntry {
+    /// The patch.
+    pub patch: AbstractPatch,
+    /// Ranking evidence.
+    pub score: RankScore,
+}
+
+impl PoolEntry {
+    /// Wraps a freshly synthesized patch with an empty score.
+    pub fn new(patch: AbstractPatch) -> Self {
+        PoolEntry {
+            patch,
+            score: RankScore::default(),
+        }
+    }
+}
+
+/// Sorts pool entries into ranking order: score descending, then smaller
+/// (simpler) templates first, then stable by id.
+pub fn rank_order(pool: &TermPool, entries: &[PoolEntry]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..entries.len()).collect();
+    idx.sort_by(|&i, &j| {
+        let a = &entries[i];
+        let b = &entries[j];
+        b.score
+            .value()
+            .cmp(&a.score.value())
+            .then_with(|| {
+                pool.tree_size(a.patch.theta)
+                    .cmp(&pool.tree_size(b.patch.theta))
+            })
+            .then_with(|| a.patch.id.cmp(&b.patch.id))
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_smt::{Region, Sort};
+
+    #[test]
+    fn score_value_weighs_evidence() {
+        let s = RankScore {
+            feasible: 5,
+            bug_hits: 2,
+            deletion_evidence: 1,
+        };
+        assert_eq!(s.value(), 5 + 4 - 4);
+    }
+
+    #[test]
+    fn rank_order_sorts_by_score_then_simplicity() {
+        let mut pool = TermPool::new();
+        let x = pool.named_var("x", Sort::Int);
+        let a_var = pool.var("a", Sort::Int);
+        let a = pool.var_term(a_var);
+        let zero = pool.int(0);
+
+        let simple = pool.ge(x, a); // size 3
+        let sum = pool.add(x, a);
+        let complex = pool.ge(sum, zero); // size 5
+
+        let mut e1 = PoolEntry::new(AbstractPatch::new(
+            0,
+            complex,
+            vec![a_var],
+            Region::full(vec![a_var], -10, 10),
+        ));
+        let mut e2 = PoolEntry::new(AbstractPatch::new(
+            1,
+            simple,
+            vec![a_var],
+            Region::full(vec![a_var], -10, 10),
+        ));
+        // Same score: simpler template wins.
+        let order = rank_order(&pool, &[e1.clone(), e2.clone()]);
+        assert_eq!(order, vec![1, 0]);
+
+        // Higher score wins regardless of size.
+        e1.score.feasible = 10;
+        e2.score.deletion_evidence = 1;
+        let order = rank_order(&pool, &[e1, e2]);
+        assert_eq!(order, vec![0, 1]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared per-repair session state: the term pool, solver, executor and the
+//! variable domains derived from the subject's input declarations.
+
+use cpr_concolic::ConcolicExecutor;
+use cpr_smt::{Domains, Model, SatResult, Solver, Sort, TermId, TermPool, VarId};
+use cpr_synth::param_vars;
+
+use crate::problem::{RepairConfig, RepairProblem, TestInput};
+
+/// All mutable state shared by the phases of one repair run.
+#[derive(Debug)]
+pub struct Session {
+    /// The hash-consing pool every term of the run lives in.
+    pub pool: TermPool,
+    /// The branch-and-prune solver.
+    pub solver: Solver,
+    /// The concolic executor.
+    pub exec: ConcolicExecutor,
+    /// Initial domains: program inputs bounded by their declared ranges,
+    /// template parameters bounded by the synthesis parameter range.
+    pub domains: Domains,
+    /// The program input variables, in declaration order.
+    pub input_vars: Vec<VarId>,
+}
+
+impl Session {
+    /// Sets up a session for the given problem: interns input and parameter
+    /// variables and configures domains, solver and executor budgets.
+    pub fn new(problem: &RepairProblem, config: &RepairConfig) -> Session {
+        let mut pool = TermPool::new();
+        let mut domains = Domains::new();
+        let mut input_vars = Vec::with_capacity(problem.program.inputs.len());
+        for decl in &problem.program.inputs {
+            let v = pool.var(&decl.name, Sort::Int);
+            domains.bound(v, decl.lo, decl.hi);
+            input_vars.push(v);
+        }
+        let (plo, phi) = problem.synth.param_range;
+        for p in param_vars(&mut pool, problem.synth.max_params.max(2)) {
+            domains.bound(p, plo, phi);
+        }
+        Session {
+            pool,
+            solver: Solver::new(config.solver.clone()),
+            exec: ConcolicExecutor::with_budgets(config.exec_max_steps, config.exec_max_path),
+            domains,
+            input_vars,
+        }
+    }
+
+    /// Checks satisfiability of a conjunction under the session domains.
+    pub fn check(&mut self, constraints: &[TermId]) -> SatResult {
+        self.solver.check(&self.pool, constraints, &self.domains)
+    }
+
+    /// Converts a named test input into a model over the input variables.
+    pub fn input_model(&mut self, input: &TestInput) -> Model {
+        let mut m = Model::new();
+        for (name, &v) in input {
+            let var = self.pool.var(name, Sort::Int);
+            m.set(var, v);
+        }
+        m
+    }
+
+    /// Restricts a solver model to the program input variables (dropping
+    /// parameter and hole-output assignments).
+    pub fn project_inputs(&self, model: &Model) -> Model {
+        model.restrict_to(&self.input_vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{test_input, RepairProblem};
+    use cpr_lang::parse;
+    use cpr_synth::{ComponentSet, SynthConfig};
+
+    fn demo_problem() -> RepairProblem {
+        let program = parse(
+            "program p { input x in [-7, 7]; input y in [0, 3]; return x + y; }",
+        )
+        .unwrap();
+        RepairProblem::new(
+            "demo",
+            program,
+            ComponentSet::new().with_variables(["x", "y"]),
+            SynthConfig::default(),
+            vec![test_input(&[("x", 1), ("y", 2)])],
+        )
+    }
+
+    #[test]
+    fn session_bounds_inputs_and_params() {
+        let problem = demo_problem();
+        let mut sess = Session::new(&problem, &RepairConfig::quick());
+        let x = sess.pool.find_var("x").unwrap();
+        let a = sess.pool.find_var("a").unwrap();
+        assert_eq!(sess.domains.get(x).unwrap().lo(), -7);
+        assert_eq!(sess.domains.get(a).unwrap().lo(), -10);
+        assert_eq!(sess.input_vars.len(), 2);
+
+        // The domain is enforced in queries: x > 7 is unsatisfiable.
+        let xv = sess.pool.var_term(x);
+        let c7 = sess.pool.int(7);
+        let q = sess.pool.gt(xv, c7);
+        assert!(sess.check(&[q]).is_unsat());
+    }
+
+    #[test]
+    fn input_model_roundtrip_and_projection() {
+        let problem = demo_problem();
+        let mut sess = Session::new(&problem, &RepairConfig::quick());
+        let mut m = sess.input_model(&test_input(&[("x", 3), ("y", 1)]));
+        let x = sess.pool.find_var("x").unwrap();
+        assert_eq!(m.int(x), Some(3));
+        // Add a parameter assignment and project it away.
+        let a = sess.pool.find_var("a").unwrap();
+        m.set(a, 9i64);
+        let projected = sess.project_inputs(&m);
+        assert_eq!(projected.len(), 2);
+        assert_eq!(projected.int(a), None);
+    }
+}

@@ -1,0 +1,310 @@
+//! Directed fuzzing for failing-input generation.
+//!
+//! The CPR paper (§3.2) requires at least one error-exposing input to seed
+//! the concolic exploration and suggests offline techniques like Directed
+//! Greybox Fuzzing when none is available. This crate provides that
+//! pre-processing step for the subject language: a seed-scheduled mutation
+//! fuzzer whose power schedule is *directed* towards the bug location —
+//! inputs that reach the patch location score higher, inputs that reach the
+//! bug location score higher still, and any observable failure (crash,
+//! assertion failure, specification violation) ends the search.
+//!
+//! # Example
+//!
+//! ```
+//! use cpr_fuzz::{find_failing_input, FuzzConfig};
+//! use cpr_lang::{parse, check};
+//!
+//! # fn main() -> Result<(), cpr_lang::LangError> {
+//! let program = parse(
+//!     "program p {
+//!        input x in [-100, 100];
+//!        bug div_by_zero requires (x != 0);
+//!        return 1000 / x;
+//!      }",
+//! )?;
+//! check(&program)?;
+//! let result = find_failing_input(&program, None, &FuzzConfig::default());
+//! let failing = result.failing.expect("fuzzer finds the exploit");
+//! assert_eq!(failing["x"], 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use cpr_lang::{ConcretePatch, Interp, Outcome, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for the fuzzer.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Maximum number of program executions.
+    pub max_execs: u64,
+    /// RNG seed (runs are deterministic for a fixed seed).
+    pub seed: u64,
+    /// Mutants derived from each scheduled seed.
+    pub mutations_per_seed: u32,
+    /// Statement budget per execution.
+    pub max_steps: u64,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            max_execs: 20_000,
+            seed: 0x5eed,
+            mutations_per_seed: 16,
+            max_steps: 50_000,
+        }
+    }
+}
+
+/// Outcome of a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzResult {
+    /// The first failing input found, if any.
+    pub failing: Option<HashMap<String, i64>>,
+    /// The observable failure it triggered.
+    pub failure: Option<Outcome>,
+    /// Executions spent.
+    pub execs: u64,
+    /// Best directedness score observed (2·bug-hit + patch-hit evidence).
+    pub best_score: u32,
+}
+
+/// One corpus entry with its directedness score.
+#[derive(Debug, Clone)]
+struct Seed {
+    input: HashMap<String, i64>,
+    score: u32,
+}
+
+/// Searches for an input whose execution fails observably (sanitizer crash,
+/// assertion failure, or specification violation), guided towards the bug
+/// location. `patch` fills the program's hole if it has one (pass the
+/// baseline buggy expression to fuzz the original program).
+pub fn find_failing_input(
+    program: &Program,
+    patch: Option<&ConcretePatch<'_>>,
+    config: &FuzzConfig,
+) -> FuzzResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let interp = Interp::with_max_steps(config.max_steps);
+    let mut execs = 0u64;
+    let mut best_score = 0u32;
+
+    let run = |input: &HashMap<String, i64>, execs: &mut u64| -> (u32, Option<Outcome>) {
+        *execs += 1;
+        let r = interp.run(program, input, patch);
+        let score = 2 * r.bug_hits.min(4) + r.patch_hits.min(4);
+        let failure = if r.outcome.is_failure() {
+            Some(r.outcome)
+        } else {
+            None
+        };
+        (score, failure)
+    };
+
+    // Initial corpus: boundary points plus a few random draws.
+    let mut corpus: Vec<Seed> = Vec::new();
+    for pick in 0..6 {
+        let mut input = HashMap::new();
+        for decl in &program.inputs {
+            let v = match pick {
+                0 => decl.lo,
+                1 => decl.hi,
+                2 => 0i64.clamp(decl.lo, decl.hi),
+                3 => (decl.lo + decl.hi) / 2,
+                _ => rng.gen_range(decl.lo..=decl.hi),
+            };
+            input.insert(decl.name.clone(), v);
+        }
+        let (score, failure) = run(&input, &mut execs);
+        best_score = best_score.max(score);
+        if failure.is_some() {
+            return FuzzResult {
+                failing: Some(input),
+                failure,
+                execs,
+                best_score,
+            };
+        }
+        corpus.push(Seed { input, score });
+    }
+    if program.inputs.is_empty() {
+        return FuzzResult {
+            failing: None,
+            failure: None,
+            execs,
+            best_score,
+        };
+    }
+
+    while execs < config.max_execs {
+        // Power schedule: prefer seeds closer to the bug location.
+        corpus.sort_by_key(|s| std::cmp::Reverse(s.score));
+        corpus.truncate(24);
+        let pick = rng.gen_range(0..corpus.len().min(8));
+        let base = corpus[pick].input.clone();
+        for _ in 0..config.mutations_per_seed {
+            if execs >= config.max_execs {
+                break;
+            }
+            let mut input = base.clone();
+            let decl = &program.inputs[rng.gen_range(0..program.inputs.len())];
+            let cur = input[&decl.name];
+            let mutated = match rng.gen_range(0..6) {
+                0 => cur + 1,
+                1 => cur - 1,
+                2 => cur + rng.gen_range(1..=8),
+                3 => cur - rng.gen_range(1..=8),
+                4 => rng.gen_range(decl.lo..=decl.hi),
+                _ => [decl.lo, decl.hi, 0, 1, -1][rng.gen_range(0..5)],
+            };
+            input.insert(decl.name.clone(), mutated.clamp(decl.lo, decl.hi));
+            let (score, failure) = run(&input, &mut execs);
+            best_score = best_score.max(score);
+            if failure.is_some() {
+                return FuzzResult {
+                    failing: Some(input),
+                    failure,
+                    execs,
+                    best_score,
+                };
+            }
+            // Keep mutants that make directed progress.
+            if score >= corpus[pick].score {
+                corpus.push(Seed { input, score });
+            }
+        }
+    }
+
+    FuzzResult {
+        failing: None,
+        failure: None,
+        execs,
+        best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_lang::{check, parse};
+    use cpr_smt::{Model, TermPool};
+
+    #[test]
+    fn finds_div_by_zero_exploit() {
+        let program = parse(
+            "program p {
+               input x in [-100, 100];
+               input y in [-100, 100];
+               bug div_by_zero requires (x * y != 0);
+               return 1000 / (x * y);
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let r = find_failing_input(&program, None, &FuzzConfig::default());
+        let failing = r.failing.expect("exploit found");
+        assert_eq!(failing["x"] * failing["y"], 0);
+        assert!(matches!(r.failure, Some(Outcome::SpecViolated { .. })));
+    }
+
+    #[test]
+    fn finds_deep_guarded_failure() {
+        // The failing region is narrow and behind branches: directed
+        // scheduling has to walk towards it.
+        let program = parse(
+            "program p {
+               input a in [-200, 200];
+               input b in [-200, 200];
+               var stage: int = 0;
+               if (a > 50) { stage = 1; }
+               if (stage == 1 && b > 120) { stage = 2; }
+               bug deep requires (stage != 2 || a + b != 200);
+               return stage;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let r = find_failing_input(
+            &program,
+            None,
+            &FuzzConfig {
+                max_execs: 200_000,
+                ..FuzzConfig::default()
+            },
+        );
+        let failing = r.failing.expect("deep failure found");
+        assert_eq!(failing["a"] + failing["b"], 200);
+        assert!(failing["a"] > 50 && failing["b"] > 120);
+    }
+
+    #[test]
+    fn reports_exhaustion_on_unfailing_program() {
+        let program = parse(
+            "program p { input x in [0, 5]; bug never requires (x >= 0); return x; }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let r = find_failing_input(
+            &program,
+            None,
+            &FuzzConfig {
+                max_execs: 500,
+                ..FuzzConfig::default()
+            },
+        );
+        assert!(r.failing.is_none());
+        assert!(r.execs >= 500);
+        assert!(r.best_score > 0, "bug location was reachable");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let program = parse(
+            "program p {
+               input x in [-50, 50];
+               bug b requires (x != 37);
+               return x;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        let cfg = FuzzConfig::default();
+        let r1 = find_failing_input(&program, None, &cfg);
+        let r2 = find_failing_input(&program, None, &cfg);
+        assert_eq!(r1.failing, r2.failing);
+        assert_eq!(r1.execs, r2.execs);
+    }
+
+    #[test]
+    fn fuzzes_through_the_patch_hole() {
+        let program = parse(
+            "program p {
+               input x in [-20, 20];
+               if (__patch_cond__(x)) { return 1; }
+               bug b requires (x != 0);
+               return 100 / x;
+             }",
+        )
+        .unwrap();
+        check(&program).unwrap();
+        // Baseline guard `false`: the hole never fires, x = 0 crashes.
+        let mut pool = TermPool::new();
+        let ff = pool.ff();
+        let patch = ConcretePatch {
+            pool: &pool,
+            expr: ff,
+            binding: Model::new(),
+        };
+        let r = find_failing_input(&program, Some(&patch), &FuzzConfig::default());
+        assert_eq!(r.failing.expect("found")["x"], 0);
+    }
+}

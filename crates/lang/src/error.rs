@@ -1,0 +1,106 @@
+//! Error types for lexing, parsing, type checking and interpretation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::Span;
+
+/// Convenience result alias for this crate.
+pub type LangResult<T> = Result<T, LangError>;
+
+/// Any front-end error of the subject language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error.
+    Lex {
+        /// Human-readable message.
+        message: String,
+        /// Offending span.
+        span: Span,
+    },
+    /// Parse error.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Offending span.
+        span: Span,
+    },
+    /// Type error.
+    Type {
+        /// Human-readable message.
+        message: String,
+        /// Offending span.
+        span: Span,
+    },
+}
+
+impl LangError {
+    /// The span the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            LangError::Lex { span, .. }
+            | LangError::Parse { span, .. }
+            | LangError::Type { span, .. } => *span,
+        }
+    }
+
+    /// Renders the error with a line/column position computed from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let span = self.span();
+        let (line, col) = line_col(src, span.start);
+        format!("{self} at line {line}, column {col}")
+    }
+}
+
+fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { message, .. } => write!(f, "lex error: {message}"),
+            LangError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            LangError::Type { message, .. } => write!(f, "type error: {message}"),
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_reports_line_and_column() {
+        let err = LangError::Parse {
+            message: "unexpected token".into(),
+            span: Span::new(8, 9),
+        };
+        let rendered = err.render("abc def\nghi");
+        assert!(rendered.contains("line 2, column 1"), "{rendered}");
+    }
+
+    #[test]
+    fn display_has_category() {
+        let err = LangError::Type {
+            message: "expected int".into(),
+            span: Span::default(),
+        };
+        assert_eq!(err.to_string(), "type error: expected int");
+    }
+}

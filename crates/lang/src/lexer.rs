@@ -1,0 +1,430 @@
+//! Hand-written lexer for the subject language.
+
+use std::fmt;
+
+use crate::ast::Span;
+use crate::error::{LangError, LangResult};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword-like word.
+    Ident(String),
+    /// Integer literal (always non-negative; `-` is a unary operator).
+    Int(i64),
+    /// `program`
+    KwProgram,
+    /// `fn`
+    KwFn,
+    /// `->`
+    Arrow,
+    /// `input`
+    KwInput,
+    /// `in`
+    KwIn,
+    /// `var`
+    KwVar,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `return`
+    KwReturn,
+    /// `assert`
+    KwAssert,
+    /// `assume`
+    KwAssume,
+    /// `bug`
+    KwBug,
+    /// `requires`
+    KwRequires,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `int`
+    KwInt,
+    /// `bool`
+    KwBool,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::KwProgram => write!(f, "`program`"),
+            Tok::KwFn => write!(f, "`fn`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::KwInput => write!(f, "`input`"),
+            Tok::KwIn => write!(f, "`in`"),
+            Tok::KwVar => write!(f, "`var`"),
+            Tok::KwIf => write!(f, "`if`"),
+            Tok::KwElse => write!(f, "`else`"),
+            Tok::KwWhile => write!(f, "`while`"),
+            Tok::KwReturn => write!(f, "`return`"),
+            Tok::KwAssert => write!(f, "`assert`"),
+            Tok::KwAssume => write!(f, "`assume`"),
+            Tok::KwBug => write!(f, "`bug`"),
+            Tok::KwRequires => write!(f, "`requires`"),
+            Tok::KwTrue => write!(f, "`true`"),
+            Tok::KwFalse => write!(f, "`false`"),
+            Tok::KwInt => write!(f, "`int`"),
+            Tok::KwBool => write!(f, "`bool`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Percent => write!(f, "`%`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind.
+    pub tok: Tok,
+    /// Source span.
+    pub span: Span,
+}
+
+/// Lexes the whole source into tokens (ending with a single [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unexpected characters or malformed
+/// integer literals.
+pub fn lex(src: &str) -> LangResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LangError::Lex {
+                            message: "unterminated block comment".into(),
+                            span: Span::new(start, bytes.len()),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| LangError::Lex {
+                    message: format!("integer literal `{text}` out of range"),
+                    span: Span::new(start, i),
+                })?;
+                out.push(Token {
+                    tok: Tok::Int(v),
+                    span: Span::new(start, i),
+                });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "program" => Tok::KwProgram,
+                    "fn" => Tok::KwFn,
+                    "input" => Tok::KwInput,
+                    "in" => Tok::KwIn,
+                    "var" => Tok::KwVar,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "return" => Tok::KwReturn,
+                    "assert" => Tok::KwAssert,
+                    "assume" => Tok::KwAssume,
+                    "bug" => Tok::KwBug,
+                    "requires" => Tok::KwRequires,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    "int" => Tok::KwInt,
+                    "bool" => Tok::KwBool,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let (tok, len) = match c {
+                    '(' => (Tok::LParen, 1),
+                    ')' => (Tok::RParen, 1),
+                    '{' => (Tok::LBrace, 1),
+                    '}' => (Tok::RBrace, 1),
+                    '[' => (Tok::LBracket, 1),
+                    ']' => (Tok::RBracket, 1),
+                    ',' => (Tok::Comma, 1),
+                    ';' => (Tok::Semi, 1),
+                    ':' => (Tok::Colon, 1),
+                    '+' => (Tok::Plus, 1),
+                    '-' => {
+                        if bytes.get(i + 1) == Some(&b'>') {
+                            (Tok::Arrow, 2)
+                        } else {
+                            (Tok::Minus, 1)
+                        }
+                    }
+                    '*' => (Tok::Star, 1),
+                    '/' => (Tok::Slash, 1),
+                    '%' => (Tok::Percent, 1),
+                    '=' => {
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (Tok::EqEq, 2)
+                        } else {
+                            (Tok::Assign, 1)
+                        }
+                    }
+                    '!' => {
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (Tok::NotEq, 2)
+                        } else {
+                            (Tok::Bang, 1)
+                        }
+                    }
+                    '<' => {
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (Tok::Le, 2)
+                        } else {
+                            (Tok::Lt, 1)
+                        }
+                    }
+                    '>' => {
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (Tok::Ge, 2)
+                        } else {
+                            (Tok::Gt, 1)
+                        }
+                    }
+                    '&' => {
+                        if bytes.get(i + 1) == Some(&b'&') {
+                            (Tok::AndAnd, 2)
+                        } else {
+                            return Err(LangError::Lex {
+                                message: "expected `&&`".into(),
+                                span: Span::new(i, i + 1),
+                            });
+                        }
+                    }
+                    '|' => {
+                        if bytes.get(i + 1) == Some(&b'|') {
+                            (Tok::OrOr, 2)
+                        } else {
+                            return Err(LangError::Lex {
+                                message: "expected `||`".into(),
+                                span: Span::new(i, i + 1),
+                            });
+                        }
+                    }
+                    other => {
+                        return Err(LangError::Lex {
+                            message: format!("unexpected character `{other}`"),
+                            span: Span::new(i, i + 1),
+                        })
+                    }
+                };
+                i += len;
+                out.push(Token {
+                    tok,
+                    span: Span::new(start, i),
+                });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_keywords_and_idents() {
+        let toks = kinds("program foo { input x in [1, 2]; }");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::KwProgram,
+                Tok::Ident("foo".into()),
+                Tok::LBrace,
+                Tok::KwInput,
+                Tok::Ident("x".into()),
+                Tok::KwIn,
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Int(2),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = kinds("== != <= >= < > && || ! + - * / % =");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Bang,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Assign,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = kinds("x // line comment\n /* block \n comment */ y");
+        assert_eq!(
+            toks,
+            vec![Tok::Ident("x".into()), Tok::Ident("y".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_error_on_stray_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn lex_error_on_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab + 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn underscore_names_lex_as_idents() {
+        let toks = kinds("__patch_cond__");
+        assert_eq!(toks, vec![Tok::Ident("__patch_cond__".into()), Tok::Eof]);
+    }
+}

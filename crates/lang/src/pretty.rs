@@ -1,0 +1,229 @@
+//! Pretty printer: renders programs back to parseable source text.
+//!
+//! Used for round-trip property tests and for report output (e.g. showing a
+//! patched program to the user).
+
+use std::fmt::Write;
+
+use crate::ast::{Expr, HoleKind, Program, Stmt, Type};
+
+/// Renders a program to source text that re-parses to an equal AST
+/// (modulo spans).
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} {{", program.name);
+    for f in &program.functions {
+        let params: Vec<String> = f.params.iter().map(|p| format!("{p}: int")).collect();
+        let _ = writeln!(out, "  fn {}({}) -> int {{", f.name, params.join(", "));
+        for s in &f.body {
+            pretty_stmt(s, 2, &mut out);
+        }
+        out.push_str("  }\n");
+    }
+    for input in &program.inputs {
+        let _ = writeln!(out, "  input {} in [{}, {}];", input.name, input.lo, input.hi);
+    }
+    for s in &program.body {
+        pretty_stmt(s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn pretty_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Decl { name, ty, init, .. } => {
+            let ty_s = match ty {
+                Type::Int => "int".to_string(),
+                Type::Bool => "bool".to_string(),
+                Type::IntArray(n) => format!("int[{n}]"),
+            };
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "var {name}: {ty_s} = {};", pretty_expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "var {name}: {ty_s};");
+                }
+            }
+        }
+        Stmt::Assign { name, value, .. } => {
+            let _ = writeln!(out, "{name} = {};", pretty_expr(value));
+        }
+        Stmt::AssignIndex {
+            name,
+            index,
+            value,
+            ..
+        } => {
+            let _ = writeln!(out, "{name}[{}] = {};", pretty_expr(index), pretty_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
+            for s in then_body {
+                pretty_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    pretty_stmt(s, level + 1, out);
+                }
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", pretty_expr(cond));
+            for s in body {
+                pretty_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Return { value, .. } => {
+            let _ = writeln!(out, "return {};", pretty_expr(value));
+        }
+        Stmt::Assert { cond, .. } => {
+            let _ = writeln!(out, "assert({});", pretty_expr(cond));
+        }
+        Stmt::Assume { cond, .. } => {
+            let _ = writeln!(out, "assume({});", pretty_expr(cond));
+        }
+        Stmt::Bug { name, spec, .. } => {
+            let _ = writeln!(out, "bug {name} requires ({});", pretty_expr(spec));
+        }
+    }
+}
+
+/// Renders an expression with explicit parentheses around every binary
+/// operation (unambiguous, re-parseable).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                format!("(0 - {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Index(name, idx, _) => format!("{name}[{}]", pretty_expr(idx)),
+        Expr::Unary(op, inner, _) => format!("{op}({})", pretty_expr(inner)),
+        Expr::Binary(op, a, b, _) => {
+            format!("({} {op} {})", pretty_expr(a), pretty_expr(b))
+        }
+        Expr::Call(builtin, args, _) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{}({})", builtin.name(), args.join(", "))
+        }
+        Expr::UserCall(name, args, _) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Hole(kind, args, _) => {
+            let name = match kind {
+                HoleKind::Cond => "__patch_cond__",
+                HoleKind::IntExpr => "__patch_expr__",
+            };
+            format!("{name}({})", args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn strip_spans(p: &Program) -> String {
+        // Compare via re-pretty-printing: span differences disappear.
+        pretty(p)
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "program p {
+            input x in [-10, 10];
+            var y: int = x + 1;
+            if (y > 0) { return y; } else { return 0 - y; }
+          }";
+        let p1 = parse(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(strip_spans(&p1), strip_spans(&p2));
+    }
+
+    #[test]
+    fn roundtrip_holes_and_bugs() {
+        let src = "program p {
+            input x in [-10, 10];
+            input y in [-10, 10];
+            if (__patch_cond__(x, y)) { return 1; }
+            bug div_by_zero requires (x * y != 0);
+            return 100 / (x * y);
+          }";
+        let p1 = parse(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(pretty(&p1), pretty(&p2));
+        assert!(printed.contains("__patch_cond__(x, y)"));
+        assert!(printed.contains("bug div_by_zero requires"));
+    }
+
+    #[test]
+    fn roundtrip_arrays_and_loops() {
+        let src = "program p {
+            input n in [0, 7];
+            var a: int[8];
+            var i: int = 0;
+            while (i < n) { a[i] = i * i; i = i + 1; }
+            assert(a[0] >= 0);
+            assume(n > 0);
+            return a[n - 1];
+          }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(pretty(&p1), pretty(&p2));
+    }
+
+    #[test]
+    fn roundtrip_functions() {
+        let src = "program p {
+            fn clamp_low(v: int, lo: int) -> int {
+              if (v < lo) { return lo; }
+              return v;
+            }
+            input x in [-9, 9];
+            return clamp_low(x, 0);
+          }";
+        let p1 = parse(src).unwrap();
+        let printed = pretty(&p1);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(pretty(&p1), pretty(&p2));
+        assert!(printed.contains("fn clamp_low(v: int, lo: int) -> int {"));
+    }
+
+    #[test]
+    fn negative_literals_reparse() {
+        let src = "program p { var x: int = 0 - 5; return x; }";
+        let p1 = parse(src).unwrap();
+        let p2 = parse(&pretty(&p1)).unwrap();
+        assert_eq!(pretty(&p1), pretty(&p2));
+    }
+}

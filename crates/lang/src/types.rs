@@ -1,0 +1,530 @@
+//! Type checker for the subject language.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, HoleKind, Program, Stmt, Type, UnOp};
+use crate::error::{LangError, LangResult};
+
+/// Type-checks a program.
+///
+/// Ensures that conditions are boolean, arithmetic is over integers, arrays
+/// are indexed with integers, variables are declared before use and not
+/// re-declared, the program contains at most one patch hole and at most one
+/// bug location, and that hole arguments are integer variables in scope.
+///
+/// # Errors
+///
+/// Returns [`LangError::Type`] describing the first violation.
+pub fn check(program: &Program) -> LangResult<()> {
+    // Collect user-function signatures first so calls (including mutual
+    // recursion) resolve.
+    let mut funs: HashMap<String, usize> = HashMap::new();
+    for f in &program.functions {
+        funs.insert(f.name.clone(), f.params.len());
+    }
+    // Check each function body in an isolated scope (purity: only its own
+    // parameters and locals; no holes, bug markers, or assumes).
+    for f in &program.functions {
+        let mut env: HashMap<String, Type> = HashMap::new();
+        for p in &f.params {
+            env.insert(p.clone(), Type::Int);
+        }
+        let mut ck = Checker {
+            holes_seen: 0,
+            bugs_seen: 0,
+            funs: &funs,
+            in_function: true,
+        };
+        ck.check_stmts(&f.body, &mut env)?;
+    }
+
+    let mut env: HashMap<String, Type> = HashMap::new();
+    for input in &program.inputs {
+        if env.insert(input.name.clone(), Type::Int).is_some() {
+            return Err(LangError::Type {
+                message: format!("duplicate input `{}`", input.name),
+                span: input.span,
+            });
+        }
+    }
+    let mut ck = Checker {
+        holes_seen: 0,
+        bugs_seen: 0,
+        funs: &funs,
+        in_function: false,
+    };
+    ck.check_stmts(&program.body, &mut env)
+}
+
+struct Checker<'a> {
+    holes_seen: usize,
+    bugs_seen: usize,
+    funs: &'a HashMap<String, usize>,
+    in_function: bool,
+}
+
+impl Checker<'_> {
+    fn check_stmts(&mut self, stmts: &[Stmt], env: &mut HashMap<String, Type>) -> LangResult<()> {
+        for s in stmts {
+            self.check_stmt(s, env)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, env: &mut HashMap<String, Type>) -> LangResult<()> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                span,
+            } => {
+                if let Some(init) = init {
+                    let it = self.check_expr(init, env)?;
+                    if it != *ty {
+                        return Err(LangError::Type {
+                            message: format!(
+                                "initializer of `{name}` has type {it}, expected {ty}"
+                            ),
+                            span: init.span(),
+                        });
+                    }
+                }
+                if env.insert(name.clone(), *ty).is_some() {
+                    return Err(LangError::Type {
+                        message: format!("variable `{name}` re-declared"),
+                        span: *span,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { name, value, span } => {
+                let vt = self.check_expr(value, env)?;
+                match env.get(name) {
+                    None => Err(LangError::Type {
+                        message: format!("assignment to undeclared variable `{name}`"),
+                        span: *span,
+                    }),
+                    Some(t) if *t == vt => Ok(()),
+                    Some(t) => Err(LangError::Type {
+                        message: format!("cannot assign {vt} to `{name}` of type {t}"),
+                        span: value.span(),
+                    }),
+                }
+            }
+            Stmt::AssignIndex {
+                name,
+                index,
+                value,
+                span,
+            } => {
+                match env.get(name) {
+                    Some(Type::IntArray(_)) => {}
+                    Some(t) => {
+                        return Err(LangError::Type {
+                            message: format!("`{name}` has type {t}, expected an array"),
+                            span: *span,
+                        })
+                    }
+                    None => {
+                        return Err(LangError::Type {
+                            message: format!("assignment to undeclared array `{name}`"),
+                            span: *span,
+                        })
+                    }
+                }
+                self.expect_type(index, Type::Int, env)?;
+                self.expect_type(value, Type::Int, env)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                self.expect_type(cond, Type::Bool, env)?;
+                // Declarations are block-scoped: names introduced inside a
+                // branch are not visible after it (matching the runtime).
+                let mut then_env = env.clone();
+                self.check_stmts(then_body, &mut then_env)?;
+                let mut else_env = env.clone();
+                self.check_stmts(else_body, &mut else_env)
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expect_type(cond, Type::Bool, env)?;
+                let mut body_env = env.clone();
+                self.check_stmts(body, &mut body_env)
+            }
+            Stmt::Return { value, .. } => self.expect_type(value, Type::Int, env),
+            Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
+                self.expect_type(cond, Type::Bool, env)
+            }
+            Stmt::Bug { spec, span, .. } => {
+                if self.in_function {
+                    return Err(LangError::Type {
+                        message: "bug locations are not allowed inside functions".into(),
+                        span: *span,
+                    });
+                }
+                self.bugs_seen += 1;
+                if self.bugs_seen > 1 {
+                    return Err(LangError::Type {
+                        message: "multiple bug locations (only one is supported)".into(),
+                        span: *span,
+                    });
+                }
+                self.expect_type(spec, Type::Bool, env)
+            }
+        }
+    }
+
+    fn expect_type(
+        &mut self,
+        e: &Expr,
+        expected: Type,
+        env: &HashMap<String, Type>,
+    ) -> LangResult<()> {
+        let t = self.check_expr(e, env)?;
+        if t == expected {
+            Ok(())
+        } else {
+            Err(LangError::Type {
+                message: format!("expected {expected}, found {t}"),
+                span: e.span(),
+            })
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr, env: &HashMap<String, Type>) -> LangResult<Type> {
+        match e {
+            Expr::Int(..) => Ok(Type::Int),
+            Expr::Bool(..) => Ok(Type::Bool),
+            Expr::Var(name, span) => match env.get(name) {
+                Some(Type::IntArray(_)) => Err(LangError::Type {
+                    message: format!("array `{name}` used without index"),
+                    span: *span,
+                }),
+                Some(t) => Ok(*t),
+                None => Err(LangError::Type {
+                    message: format!("undeclared variable `{name}`"),
+                    span: *span,
+                }),
+            },
+            Expr::Index(name, idx, span) => {
+                match env.get(name) {
+                    Some(Type::IntArray(_)) => {}
+                    Some(t) => {
+                        return Err(LangError::Type {
+                            message: format!("`{name}` has type {t}, expected an array"),
+                            span: *span,
+                        })
+                    }
+                    None => {
+                        return Err(LangError::Type {
+                            message: format!("undeclared array `{name}`"),
+                            span: *span,
+                        })
+                    }
+                }
+                self.expect_type(idx, Type::Int, env)?;
+                Ok(Type::Int)
+            }
+            Expr::Unary(UnOp::Neg, inner, _) => {
+                self.expect_type(inner, Type::Int, env)?;
+                Ok(Type::Int)
+            }
+            Expr::Unary(UnOp::Not, inner, _) => {
+                self.expect_type(inner, Type::Bool, env)?;
+                Ok(Type::Bool)
+            }
+            Expr::Binary(op, a, b, _) => {
+                if op.is_logical() {
+                    self.expect_type(a, Type::Bool, env)?;
+                    self.expect_type(b, Type::Bool, env)?;
+                    Ok(Type::Bool)
+                } else if op.is_comparison() {
+                    self.expect_type(a, Type::Int, env)?;
+                    self.expect_type(b, Type::Int, env)?;
+                    Ok(Type::Bool)
+                } else {
+                    self.expect_type(a, Type::Int, env)?;
+                    self.expect_type(b, Type::Int, env)?;
+                    Ok(Type::Int)
+                }
+            }
+            Expr::Call(b, args, _) => {
+                debug_assert_eq!(args.len(), b.arity(), "parser enforces arity");
+                for a in args {
+                    self.expect_type(a, Type::Int, env)?;
+                }
+                Ok(Type::Int)
+            }
+            Expr::UserCall(name, args, span) => {
+                match self.funs.get(name) {
+                    Some(&arity) if arity == args.len() => {}
+                    Some(&arity) => {
+                        return Err(LangError::Type {
+                            message: format!(
+                                "function `{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                            span: *span,
+                        })
+                    }
+                    None => {
+                        return Err(LangError::Type {
+                            message: format!("call to undeclared function `{name}`"),
+                            span: *span,
+                        })
+                    }
+                }
+                for a in args {
+                    self.expect_type(a, Type::Int, env)?;
+                }
+                Ok(Type::Int)
+            }
+            Expr::Hole(kind, args, span) => {
+                if self.in_function {
+                    return Err(LangError::Type {
+                        message: "patch holes are not allowed inside functions".into(),
+                        span: *span,
+                    });
+                }
+                self.holes_seen += 1;
+                if self.holes_seen > 1 {
+                    return Err(LangError::Type {
+                        message: "multiple patch holes (only one is supported)".into(),
+                        span: *span,
+                    });
+                }
+                for a in args {
+                    match env.get(a) {
+                        Some(Type::Int) => {}
+                        Some(t) => {
+                            return Err(LangError::Type {
+                                message: format!(
+                                    "patch hole argument `{a}` must be int, found {t}"
+                                ),
+                                span: *span,
+                            })
+                        }
+                        None => {
+                            return Err(LangError::Type {
+                                message: format!("patch hole argument `{a}` is undeclared"),
+                                span: *span,
+                            })
+                        }
+                    }
+                }
+                Ok(match kind {
+                    HoleKind::Cond => Type::Bool,
+                    HoleKind::IntExpr => Type::Int,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> LangResult<()> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        check_src(
+            "program p {
+               input x in [-10, 10];
+               var y: int = x + 1;
+               var ok: bool = y > 0;
+               if (ok && __patch_cond__(x, y)) { return 1; }
+               bug b requires (y != 0);
+               return 100 / y;
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        let err = check_src("program p { input x in [0,9]; if (x + 1) { return 1; } return 0; }")
+            .unwrap_err();
+        assert!(err.to_string().contains("expected bool"), "{err}");
+    }
+
+    #[test]
+    fn arithmetic_needs_ints() {
+        assert!(check_src("program p { var b: bool = true; return b + 1; }").is_err());
+    }
+
+    #[test]
+    fn undeclared_variable_rejected() {
+        assert!(check_src("program p { return zz; }").is_err());
+    }
+
+    #[test]
+    fn redeclaration_rejected() {
+        assert!(check_src("program p { var x: int = 1; var x: int = 2; return x; }").is_err());
+    }
+
+    #[test]
+    fn duplicate_input_rejected() {
+        assert!(
+            check_src("program p { input x in [0,1]; input x in [0,1]; return 0; }").is_err()
+        );
+    }
+
+    #[test]
+    fn array_usage() {
+        check_src(
+            "program p {
+               input i in [0, 7];
+               var a: int[8];
+               a[i] = i * 2;
+               return a[i];
+             }",
+        )
+        .unwrap();
+        assert!(check_src("program p { var a: int[4]; return a; }").is_err());
+        assert!(check_src("program p { var x: int = 0; return x[0]; }").is_err());
+    }
+
+    #[test]
+    fn assign_type_mismatch() {
+        assert!(check_src("program p { var x: int = 0; x = true; return x; }").is_err());
+    }
+
+    #[test]
+    fn multiple_holes_rejected() {
+        assert!(check_src(
+            "program p {
+               input x in [0,9];
+               if (__patch_cond__(x)) { return 1; }
+               if (__patch_cond__(x)) { return 2; }
+               return 0;
+             }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn multiple_bugs_rejected() {
+        assert!(check_src(
+            "program p {
+               input x in [0,9];
+               bug a requires (x > 0);
+               bug b requires (x > 1);
+               return 0;
+             }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hole_args_must_be_int_vars_in_scope() {
+        assert!(check_src(
+            "program p { input x in [0,9]; if (__patch_cond__(nope)) { return 1; } return 0; }"
+        )
+        .is_err());
+        assert!(check_src(
+            "program p { var b: bool = true; if (__patch_cond__(b)) { return 1; } return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn expr_hole_types_as_int() {
+        check_src(
+            "program p { input x in [0,9]; var y: int = 0; y = __patch_expr__(x); return y; }",
+        )
+        .unwrap();
+        assert!(check_src(
+            "program p { input x in [0,9]; var b: bool = true; b = __patch_expr__(x); return 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn functions_type_check() {
+        check_src(
+            "program p {
+               fn double(v: int) -> int { return v * 2; }
+               input x in [0, 9];
+               return double(x) + double(1);
+             }",
+        )
+        .unwrap();
+        // Arity mismatch.
+        assert!(check_src(
+            "program p { fn f(v: int) -> int { return v; } return f(1, 2); }"
+        )
+        .is_err());
+        // Functions cannot read caller variables (purity).
+        assert!(check_src(
+            "program p {
+               fn f(v: int) -> int { return v + x; }
+               input x in [0, 9];
+               return f(x);
+             }"
+        )
+        .is_err());
+        // No holes or bug markers inside functions.
+        assert!(check_src(
+            "program p {
+               fn f(v: int) -> int { if (__patch_cond__(v)) { return 1; } return v; }
+               input x in [0, 9];
+               return f(x);
+             }"
+        )
+        .is_err());
+        assert!(check_src(
+            "program p {
+               fn f(v: int) -> int { bug b requires (v != 0); return v; }
+               input x in [0, 9];
+               return f(x);
+             }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn branch_declarations_are_block_scoped() {
+        // A name declared inside a branch is not visible afterwards…
+        assert!(check_src(
+            "program p {
+               input x in [0, 9];
+               if (x > 0) { var t: int = 1; }
+               return t;
+             }"
+        )
+        .is_err());
+        // …and may be declared independently in both branches.
+        check_src(
+            "program p {
+               input x in [0, 9];
+               if (x > 0) { var t: int = 1; x = t; } else { var t: int = 2; x = t; }
+               return x;
+             }",
+        )
+        .unwrap();
+        // Loop-body declarations do not survive (and so do not re-declare).
+        check_src(
+            "program p {
+               input n in [0, 3];
+               var i: int = 0;
+               while (i < n) { var step: int = 1; i = i + step; }
+               return i;
+             }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn return_must_be_int() {
+        assert!(check_src("program p { return true; }").is_err());
+    }
+}

@@ -1,0 +1,401 @@
+//! Parser for SMT-LIB-flavoured s-expression terms.
+//!
+//! This is the inverse of [`TermPool::display`] and the entry point for the
+//! paper's "components provided in the SMT-LIB format" (§3.3): custom patch
+//! templates and specifications can be written as text like
+//! `(or (= x a) (= y b))` and handed to the synthesizer.
+//!
+//! Sorts are inferred from the operators: comparison and arithmetic
+//! arguments are integers, logical arguments are booleans, and bare symbols
+//! are interned as variables of the inferred sort (defaulting to `Int` when
+//! unconstrained).
+
+use std::fmt;
+
+use crate::term::{ArithOp, CmpOp, Sort, TermId, TermPool};
+
+/// Error produced when parsing an s-expression term fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTermError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseTermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "term parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseTermError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SExpr {
+    Atom(String, usize),
+    List(Vec<SExpr>, usize),
+}
+
+fn tokenize(src: &str) -> Result<Vec<(String, usize)>, ParseTermError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' | ')' => {
+                out.push((c.to_string(), i));
+                i += 1;
+            }
+            _ => {
+                let start = i;
+                while i < bytes.len()
+                    && !matches!(bytes[i] as char, ' ' | '\t' | '\r' | '\n' | '(' | ')')
+                {
+                    i += 1;
+                }
+                out.push((src[start..i].to_owned(), start));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_sexpr(
+    tokens: &[(String, usize)],
+    pos: &mut usize,
+) -> Result<SExpr, ParseTermError> {
+    let Some((tok, off)) = tokens.get(*pos) else {
+        return Err(ParseTermError {
+            message: "unexpected end of input".into(),
+            offset: tokens.last().map(|(_, o)| *o).unwrap_or(0),
+        });
+    };
+    *pos += 1;
+    match tok.as_str() {
+        "(" => {
+            let mut items = Vec::new();
+            loop {
+                match tokens.get(*pos) {
+                    Some((t, _)) if t == ")" => {
+                        *pos += 1;
+                        return Ok(SExpr::List(items, *off));
+                    }
+                    Some(_) => items.push(parse_sexpr(tokens, pos)?),
+                    None => {
+                        return Err(ParseTermError {
+                            message: "unclosed `(`".into(),
+                            offset: *off,
+                        })
+                    }
+                }
+            }
+        }
+        ")" => Err(ParseTermError {
+            message: "unexpected `)`".into(),
+            offset: *off,
+        }),
+        _ => Ok(SExpr::Atom(tok.clone(), *off)),
+    }
+}
+
+impl TermPool {
+    /// Parses an SMT-LIB-flavoured s-expression into a term, interning
+    /// variables by name with inferred sorts. Inverse of
+    /// [`TermPool::display`] for all terms this crate produces.
+    ///
+    /// Supported forms: integer literals, `true`/`false`, symbols,
+    /// `(not t)`, `(and a b …)`, `(or a b …)`, `(=> a b)`, comparisons
+    /// `(= | distinct | < | <= | > | >=  a b)`, arithmetic
+    /// `(+ | - | * | div | rem  a b …)`, unary `(- a)`, and `(ite c a b)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTermError`] on malformed syntax, unknown operators,
+    /// wrong arities, or when a symbol is used at two different sorts.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use cpr_smt::TermPool;
+    /// let mut pool = TermPool::new();
+    /// let t = pool.parse_term("(or (= x a) (= y b))").unwrap();
+    /// assert_eq!(pool.display(t), "(or (= x a) (= y b))");
+    /// ```
+    pub fn parse_term(&mut self, src: &str) -> Result<TermId, ParseTermError> {
+        let tokens = tokenize(src)?;
+        if tokens.is_empty() {
+            return Err(ParseTermError {
+                message: "empty input".into(),
+                offset: 0,
+            });
+        }
+        let mut pos = 0;
+        let sexpr = parse_sexpr(&tokens, &mut pos)?;
+        if pos != tokens.len() {
+            return Err(ParseTermError {
+                message: "trailing input after term".into(),
+                offset: tokens[pos].1,
+            });
+        }
+        self.lower_sexpr(&sexpr, None)
+    }
+
+    fn lower_sexpr(
+        &mut self,
+        e: &SExpr,
+        expected: Option<Sort>,
+    ) -> Result<TermId, ParseTermError> {
+        match e {
+            SExpr::Atom(a, off) => self.lower_atom(a, *off, expected),
+            SExpr::List(items, off) => {
+                let Some(SExpr::Atom(head, head_off)) = items.first() else {
+                    return Err(ParseTermError {
+                        message: "expected operator".into(),
+                        offset: *off,
+                    });
+                };
+                let args = &items[1..];
+                let arity = |n: usize| -> Result<(), ParseTermError> {
+                    if args.len() == n {
+                        Ok(())
+                    } else {
+                        Err(ParseTermError {
+                            message: format!(
+                                "`{head}` expects {n} argument(s), got {}",
+                                args.len()
+                            ),
+                            offset: *head_off,
+                        })
+                    }
+                };
+                let at_least = |n: usize| -> Result<(), ParseTermError> {
+                    if args.len() >= n {
+                        Ok(())
+                    } else {
+                        Err(ParseTermError {
+                            message: format!(
+                                "`{head}` expects at least {n} argument(s), got {}",
+                                args.len()
+                            ),
+                            offset: *head_off,
+                        })
+                    }
+                };
+                match head.as_str() {
+                    "not" => {
+                        arity(1)?;
+                        let a = self.lower_sexpr(&args[0], Some(Sort::Bool))?;
+                        Ok(self.not(a))
+                    }
+                    "and" | "or" => {
+                        at_least(2)?;
+                        let mut ts = Vec::with_capacity(args.len());
+                        for a in args {
+                            ts.push(self.lower_sexpr(a, Some(Sort::Bool))?);
+                        }
+                        Ok(if head == "and" {
+                            self.and_many(ts)
+                        } else {
+                            self.or_many(ts)
+                        })
+                    }
+                    "=>" => {
+                        arity(2)?;
+                        let a = self.lower_sexpr(&args[0], Some(Sort::Bool))?;
+                        let b = self.lower_sexpr(&args[1], Some(Sort::Bool))?;
+                        Ok(self.implies(a, b))
+                    }
+                    "=" | "distinct" | "<" | "<=" | ">" | ">=" => {
+                        arity(2)?;
+                        let op = match head.as_str() {
+                            "=" => CmpOp::Eq,
+                            "distinct" => CmpOp::Ne,
+                            "<" => CmpOp::Lt,
+                            "<=" => CmpOp::Le,
+                            ">" => CmpOp::Gt,
+                            _ => CmpOp::Ge,
+                        };
+                        let a = self.lower_sexpr(&args[0], Some(Sort::Int))?;
+                        let b = self.lower_sexpr(&args[1], Some(Sort::Int))?;
+                        Ok(self.cmp(op, a, b))
+                    }
+                    "+" | "*" | "div" | "rem" => {
+                        at_least(2)?;
+                        let op = match head.as_str() {
+                            "+" => ArithOp::Add,
+                            "*" => ArithOp::Mul,
+                            "div" => ArithOp::Div,
+                            _ => ArithOp::Rem,
+                        };
+                        let mut acc = self.lower_sexpr(&args[0], Some(Sort::Int))?;
+                        for a in &args[1..] {
+                            let t = self.lower_sexpr(a, Some(Sort::Int))?;
+                            acc = self.arith(op, acc, t);
+                        }
+                        Ok(acc)
+                    }
+                    "-" => {
+                        at_least(1)?;
+                        let first = self.lower_sexpr(&args[0], Some(Sort::Int))?;
+                        if args.len() == 1 {
+                            return Ok(self.neg(first));
+                        }
+                        let mut acc = first;
+                        for a in &args[1..] {
+                            let t = self.lower_sexpr(a, Some(Sort::Int))?;
+                            acc = self.sub(acc, t);
+                        }
+                        Ok(acc)
+                    }
+                    "ite" => {
+                        arity(3)?;
+                        let c = self.lower_sexpr(&args[0], Some(Sort::Bool))?;
+                        let a = self.lower_sexpr(&args[1], Some(Sort::Int))?;
+                        let b = self.lower_sexpr(&args[2], Some(Sort::Int))?;
+                        Ok(self.ite(c, a, b))
+                    }
+                    other => Err(ParseTermError {
+                        message: format!("unknown operator `{other}`"),
+                        offset: *head_off,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn lower_atom(
+        &mut self,
+        atom: &str,
+        offset: usize,
+        expected: Option<Sort>,
+    ) -> Result<TermId, ParseTermError> {
+        match atom {
+            "true" => return Ok(self.tt()),
+            "false" => return Ok(self.ff()),
+            _ => {}
+        }
+        if atom
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_digit() || c == '-')
+            .unwrap_or(false)
+        {
+            return atom
+                .parse::<i64>()
+                .map(|v| self.int(v))
+                .map_err(|_| ParseTermError {
+                    message: format!("malformed integer `{atom}`"),
+                    offset,
+                });
+        }
+        if !atom
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '!')
+        {
+            return Err(ParseTermError {
+                message: format!("malformed symbol `{atom}`"),
+                offset,
+            });
+        }
+        let sort = expected.unwrap_or(Sort::Int);
+        // A symbol already interned at another sort is a sort error.
+        if let Some(existing) = self.find_var(atom) {
+            if self.var_sort(existing) != sort {
+                return Err(ParseTermError {
+                    message: format!(
+                        "symbol `{atom}` used at sort {sort} but declared at {}",
+                        self.var_sort(existing)
+                    ),
+                    offset,
+                });
+            }
+        }
+        let v = self.var(atom, sort);
+        Ok(self.var_term(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn parses_paper_templates() {
+        let mut p = TermPool::new();
+        for src in ["(>= x a)", "(< y b)", "(or (= x a) (= y b))"] {
+            let t = p.parse_term(src).unwrap();
+            assert_eq!(p.display(t), src);
+        }
+    }
+
+    #[test]
+    fn parses_arithmetic_and_ite() {
+        let mut p = TermPool::new();
+        let t = p.parse_term("(ite (> x 0) (+ x 1) (- x))").unwrap();
+        let x = p.find_var("x").unwrap();
+        let mut m = Model::new();
+        m.set(x, 4i64);
+        assert_eq!(m.eval_int(&p, t), 5);
+        m.set(x, -4i64);
+        assert_eq!(m.eval_int(&p, t), 4);
+    }
+
+    #[test]
+    fn variadic_connectives_fold() {
+        let mut p = TermPool::new();
+        let t = p.parse_term("(and (> x 0) (> y 0) (> z 0))").unwrap();
+        let u = p.parse_term("(+ x y z 1)").unwrap();
+        let x = p.find_var("x").unwrap();
+        let y = p.find_var("y").unwrap();
+        let z = p.find_var("z").unwrap();
+        let mut m = Model::new();
+        m.set(x, 1i64);
+        m.set(y, 2i64);
+        m.set(z, 3i64);
+        assert!(m.eval_bool(&p, t));
+        assert_eq!(m.eval_int(&p, u), 7);
+    }
+
+    #[test]
+    fn negative_literals_and_subtraction_chains() {
+        let mut p = TermPool::new();
+        let t = p.parse_term("(- 10 3 2)").unwrap();
+        assert_eq!(p.display(t), "5");
+        let n = p.parse_term("-7").unwrap();
+        assert_eq!(p.display(n), "-7");
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        let mut p = TermPool::new();
+        assert!(p.parse_term("").is_err());
+        assert!(p.parse_term("(foo x)").is_err());
+        assert!(p.parse_term("(> x").is_err());
+        assert!(p.parse_term("(not x y)").is_err());
+        assert!(p.parse_term("(> x 1) extra").is_err());
+        let err = p.parse_term("(= x @bad)").unwrap_err();
+        assert!(err.to_string().contains("malformed symbol"));
+    }
+
+    #[test]
+    fn sort_conflicts_are_rejected() {
+        let mut p = TermPool::new();
+        // `flag` as bool, then as int.
+        p.parse_term("(and flag flag)").unwrap();
+        assert!(p.parse_term("(> flag 0)").is_err());
+    }
+
+    #[test]
+    fn implies_desugars() {
+        let mut p = TermPool::new();
+        let t = p.parse_term("(=> (> x 0) (> x -1))").unwrap();
+        let x = p.find_var("x").unwrap();
+        let mut m = Model::new();
+        m.set(x, 5i64);
+        assert!(m.eval_bool(&p, t));
+    }
+}

@@ -1,0 +1,1148 @@
+//! Branch-and-prune satisfiability solver over bounded integer domains.
+//!
+//! The solver answers the quantifier-free `IsSat`/`GetModel` queries issued
+//! by the concolic repair loop (Algorithms 1–3 of the CPR paper). It combines
+//! HC4-style forward/backward interval contraction over the formula tree
+//! (including union-hull contraction through disjunctions, which is what
+//! makes the disjunction-of-boxes parameter constraints `T_ρ` cheap) with
+//! domain bisection and midpoint value probing.
+//!
+//! Results are three-valued: [`SatResult::Unknown`] plays the role of a
+//! solver timeout in the original Z3-backed tool and is handled
+//! conservatively by all callers.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::interval::Interval;
+use crate::model::Model;
+use crate::term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
+
+/// Initial variable domains for a query.
+///
+/// Variables not mentioned get the solver's default domain
+/// ([`SolverConfig::default_domain`]).
+#[derive(Debug, Default, Clone)]
+pub struct Domains {
+    map: BTreeMap<VarId, Interval>,
+}
+
+impl Domains {
+    /// Creates an empty domain map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bounds `var` to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn bound(&mut self, var: VarId, lo: i64, hi: i64) -> &mut Self {
+        self.map.insert(var, Interval::of(lo, hi));
+        self
+    }
+
+    /// Sets the domain of `var` to an interval.
+    pub fn set(&mut self, var: VarId, iv: Interval) -> &mut Self {
+        self.map.insert(var, iv);
+        self
+    }
+
+    /// The configured domain of `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Interval> {
+        self.map.get(&var).copied()
+    }
+
+    /// Iterates over all configured `(variable, interval)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, Interval)> + '_ {
+        self.map.iter().map(|(&v, &iv)| (v, iv))
+    }
+
+    /// Merges another domain map into this one (`other` wins on conflict).
+    pub fn extend(&mut self, other: &Domains) {
+        for (v, iv) in other.iter() {
+            self.map.insert(v, iv);
+        }
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Proven unsatisfiable within the explored domains.
+    Unsat,
+    /// Budget exhausted before a verdict — treated like a solver timeout.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Extracts the model from a sat result.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Tuning knobs for the solver.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Maximum number of search nodes per query before returning `Unknown`.
+    pub max_nodes: u64,
+    /// Maximum contraction fixpoint rounds per node.
+    pub max_contraction_rounds: u32,
+    /// Domain assumed for variables without an explicit bound.
+    pub default_domain: Interval,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_nodes: 50_000,
+            max_contraction_rounds: 30,
+            default_domain: Interval::of(-(1 << 30), 1 << 30),
+        }
+    }
+}
+
+/// Counters accumulated across queries, exposed for the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// Total queries answered.
+    pub queries: u64,
+    /// Queries answered `Sat`.
+    pub sat: u64,
+    /// Queries answered `Unsat`.
+    pub unsat: u64,
+    /// Queries answered `Unknown`.
+    pub unknown: u64,
+    /// Total search nodes explored.
+    pub nodes: u64,
+}
+
+/// The branch-and-prune solver. Stateless between queries apart from
+/// [`SolverStats`]; cheap to construct.
+#[derive(Debug, Default, Clone)]
+pub struct Solver {
+    config: SolverConfig,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver {
+            config,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Resets accumulated statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = SolverStats::default();
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Checks satisfiability of the conjunction of `constraints` under the
+    /// given initial `domains`, returning a model on success.
+    pub fn check(&mut self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> SatResult {
+        self.stats.queries += 1;
+        // Fast path: constant constraints.
+        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            match pool.data(c) {
+                TermData::BoolConst(true) => {}
+                TermData::BoolConst(false) => {
+                    self.stats.unsat += 1;
+                    return SatResult::Unsat;
+                }
+                _ => live.push(c),
+            }
+        }
+        // Fast refutation: two top-level constraints that are literal
+        // complements of each other (common in equivalence queries).
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if pool.complementary(a, b) {
+                    self.stats.unsat += 1;
+                    return SatResult::Unsat;
+                }
+            }
+        }
+        let mut vars: Vec<VarId> = Vec::new();
+        for &c in &live {
+            for v in pool.vars_of(c) {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
+        let mut budget = self.config.max_nodes;
+        let result = self.search(pool, &live, &mut vbox, &mut budget);
+        match &result {
+            SatResult::Sat(_) => self.stats.sat += 1,
+            SatResult::Unsat => self.stats.unsat += 1,
+            SatResult::Unknown => self.stats.unknown += 1,
+        }
+        result
+    }
+
+    /// Counts the models of the conjunction over all variables occurring in
+    /// it, by branch-and-count: boxes whose every point satisfies the
+    /// constraints contribute their full volume, refuted boxes contribute
+    /// nothing, and undecided boxes are bounded from both sides. The result
+    /// is exact when `lo == hi`.
+    ///
+    /// This implements the model-counting refinement the paper suggests for
+    /// the functionality-deletion ranking heuristic (§3.5.3): "find the
+    /// proportion of inputs in a path affected by a patch insertion".
+    pub fn count_models(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+    ) -> CountBounds {
+        self.stats.queries += 1;
+        let mut live: Vec<TermId> = Vec::new();
+        for &c in constraints {
+            match pool.data(c) {
+                TermData::BoolConst(true) => {}
+                TermData::BoolConst(false) => return CountBounds { lo: 0, hi: 0 },
+                _ => live.push(c),
+            }
+        }
+        let mut vars: Vec<VarId> = Vec::new();
+        for &c in &live {
+            for v in pool.vars_of(c) {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
+        let mut budget = self.config.max_nodes;
+        let mut bounds = CountBounds { lo: 0, hi: 0 };
+        self.count_rec(pool, &live, vbox, &mut budget, &mut bounds);
+        bounds
+    }
+
+    fn count_rec(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        mut vbox: VarBox,
+        budget: &mut u64,
+        bounds: &mut CountBounds,
+    ) {
+        if *budget == 0 {
+            // Undecided remainder: count as possible but not certain.
+            bounds.hi = bounds.hi.saturating_add(vbox.volume());
+            return;
+        }
+        *budget -= 1;
+        self.stats.nodes += 1;
+        for _ in 0..self.config.max_contraction_rounds {
+            vbox.clear_changed();
+            for &c in constraints {
+                if contract_bool(pool, c, true, &mut vbox).is_err() {
+                    return; // refuted: contributes nothing
+                }
+            }
+            if !vbox.take_changed() {
+                break;
+            }
+        }
+        let mut all_true = true;
+        let mut unknown_constraint = None;
+        for &c in constraints {
+            match enclose_bool(pool, c, &vbox) {
+                Bool3::False => return,
+                Bool3::True => {}
+                Bool3::Unknown => {
+                    all_true = false;
+                    if unknown_constraint.is_none() {
+                        unknown_constraint = Some(c);
+                    }
+                }
+            }
+        }
+        if all_true {
+            let v = vbox.volume();
+            bounds.lo = bounds.lo.saturating_add(v);
+            bounds.hi = bounds.hi.saturating_add(v);
+            return;
+        }
+        let Some(v) = self.pick_branch_var(pool, unknown_constraint.unwrap(), &vbox) else {
+            // Point box with undecidable enclosure: concrete check.
+            let m = vbox.midpoint_model();
+            if m.satisfies(pool, constraints) {
+                bounds.lo = bounds.lo.saturating_add(1);
+                bounds.hi = bounds.hi.saturating_add(1);
+            }
+            return;
+        };
+        let dom = vbox.get(v);
+        let mid = dom.midpoint();
+        let children = [
+            Interval::new(dom.lo(), mid),
+            Interval::new(mid + 1, dom.hi()),
+        ];
+        for child in children.into_iter().flatten() {
+            let mut sub = vbox.clone();
+            sub.set(v, child);
+            self.count_rec(pool, constraints, sub, budget, bounds);
+        }
+    }
+
+    /// Convenience wrapper: is the conjunction satisfiable? `Unknown` maps to
+    /// `None`.
+    pub fn is_sat(&mut self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> Option<bool> {
+        match self.check(pool, constraints, domains) {
+            SatResult::Sat(_) => Some(true),
+            SatResult::Unsat => Some(false),
+            SatResult::Unknown => None,
+        }
+    }
+
+    fn search(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        vbox: &mut VarBox,
+        budget: &mut u64,
+    ) -> SatResult {
+        if *budget == 0 {
+            return SatResult::Unknown;
+        }
+        *budget -= 1;
+        self.stats.nodes += 1;
+
+        // Contraction fixpoint.
+        for _ in 0..self.config.max_contraction_rounds {
+            vbox.clear_changed();
+            for &c in constraints {
+                if contract_bool(pool, c, true, vbox).is_err() {
+                    return SatResult::Unsat;
+                }
+            }
+            if !vbox.take_changed() {
+                break;
+            }
+        }
+
+        // Evaluate constraints under the contracted box.
+        let mut all_true = true;
+        let mut unknown_constraint = None;
+        for &c in constraints {
+            match enclose_bool(pool, c, vbox) {
+                Bool3::False => return SatResult::Unsat,
+                Bool3::True => {}
+                Bool3::Unknown => {
+                    all_true = false;
+                    if unknown_constraint.is_none() {
+                        unknown_constraint = Some(c);
+                    }
+                }
+            }
+        }
+        if all_true {
+            // Every assignment in the box satisfies the constraints.
+            return SatResult::Sat(vbox.midpoint_model());
+        }
+
+        // Branch on a variable of an unknown constraint.
+        let branch_var = self.pick_branch_var(pool, unknown_constraint.unwrap(), vbox);
+        let Some(v) = branch_var else {
+            // All variables are points yet a constraint is unknown: can only
+            // happen through enclosure looseness; fall back to concrete check.
+            let m = vbox.midpoint_model();
+            return if m.satisfies(pool, constraints) {
+                SatResult::Sat(m)
+            } else {
+                SatResult::Unsat
+            };
+        };
+        let dom = vbox.get(v);
+        let mid = dom.midpoint();
+        // Probe the midpoint first (fast sat), then the two halves around it.
+        let children = [
+            Some(Interval::point(mid)),
+            Interval::new(dom.lo(), mid - 1),
+            Interval::new(mid + 1, dom.hi()),
+        ];
+        let mut saw_unknown = false;
+        for child in children.into_iter().flatten() {
+            let mut sub = vbox.clone();
+            sub.set(v, child);
+            match self.search(pool, constraints, &mut sub, budget) {
+                SatResult::Sat(m) => return SatResult::Sat(m),
+                SatResult::Unsat => {}
+                SatResult::Unknown => saw_unknown = true,
+            }
+        }
+        if saw_unknown {
+            SatResult::Unknown
+        } else {
+            SatResult::Unsat
+        }
+    }
+
+    fn pick_branch_var(&self, pool: &TermPool, constraint: TermId, vbox: &VarBox) -> Option<VarId> {
+        let mut best: Option<(VarId, u64)> = None;
+        for v in pool.vars_of(constraint) {
+            let w = vbox.get(v).width();
+            if w > 1 {
+                match best {
+                    Some((_, bw)) if bw <= w => {}
+                    _ => best = Some((v, w)),
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+}
+
+/// Lower and upper bounds on a model count (exact when `lo == hi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountBounds {
+    /// Models certainly present.
+    pub lo: u128,
+    /// Models possibly present.
+    pub hi: u128,
+}
+
+impl CountBounds {
+    /// Midpoint estimate as a float (for ratio computations).
+    pub fn estimate(&self) -> f64 {
+        (self.lo as f64 + self.hi as f64) / 2.0
+    }
+
+    /// Whether the count is exact.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+/// Three-valued boolean (Kleene logic) used by forward evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bool3 {
+    True,
+    False,
+    Unknown,
+}
+
+impl Bool3 {
+    fn not(self) -> Bool3 {
+        match self {
+            Bool3::True => Bool3::False,
+            Bool3::False => Bool3::True,
+            Bool3::Unknown => Bool3::Unknown,
+        }
+    }
+    fn and(self, other: Bool3) -> Bool3 {
+        match (self, other) {
+            (Bool3::False, _) | (_, Bool3::False) => Bool3::False,
+            (Bool3::True, Bool3::True) => Bool3::True,
+            _ => Bool3::Unknown,
+        }
+    }
+    fn or(self, other: Bool3) -> Bool3 {
+        match (self, other) {
+            (Bool3::True, _) | (_, Bool3::True) => Bool3::True,
+            (Bool3::False, Bool3::False) => Bool3::False,
+            _ => Bool3::Unknown,
+        }
+    }
+}
+
+/// The current variable box: one interval per variable in the query.
+/// Boolean variables are encoded as `[0, 1]` intervals.
+#[derive(Debug, Clone)]
+struct VarBox {
+    vars: Vec<VarId>,
+    ivs: Vec<Interval>,
+    index: HashMap<VarId, usize>,
+    changed: bool,
+}
+
+impl VarBox {
+    fn new(pool: &TermPool, vars: &[VarId], domains: &Domains, default: Interval) -> Self {
+        let mut ivs = Vec::with_capacity(vars.len());
+        let mut index = HashMap::with_capacity(vars.len());
+        for (i, &v) in vars.iter().enumerate() {
+            let iv = match pool.var_sort(v) {
+                Sort::Bool => Interval::of(0, 1),
+                Sort::Int => domains.get(v).unwrap_or(default),
+            };
+            ivs.push(iv);
+            index.insert(v, i);
+        }
+        VarBox {
+            vars: vars.to_vec(),
+            ivs,
+            index,
+            changed: false,
+        }
+    }
+
+    fn get(&self, v: VarId) -> Interval {
+        self.ivs[self.index[&v]]
+    }
+
+    fn set(&mut self, v: VarId, iv: Interval) {
+        let i = self.index[&v];
+        if self.ivs[i] != iv {
+            self.ivs[i] = iv;
+            self.changed = true;
+        }
+    }
+
+    /// Narrows the domain of `v` to its intersection with `iv`.
+    fn narrow(&mut self, v: VarId, iv: Interval) -> Result<(), EmptyDomain> {
+        let i = self.index[&v];
+        let cur = self.ivs[i];
+        match cur.intersect(iv) {
+            Some(n) => {
+                if n != cur {
+                    self.ivs[i] = n;
+                    self.changed = true;
+                }
+                Ok(())
+            }
+            None => Err(EmptyDomain),
+        }
+    }
+
+    fn clear_changed(&mut self) {
+        self.changed = false;
+    }
+
+    fn take_changed(&mut self) -> bool {
+        self.changed
+    }
+
+    /// Replaces every domain by the hull of the corresponding domains of two
+    /// sibling boxes (union-hull of a disjunction contraction).
+    fn hull_of(&mut self, a: &VarBox, b: &VarBox) {
+        for i in 0..self.ivs.len() {
+            let h = a.ivs[i].hull(b.ivs[i]);
+            if self.ivs[i] != h {
+                self.ivs[i] = h;
+                self.changed = true;
+            }
+        }
+    }
+
+    fn copy_from(&mut self, other: &VarBox) {
+        for i in 0..self.ivs.len() {
+            if self.ivs[i] != other.ivs[i] {
+                self.ivs[i] = other.ivs[i];
+                self.changed = true;
+            }
+        }
+    }
+
+    /// Number of integer points in the box (saturating).
+    fn volume(&self) -> u128 {
+        self.ivs
+            .iter()
+            .fold(1u128, |acc, iv| acc.saturating_mul(iv.width() as u128))
+    }
+
+    fn midpoint_model(&self) -> Model {
+        let mut m = Model::new();
+        for (i, &v) in self.vars.iter().enumerate() {
+            m.set(v, self.ivs[i].midpoint());
+        }
+        m
+    }
+}
+
+struct EmptyDomain;
+
+/// Forward evaluation: an interval enclosure of an integer term.
+fn enclose_int(pool: &TermPool, t: TermId, vbox: &VarBox) -> Interval {
+    match pool.data(t) {
+        TermData::IntConst(v) => Interval::point(v),
+        TermData::Var(v) => vbox.get(v),
+        TermData::Arith(op, a, b) => {
+            let ia = enclose_int(pool, a, vbox);
+            let ib = enclose_int(pool, b, vbox);
+            match op {
+                ArithOp::Add => ia.add(ib),
+                ArithOp::Sub => ia.sub(ib),
+                ArithOp::Mul => ia.mul(ib),
+                ArithOp::Div => ia.div_total(ib),
+                ArithOp::Rem => ia.rem_total(ib),
+            }
+        }
+        TermData::Neg(a) => enclose_int(pool, a, vbox).neg(),
+        TermData::Ite(c, a, b) => match enclose_bool(pool, c, vbox) {
+            Bool3::True => enclose_int(pool, a, vbox),
+            Bool3::False => enclose_int(pool, b, vbox),
+            Bool3::Unknown => enclose_int(pool, a, vbox).hull(enclose_int(pool, b, vbox)),
+        },
+        // Ill-sorted; treat as zero (cannot happen for well-typed queries).
+        _ => Interval::point(0),
+    }
+}
+
+/// Forward evaluation: three-valued truth of a boolean term.
+fn enclose_bool(pool: &TermPool, t: TermId, vbox: &VarBox) -> Bool3 {
+    match pool.data(t) {
+        TermData::BoolConst(true) => Bool3::True,
+        TermData::BoolConst(false) => Bool3::False,
+        TermData::Var(v) => {
+            let iv = vbox.get(v);
+            if iv.is_point() {
+                if iv.lo() == 0 {
+                    Bool3::False
+                } else {
+                    Bool3::True
+                }
+            } else {
+                Bool3::Unknown
+            }
+        }
+        TermData::Not(a) => enclose_bool(pool, a, vbox).not(),
+        TermData::And(a, b) => enclose_bool(pool, a, vbox).and(enclose_bool(pool, b, vbox)),
+        TermData::Or(a, b) => enclose_bool(pool, a, vbox).or(enclose_bool(pool, b, vbox)),
+        TermData::Cmp(op, a, b) => {
+            let ia = enclose_int(pool, a, vbox);
+            let ib = enclose_int(pool, b, vbox);
+            cmp_enclosures(op, ia, ib)
+        }
+        _ => Bool3::Unknown,
+    }
+}
+
+fn cmp_enclosures(op: CmpOp, a: Interval, b: Interval) -> Bool3 {
+    match op {
+        CmpOp::Lt => {
+            if a.hi() < b.lo() {
+                Bool3::True
+            } else if a.lo() >= b.hi() {
+                Bool3::False
+            } else {
+                Bool3::Unknown
+            }
+        }
+        CmpOp::Le => {
+            if a.hi() <= b.lo() {
+                Bool3::True
+            } else if a.lo() > b.hi() {
+                Bool3::False
+            } else {
+                Bool3::Unknown
+            }
+        }
+        CmpOp::Gt => cmp_enclosures(CmpOp::Lt, b, a),
+        CmpOp::Ge => cmp_enclosures(CmpOp::Le, b, a),
+        CmpOp::Eq => {
+            if a.is_point() && b.is_point() && a.lo() == b.lo() {
+                Bool3::True
+            } else if a.intersect(b).is_none() {
+                Bool3::False
+            } else {
+                Bool3::Unknown
+            }
+        }
+        CmpOp::Ne => cmp_enclosures(CmpOp::Eq, a, b).not(),
+    }
+}
+
+/// Backward contraction: require the boolean term `t` to have truth value
+/// `required`, narrowing variable domains in `vbox`.
+fn contract_bool(
+    pool: &TermPool,
+    t: TermId,
+    required: bool,
+    vbox: &mut VarBox,
+) -> Result<(), EmptyDomain> {
+    match pool.data(t) {
+        TermData::BoolConst(b) => {
+            if b == required {
+                Ok(())
+            } else {
+                Err(EmptyDomain)
+            }
+        }
+        TermData::Var(v) => {
+            let target = if required { 1 } else { 0 };
+            vbox.narrow(v, Interval::point(target))
+        }
+        TermData::Not(a) => contract_bool(pool, a, !required, vbox),
+        TermData::And(a, b) => {
+            if required {
+                contract_bool(pool, a, true, vbox)?;
+                contract_bool(pool, b, true, vbox)
+            } else {
+                contract_binary_disjunct(pool, (a, false), (b, false), vbox)
+            }
+        }
+        TermData::Or(a, b) => {
+            if required {
+                contract_binary_disjunct(pool, (a, true), (b, true), vbox)
+            } else {
+                contract_bool(pool, a, false, vbox)?;
+                contract_bool(pool, b, false, vbox)
+            }
+        }
+        TermData::Cmp(op, a, b) => {
+            let eff = if required { op } else { op.negate() };
+            contract_cmp(pool, eff, a, b, vbox)
+        }
+        // Ill-sorted boolean position; no contraction.
+        _ => Ok(()),
+    }
+}
+
+/// Union-hull contraction through `lhs ∨ rhs` (or the dual for `¬(a ∧ b)`):
+/// contracts each disjunct on a copy of the box and takes the per-variable
+/// hull of the surviving copies.
+fn contract_binary_disjunct(
+    pool: &TermPool,
+    (a, ra): (TermId, bool),
+    (b, rb): (TermId, bool),
+    vbox: &mut VarBox,
+) -> Result<(), EmptyDomain> {
+    let mut box_a = vbox.clone();
+    let ok_a = contract_bool(pool, a, ra, &mut box_a).is_ok();
+    let mut box_b = vbox.clone();
+    let ok_b = contract_bool(pool, b, rb, &mut box_b).is_ok();
+    match (ok_a, ok_b) {
+        (false, false) => Err(EmptyDomain),
+        (true, false) => {
+            vbox.copy_from(&box_a);
+            Ok(())
+        }
+        (false, true) => {
+            vbox.copy_from(&box_b);
+            Ok(())
+        }
+        (true, true) => {
+            vbox.hull_of(&box_a, &box_b);
+            Ok(())
+        }
+    }
+}
+
+/// HC4-revise for a comparison atom.
+fn contract_cmp(
+    pool: &TermPool,
+    op: CmpOp,
+    a: TermId,
+    b: TermId,
+    vbox: &mut VarBox,
+) -> Result<(), EmptyDomain> {
+    let ia = enclose_int(pool, a, vbox);
+    let ib = enclose_int(pool, b, vbox);
+    match op {
+        CmpOp::Eq => {
+            let meet = ia.intersect(ib).ok_or(EmptyDomain)?;
+            push_int(pool, a, meet, vbox)?;
+            push_int(pool, b, meet, vbox)
+        }
+        CmpOp::Ne => {
+            if ia.is_point() && ib.is_point() && ia.lo() == ib.lo() {
+                return Err(EmptyDomain);
+            }
+            if ib.is_point() {
+                if let Some(na) = ia.remove_endpoint(ib.lo()) {
+                    push_int(pool, a, na, vbox)?;
+                } else {
+                    return Err(EmptyDomain);
+                }
+            }
+            if ia.is_point() {
+                if let Some(nb) = ib.remove_endpoint(ia.lo()) {
+                    push_int(pool, b, nb, vbox)?;
+                } else {
+                    return Err(EmptyDomain);
+                }
+            }
+            Ok(())
+        }
+        CmpOp::Lt => {
+            let na = ia.below_strict(ib).ok_or(EmptyDomain)?;
+            let nb = ib.above_strict(ia).ok_or(EmptyDomain)?;
+            push_int(pool, a, na, vbox)?;
+            push_int(pool, b, nb, vbox)
+        }
+        CmpOp::Le => {
+            let na = ia.below(ib).ok_or(EmptyDomain)?;
+            let nb = ib.above(ia).ok_or(EmptyDomain)?;
+            push_int(pool, a, na, vbox)?;
+            push_int(pool, b, nb, vbox)
+        }
+        CmpOp::Gt => contract_cmp(pool, CmpOp::Lt, b, a, vbox),
+        CmpOp::Ge => contract_cmp(pool, CmpOp::Le, b, a, vbox),
+    }
+}
+
+/// Backward pass: require the integer term `t` to take a value inside `iv`,
+/// narrowing variable domains.
+fn push_int(
+    pool: &TermPool,
+    t: TermId,
+    iv: Interval,
+    vbox: &mut VarBox,
+) -> Result<(), EmptyDomain> {
+    match pool.data(t) {
+        TermData::IntConst(v) => {
+            if iv.contains(v) {
+                Ok(())
+            } else {
+                Err(EmptyDomain)
+            }
+        }
+        TermData::Var(v) => vbox.narrow(v, iv),
+        TermData::Neg(a) => push_int(pool, a, iv.neg(), vbox),
+        TermData::Arith(op, a, b) => {
+            let ia = enclose_int(pool, a, vbox);
+            let ib = enclose_int(pool, b, vbox);
+            match op {
+                ArithOp::Add => {
+                    let na = Interval::back_add(iv, ib, ia).ok_or(EmptyDomain)?;
+                    let nb = Interval::back_add(iv, ia, ib).ok_or(EmptyDomain)?;
+                    push_int(pool, a, na, vbox)?;
+                    push_int(pool, b, nb, vbox)
+                }
+                ArithOp::Sub => {
+                    let na = Interval::back_sub_lhs(iv, ib, ia).ok_or(EmptyDomain)?;
+                    let nb = Interval::back_sub_rhs(iv, ia, ib).ok_or(EmptyDomain)?;
+                    push_int(pool, a, na, vbox)?;
+                    push_int(pool, b, nb, vbox)
+                }
+                ArithOp::Mul => {
+                    if let Some(na) = Interval::back_mul(iv, ib, ia) {
+                        push_int(pool, a, na, vbox)?;
+                    } else {
+                        return Err(EmptyDomain);
+                    }
+                    if let Some(nb) = Interval::back_mul(iv, ia, ib) {
+                        push_int(pool, b, nb, vbox)
+                    } else {
+                        Err(EmptyDomain)
+                    }
+                }
+                // Division/remainder: forward-only (sound, no contraction).
+                ArithOp::Div | ArithOp::Rem => Ok(()),
+            }
+        }
+        TermData::Ite(c, a, b) => match enclose_bool(pool, c, vbox) {
+            Bool3::True => push_int(pool, a, iv, vbox),
+            Bool3::False => push_int(pool, b, iv, vbox),
+            Bool3::Unknown => {
+                let ia = enclose_int(pool, a, vbox);
+                let ib = enclose_int(pool, b, vbox);
+                match (ia.intersect(iv), ib.intersect(iv)) {
+                    (None, None) => Err(EmptyDomain),
+                    (Some(_), None) => {
+                        contract_bool(pool, c, true, vbox)?;
+                        push_int(pool, a, iv, vbox)
+                    }
+                    (None, Some(_)) => {
+                        contract_bool(pool, c, false, vbox)?;
+                        push_int(pool, b, iv, vbox)
+                    }
+                    (Some(_), Some(_)) => Ok(()),
+                }
+            }
+        },
+        // Ill-sorted integer position; no contraction.
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TermPool, Solver) {
+        (TermPool::new(), Solver::new(SolverConfig::default()))
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let (mut p, mut s) = setup();
+        let t = p.tt();
+        let f = p.ff();
+        assert!(s.check(&p, &[t], &Domains::new()).is_sat());
+        assert!(s.check(&p, &[f], &Domains::new()).is_unsat());
+        assert!(s.check(&p, &[], &Domains::new()).is_sat());
+    }
+
+    #[test]
+    fn linear_constraints() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let three = p.int(3);
+        let ten = p.int(10);
+        let c1 = p.gt(x, three);
+        let c2 = p.lt(x, ten);
+        let mut d = Domains::new();
+        d.bound(xv, -100, 100);
+        let m = s.check(&p, &[c1, c2], &d).model().unwrap();
+        let v = m.int(xv).unwrap();
+        assert!(v > 3 && v < 10);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let c1 = p.lt(x, five);
+        let c2 = p.gt(x, five);
+        let mut d = Domains::new();
+        d.bound(xv, -1000, 1000);
+        assert!(s.check(&p, &[c1, c2], &d).is_unsat());
+    }
+
+    #[test]
+    fn nonlinear_product_zero() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let three = p.int(3);
+        let five = p.int(5);
+        let zero = p.int(0);
+        let m = p.mul(x, y);
+        // x > 3 && y <= 5 && x*y == 0  => forces y == 0.
+        let phi = [p.gt(x, three), p.le(y, five), p.eq(m, zero)];
+        let mut d = Domains::new();
+        d.bound(xv, -64, 64);
+        d.bound(yv, -64, 64);
+        let model = s.check(&p, &phi, &d).model().unwrap();
+        assert!(model.int(xv).unwrap() > 3);
+        assert_eq!(model.int(yv).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonlinear_unsat() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let one = p.int(1);
+        let m = p.mul(x, y);
+        let zero = p.int(0);
+        // x >= 1 && y >= 1 && x*y == 0 is unsat.
+        let phi = [p.ge(x, one), p.ge(y, one), p.eq(m, zero)];
+        let mut d = Domains::new();
+        d.bound(xv, -64, 64);
+        d.bound(yv, -64, 64);
+        assert!(s.check(&p, &phi, &d).is_unsat());
+    }
+
+    #[test]
+    fn disjunction_hull_contraction() {
+        let (mut p, mut s) = setup();
+        let av = p.var("a", Sort::Int);
+        let a = p.var_term(av);
+        let c2 = p.int(2);
+        let c4 = p.int(4);
+        let c7 = p.int(7);
+        let c9 = p.int(9);
+        // (2 <= a <= 4) or (7 <= a <= 9), conjoined with a > 5 => a in [7,9]
+        let lo1 = p.ge(a, c2);
+        let hi1 = p.le(a, c4);
+        let box1 = p.and(lo1, hi1);
+        let lo2 = p.ge(a, c7);
+        let hi2 = p.le(a, c9);
+        let box2 = p.and(lo2, hi2);
+        let region = p.or(box1, box2);
+        let five = p.int(5);
+        let gt5 = p.gt(a, five);
+        let mut d = Domains::new();
+        d.bound(av, -100, 100);
+        let m = s.check(&p, &[region, gt5], &d).model().unwrap();
+        let v = m.int(av).unwrap();
+        assert!((7..=9).contains(&v));
+    }
+
+    #[test]
+    fn model_satisfies_query() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let seven = p.int(7);
+        let sum = p.add(x, y);
+        let prod = p.mul(x, y);
+        let twelve = p.int(12);
+        let phi = [p.eq(sum, seven), p.eq(prod, twelve)];
+        let mut d = Domains::new();
+        d.bound(xv, -100, 100);
+        d.bound(yv, -100, 100);
+        let m = s.check(&p, &phi, &d).model().unwrap();
+        assert!(m.satisfies(&p, &phi));
+        let (a, b) = (m.int(xv).unwrap(), m.int(yv).unwrap());
+        assert_eq!(a + b, 7);
+        assert_eq!(a * b, 12);
+    }
+
+    #[test]
+    fn bool_vars_are_supported() {
+        let (mut p, mut s) = setup();
+        let bv = p.var("flag", Sort::Bool);
+        let b = p.var_term(bv);
+        let nb = p.not(b);
+        assert!(s.check(&p, &[b, nb], &Domains::new()).is_unsat());
+        let m = s.check(&p, &[b], &Domains::new()).model().unwrap();
+        assert_eq!(m.get(bv), Some(crate::Value::Int(1)));
+    }
+
+    #[test]
+    fn division_constraints() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let hundred = p.int(100);
+        let q = p.div(hundred, x);
+        let t20 = p.int(20);
+        let c = p.eq(q, t20);
+        let one = p.int(1);
+        let pos = p.ge(x, one);
+        let mut d = Domains::new();
+        d.bound(xv, -50, 50);
+        let m = s.check(&p, &[c, pos], &d).model().unwrap();
+        assert_eq!(100 / m.int(xv).unwrap(), 20);
+    }
+
+    #[test]
+    fn stats_are_tracked() {
+        let (mut p, mut s) = setup();
+        let t = p.tt();
+        let f = p.ff();
+        s.check(&p, &[t], &Domains::new());
+        s.check(&p, &[f], &Domains::new());
+        let st = s.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.sat, 1);
+        assert_eq!(st.unsat, 1);
+    }
+
+    #[test]
+    fn default_domain_applies() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let big = p.int(1 << 29);
+        let c = p.gt(x, big);
+        // No explicit domain: default is [-2^30, 2^30], so sat.
+        let m = s.check(&p, &[c], &Domains::new()).model().unwrap();
+        assert!(m.int(xv).unwrap() > (1 << 29));
+    }
+
+    #[test]
+    fn count_models_exact_on_linear_constraint() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let three = p.int(3);
+        let nine = p.int(9);
+        let q = [p.gt(x, three), p.lt(x, nine)];
+        let mut d = Domains::new();
+        d.bound(xv, -100, 100);
+        let c = s.count_models(&p, &q, &d);
+        assert!(c.is_exact());
+        assert_eq!(c.lo, 5); // x ∈ {4,…,8}
+    }
+
+    #[test]
+    fn count_models_two_vars() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let q = [p.le(x, y)];
+        let mut d = Domains::new();
+        d.bound(xv, 0, 3);
+        d.bound(yv, 0, 3);
+        let c = s.count_models(&p, &q, &d);
+        assert!(c.is_exact());
+        assert_eq!(c.lo, 10); // pairs with x <= y out of 16
+    }
+
+    #[test]
+    fn count_models_unsat_is_zero() {
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let q = [p.lt(x, five), p.gt(x, five)];
+        let mut d = Domains::new();
+        d.bound(xv, -50, 50);
+        let c = s.count_models(&p, &q, &d);
+        assert_eq!(c, CountBounds { lo: 0, hi: 0 });
+    }
+
+    #[test]
+    fn count_models_bounds_under_budget() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig {
+            max_nodes: 3,
+            ..SolverConfig::default()
+        });
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let m = p.mul(x, y);
+        let ten = p.int(10);
+        let q = [p.gt(m, ten)];
+        let mut d = Domains::new();
+        d.bound(xv, -20, 20);
+        d.bound(yv, -20, 20);
+        let c = s.count_models(&p, &q, &d);
+        // Sound bounds even when inexact.
+        assert!(c.lo <= c.hi);
+        assert!(c.hi <= 41 * 41);
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig {
+            max_nodes: 0,
+            ..SolverConfig::default()
+        });
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let zero = p.int(0);
+        let c = p.gt(x, zero);
+        assert_eq!(s.check(&p, &[c], &Domains::new()), SatResult::Unknown);
+    }
+}

@@ -1,0 +1,356 @@
+//! Property-based tests: the branch-and-prune solver against brute-force
+//! enumeration on small domains, interval soundness, and region invariants.
+
+use cpr_smt::{
+    ArithOp, CmpOp, Domains, Interval, Model, ParamBox, Region, SatResult, Solver, SolverConfig,
+    Sort, TermId, TermPool,
+};
+use proptest::prelude::*;
+
+/// A small random formula AST that we can lower into a pool and also
+/// brute-force evaluate.
+#[derive(Debug, Clone)]
+enum Fx {
+    Var(u8),
+    Const(i64),
+    Add(Box<Fx>, Box<Fx>),
+    Sub(Box<Fx>, Box<Fx>),
+    Mul(Box<Fx>, Box<Fx>),
+    Div(Box<Fx>, Box<Fx>),
+}
+
+#[derive(Debug, Clone)]
+enum Fb {
+    Cmp(CmpOp, Fx, Fx),
+    And(Box<Fb>, Box<Fb>),
+    Or(Box<Fb>, Box<Fb>),
+    Not(Box<Fb>),
+}
+
+fn arb_fx() -> impl Strategy<Value = Fx> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(Fx::Var),
+        (-6i64..=6).prop_map(Fx::Const),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Fx::Div(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_fb() -> impl Strategy<Value = Fb> {
+    let leaf = (arb_cmp(), arb_fx(), arb_fx()).prop_map(|(op, a, b)| Fb::Cmp(op, a, b));
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fb::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fb::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Fb::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn lower_fx(pool: &mut TermPool, e: &Fx, vars: &[TermId]) -> TermId {
+    match e {
+        Fx::Var(i) => vars[*i as usize % vars.len()],
+        Fx::Const(c) => pool.int(*c),
+        Fx::Add(a, b) => {
+            let a = lower_fx(pool, a, vars);
+            let b = lower_fx(pool, b, vars);
+            pool.arith(ArithOp::Add, a, b)
+        }
+        Fx::Sub(a, b) => {
+            let a = lower_fx(pool, a, vars);
+            let b = lower_fx(pool, b, vars);
+            pool.arith(ArithOp::Sub, a, b)
+        }
+        Fx::Mul(a, b) => {
+            let a = lower_fx(pool, a, vars);
+            let b = lower_fx(pool, b, vars);
+            pool.arith(ArithOp::Mul, a, b)
+        }
+        Fx::Div(a, b) => {
+            let a = lower_fx(pool, a, vars);
+            let b = lower_fx(pool, b, vars);
+            pool.arith(ArithOp::Div, a, b)
+        }
+    }
+}
+
+fn lower_fb(pool: &mut TermPool, f: &Fb, vars: &[TermId]) -> TermId {
+    match f {
+        Fb::Cmp(op, a, b) => {
+            let a = lower_fx(pool, a, vars);
+            let b = lower_fx(pool, b, vars);
+            pool.cmp(*op, a, b)
+        }
+        Fb::And(a, b) => {
+            let a = lower_fb(pool, a, vars);
+            let b = lower_fb(pool, b, vars);
+            pool.and(a, b)
+        }
+        Fb::Or(a, b) => {
+            let a = lower_fb(pool, a, vars);
+            let b = lower_fb(pool, b, vars);
+            pool.or(a, b)
+        }
+        Fb::Not(a) => {
+            let a = lower_fb(pool, a, vars);
+            pool.not(a)
+        }
+    }
+}
+
+const DOM: std::ops::RangeInclusive<i64> = -4..=4;
+
+/// Brute-force ground truth on the 3-variable domain.
+fn brute_force_sat(pool: &TermPool, phi: TermId, vars: &[cpr_smt::VarId]) -> bool {
+    for x in DOM {
+        for y in DOM {
+            for z in DOM {
+                let mut m = Model::new();
+                m.set(vars[0], x);
+                m.set(vars[1], y);
+                m.set(vars[2], z);
+                if m.eval_bool(pool, phi) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The solver agrees with brute-force enumeration on small domains,
+    /// and its models actually satisfy the formula.
+    #[test]
+    fn solver_matches_brute_force(f in arb_fb()) {
+        let mut pool = TermPool::new();
+        let vx = pool.var("x", Sort::Int);
+        let vy = pool.var("y", Sort::Int);
+        let vz = pool.var("z", Sort::Int);
+        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
+        let phi = lower_fb(&mut pool, &f, &vars);
+
+        let mut domains = Domains::new();
+        for v in [vx, vy, vz] {
+            domains.bound(v, *DOM.start(), *DOM.end());
+        }
+        let mut solver = Solver::new(SolverConfig::default());
+        let expected = brute_force_sat(&pool, phi, &[vx, vy, vz]);
+        match solver.check(&pool, &[phi], &domains) {
+            SatResult::Sat(m) => {
+                prop_assert!(expected, "solver said sat, brute force says unsat: {}", pool.display(phi));
+                prop_assert!(m.eval_bool(&pool, phi), "model does not satisfy formula");
+            }
+            SatResult::Unsat => {
+                prop_assert!(!expected, "solver said unsat, brute force found a model: {}", pool.display(phi));
+            }
+            SatResult::Unknown => {
+                // Budget exhaustion is allowed (treated as a timeout), but
+                // should not happen on these tiny domains.
+                prop_assert!(false, "unexpected Unknown on tiny domain");
+            }
+        }
+    }
+
+    /// Simplification preserves semantics on all points of the domain.
+    #[test]
+    fn simplify_preserves_semantics(f in arb_fb()) {
+        let mut pool = TermPool::new();
+        let vx = pool.var("x", Sort::Int);
+        let vy = pool.var("y", Sort::Int);
+        let vz = pool.var("z", Sort::Int);
+        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
+        let phi = lower_fb(&mut pool, &f, &vars);
+        let simp = pool.simplify(phi);
+        for x in DOM {
+            for y in DOM {
+                let mut m = Model::new();
+                m.set(vx, x);
+                m.set(vy, y);
+                m.set(vz, 1i64);
+                prop_assert_eq!(m.eval_bool(&pool, phi), m.eval_bool(&pool, simp));
+            }
+        }
+    }
+
+    /// Forward interval evaluation encloses the concrete value of every
+    /// point inside the domains (soundness of the contractor's basis).
+    #[test]
+    fn enclosure_soundness_via_solver(
+        f in arb_fb(),
+        x in DOM, y in DOM, z in DOM,
+    ) {
+        // If a concrete point satisfies the formula, the solver must not
+        // answer Unsat for domains containing that point.
+        let mut pool = TermPool::new();
+        let vx = pool.var("x", Sort::Int);
+        let vy = pool.var("y", Sort::Int);
+        let vz = pool.var("z", Sort::Int);
+        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
+        let phi = lower_fb(&mut pool, &f, &vars);
+        let mut m = Model::new();
+        m.set(vx, x);
+        m.set(vy, y);
+        m.set(vz, z);
+        if m.eval_bool(&pool, phi) {
+            let mut domains = Domains::new();
+            for v in [vx, vy, vz] {
+                domains.bound(v, *DOM.start(), *DOM.end());
+            }
+            let mut solver = Solver::new(SolverConfig::default());
+            let r = solver.check(&pool, &[phi], &domains);
+            prop_assert!(!r.is_unsat(), "solver refuted a satisfiable formula");
+        }
+    }
+
+    /// Interval multiplication soundness: products of members are members.
+    #[test]
+    fn interval_mul_sound(
+        alo in -50i64..50, aw in 0i64..20,
+        blo in -50i64..50, bw in 0i64..20,
+        pa in 0i64..20, pb in 0i64..20,
+    ) {
+        let a = Interval::of(alo, alo + aw);
+        let b = Interval::of(blo, blo + bw);
+        let x = alo + pa.min(aw);
+        let y = blo + pb.min(bw);
+        prop_assert!(a.mul(b).contains(x * y));
+    }
+
+    /// Interval division soundness with total semantics.
+    #[test]
+    fn interval_div_sound(
+        alo in -50i64..50, aw in 0i64..20,
+        blo in -50i64..50, bw in 0i64..20,
+        pa in 0i64..20, pb in 0i64..20,
+    ) {
+        let a = Interval::of(alo, alo + aw);
+        let b = Interval::of(blo, blo + bw);
+        let x = alo + pa.min(aw);
+        let y = blo + pb.min(bw);
+        let q = if y == 0 { 0 } else { x / y };
+        prop_assert!(a.div_total(b).contains(q));
+    }
+
+    /// Region split removes exactly the counterexample point: volume drops
+    /// by one and the point is gone while neighbours remain.
+    #[test]
+    fn region_split_removes_one_point(
+        lo in -20i64..0, hi in 0i64..20,
+        px in -20i64..20, py in -20i64..20,
+        dims in 1usize..=3,
+    ) {
+        let mut pool = TermPool::new();
+        let params: Vec<_> = (0..dims).map(|i| pool.var(&format!("p{i}"), Sort::Int)).collect();
+        let region = Region::full(params.clone(), lo, hi);
+        let point: Vec<i64> = (0..dims).map(|i| if i % 2 == 0 { px } else { py }).collect();
+        let inside = point.iter().all(|&v| v >= lo && v <= hi);
+        let parts = region.split_at(&point);
+        let merged = Region::union(params, parts).merged();
+        if inside {
+            prop_assert_eq!(merged.volume(), region.volume() - 1);
+            prop_assert!(!merged.contains_point(&point));
+        } else {
+            prop_assert_eq!(merged.volume(), region.volume());
+        }
+    }
+
+    /// Merge never changes the set of contained points (checked by volume
+    /// and by membership sampling).
+    #[test]
+    fn region_merge_preserves_membership(
+        seed_boxes in prop::collection::vec((-10i64..10, 0i64..6, -10i64..10, 0i64..6), 1..5),
+        qx in -12i64..12, qy in -12i64..12,
+    ) {
+        let mut pool = TermPool::new();
+        let params = vec![pool.var("a", Sort::Int), pool.var("b", Sort::Int)];
+        let boxes: Vec<ParamBox> = seed_boxes
+            .iter()
+            .map(|&(alo, aw, blo, bw)| {
+                ParamBox::new(vec![Interval::of(alo, alo + aw), Interval::of(blo, blo + bw)])
+            })
+            .collect();
+        let region = Region::from_boxes(params, boxes);
+        let merged = region.merged();
+        prop_assert_eq!(
+            region.contains_point(&[qx, qy]),
+            merged.contains_point(&[qx, qy])
+        );
+    }
+
+    /// Region to_term agrees with membership.
+    #[test]
+    fn region_term_agrees_with_membership(
+        lo in -10i64..0, hi in 0i64..10,
+        q in -15i64..15,
+    ) {
+        let mut pool = TermPool::new();
+        let params = vec![pool.var("a", Sort::Int)];
+        let region = Region::full(params.clone(), lo, hi);
+        let t = region.to_term(&mut pool);
+        let mut m = Model::new();
+        m.set(params[0], q);
+        prop_assert_eq!(m.eval_bool(&pool, t), region.contains_point(&[q]));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse_term` is a left inverse of `display` for generated formulas.
+    #[test]
+    fn display_parse_roundtrip(f in arb_fb()) {
+        let mut pool = TermPool::new();
+        let vx = pool.var("x", Sort::Int);
+        let vy = pool.var("y", Sort::Int);
+        let vz = pool.var("z", Sort::Int);
+        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
+        let phi = lower_fb(&mut pool, &f, &vars);
+        let shown = pool.display(phi);
+        let reparsed = pool.parse_term(&shown).expect("reparse");
+        prop_assert_eq!(reparsed, phi, "display: {}", shown);
+    }
+}
+
+/// Deterministic regression: generational-search-style suffix negation
+/// formulas (long conjunctions) stay fast and exact.
+#[test]
+fn long_conjunction_with_negated_suffix() {
+    let mut pool = TermPool::new();
+    let mut solver = Solver::new(SolverConfig::default());
+    let n = 24;
+    let vars: Vec<_> = (0..n).map(|i| pool.var(&format!("v{i}"), Sort::Int)).collect();
+    let mut domains = Domains::new();
+    let mut conj = Vec::new();
+    for (i, &v) in vars.iter().enumerate() {
+        domains.bound(v, -100, 100);
+        let vt = pool.var_term(v);
+        let c = pool.int(i as i64);
+        conj.push(pool.gt(vt, c));
+    }
+    // Negate the last conjunct, as PickNewInput does.
+    let last = conj.pop().unwrap();
+    conj.push(pool.not(last));
+    let r = solver.check(&pool, &conj, &domains);
+    let m = r.model().expect("satisfiable");
+    assert!(m.satisfies(&pool, &conj));
+}

@@ -1,0 +1,652 @@
+//! The 30 ExtractFix-style vulnerability subjects (paper Tables 1, 2, 5).
+//!
+//! Each subject models the bug class and control structure of the original
+//! CVE: the attacker-controlled file fields become bounded symbolic inputs,
+//! the sanitizer-observable crash becomes the `bug … requires (σ)` marker,
+//! and the developer fix becomes the ground-truth patch. The two FFmpeg
+//! subjects are marked `not_supported`, mirroring the paper's `N/A` rows
+//! (the original tool's concolic engine faulted on their test drivers).
+
+use cpr_lang::HoleKind;
+use cpr_smt::{ArithOp, CmpOp};
+
+use crate::{Benchmark, Subject};
+
+/// Default field values shared by the family.
+fn base() -> Subject {
+    Subject {
+        id: 0,
+        benchmark: Benchmark::ExtractFix,
+        project: "",
+        bug_id: "",
+        source: "",
+        failing: &[],
+        passing: &[],
+        hole_vars: &[],
+        constants: &[],
+        arith_ops: &[],
+        use_logic: true,
+        pair_ops: &[CmpOp::Eq, CmpOp::Lt, CmpOp::Ge],
+        max_params: 2,
+        include_constant_guards: true,
+        hole_kind: HoleKind::Cond,
+        dev_patch: "",
+        baseline: "false",
+        not_supported: false,
+    }
+}
+
+/// The 30 subjects, in the paper's Table 1 order.
+pub fn subjects() -> Vec<Subject> {
+    vec![
+        Subject {
+            id: 1,
+            project: "Libtiff",
+            bug_id: "CVE-2016-5321",
+            source: "program libtiff_cve_2016_5321 {
+                input s in [-8, 24];
+                input nsamples in [1, 8];
+                var buf: int[8];
+                var i: int = 0;
+                while (i < nsamples) { buf[i] = i * 3; i = i + 1; }
+                if (__patch_cond__(s, nsamples)) { return 0 - 1; }
+                bug oob_sample requires (s >= 0 && s < 8);
+                return buf[s];
+            }",
+            failing: &[("s", 12), ("nsamples", 2)],
+            hole_vars: &["s", "nsamples"],
+            constants: &[0, 8],
+            dev_patch: "s < 0 || s >= 8",
+            ..base()
+        },
+        Subject {
+            id: 2,
+            project: "Libtiff",
+            bug_id: "CVE-2014-8128",
+            source: "program libtiff_cve_2014_8128 {
+                input strip in [0, 20];
+                input rows in [1, 6];
+                var total: int = rows * 2;
+                var data: int[12];
+                if (__patch_cond__(strip, total)) { return 0 - 1; }
+                bug oob_strip requires (strip < total);
+                data[strip] = 7;
+                return data[strip];
+            }",
+            failing: &[("strip", 9), ("rows", 2)],
+            hole_vars: &["strip", "total"],
+            constants: &[0],
+            dev_patch: "strip >= total",
+            ..base()
+        },
+        Subject {
+            id: 3,
+            project: "Libtiff",
+            bug_id: "CVE-2016-3186",
+            source: "program libtiff_cve_2016_3186 {
+                input datasize in [0, 30];
+                if (__patch_cond__(datasize)) { return 0 - 1; }
+                bug shift_overflow requires (datasize <= 12);
+                var bits: int = datasize + 1;
+                var size: int = 1;
+                var i: int = 0;
+                while (i < bits) { size = size * 2; i = i + 1; }
+                return size;
+            }",
+            failing: &[("datasize", 20)],
+            hole_vars: &["datasize"],
+            constants: &[12],
+            dev_patch: "datasize > 12",
+            ..base()
+        },
+        Subject {
+            id: 4,
+            project: "Libtiff",
+            bug_id: "CVE-2016-5314",
+            source: "program libtiff_cve_2016_5314 {
+                input stride in [1, 8];
+                input count in [0, 40];
+                var limit: int = 32 / stride;
+                if (__patch_cond__(count, limit)) { return 0 - 1; }
+                bug heap_overflow requires (count <= limit);
+                var written: int = count * stride;
+                return written;
+            }",
+            failing: &[("stride", 4), ("count", 30)],
+            hole_vars: &["count", "limit"],
+            constants: &[0],
+            dev_patch: "count > limit",
+            ..base()
+        },
+        Subject {
+            id: 5,
+            project: "Libtiff",
+            bug_id: "CVE-2016-9273",
+            source: "program libtiff_cve_2016_9273 {
+                input rowsperstrip in [-8, 16];
+                input height in [1, 16];
+                if (__patch_cond__(rowsperstrip, height)) { return 0 - 1; }
+                bug bad_nstrips requires (rowsperstrip >= 1);
+                var nstrips: int = (height + rowsperstrip - 1) / rowsperstrip;
+                return nstrips;
+            }",
+            failing: &[("rowsperstrip", 0), ("height", 5)],
+            hole_vars: &["rowsperstrip", "height"],
+            constants: &[1],
+            dev_patch: "rowsperstrip < 1",
+            ..base()
+        },
+        Subject {
+            id: 6,
+            project: "Libtiff",
+            bug_id: "bugzilla 2633",
+            source: "program libtiff_bugzilla_2633 {
+                fn bytes_per_line(bits: int, spp: int) -> int {
+                    return (bits * spp + 7) / 8;
+                }
+                input bps in [1, 64];
+                input samples in [1, 4];
+                if (__patch_cond__(bps, samples)) { return 0 - 1; }
+                bug bad_bps requires (bps <= 32);
+                var bytes: int = bytes_per_line(bps, samples);
+                return bytes;
+            }",
+            failing: &[("bps", 64), ("samples", 2)],
+            hole_vars: &["bps", "samples"],
+            constants: &[32],
+            dev_patch: "bps > 32",
+            ..base()
+        },
+        Subject {
+            id: 7,
+            project: "Libtiff",
+            bug_id: "CVE-2016-10094",
+            source: "program libtiff_cve_2016_10094 {
+                input datasize in [0, 16];
+                input mode in [0, 3];
+                var adjusted: int = datasize;
+                if (mode > 1) { adjusted = datasize - 2; }
+                if (__patch_cond__(datasize, mode)) { return 1; }
+                bug table_only_copy requires (datasize != 4);
+                var buf: int[20];
+                buf[datasize] = adjusted;
+                return buf[datasize];
+            }",
+            failing: &[("datasize", 4), ("mode", 2)],
+            hole_vars: &["datasize", "mode"],
+            constants: &[],
+            dev_patch: "datasize == 4",
+            ..base()
+        },
+        Subject {
+            id: 8,
+            project: "Libtiff",
+            bug_id: "CVE-2017-7601",
+            source: "program libtiff_cve_2017_7601 {
+                input bps in [0, 48];
+                if (__patch_cond__(bps)) { return 0 - 1; }
+                bug shift_exponent requires (bps <= 16);
+                var shifted: int = 1;
+                var i: int = 0;
+                while (i < bps) { shifted = shifted * 2; i = i + 1; }
+                return shifted - 1;
+            }",
+            failing: &[("bps", 40)],
+            hole_vars: &["bps"],
+            constants: &[16],
+            dev_patch: "bps > 16",
+            ..base()
+        },
+        Subject {
+            id: 9,
+            project: "Libtiff",
+            bug_id: "CVE-2016-3623",
+            source: "program libtiff_cve_2016_3623 {
+                input x in [-64, 64];
+                input y in [-64, 64];
+                var rwidth: int = x * 2;
+                var rheight: int = y * 2;
+                if (__patch_cond__(x, y)) { return 1; }
+                bug div_by_zero requires (x * y != 0);
+                var cc: int = rwidth * rheight + 2 * ((rwidth * rheight) / (x * y));
+                return cc;
+            }",
+            failing: &[("x", 7), ("y", 0)],
+            hole_vars: &["x", "y"],
+            constants: &[0],
+            arith_ops: &[ArithOp::Mul],
+            dev_patch: "x == 0 || y == 0",
+            ..base()
+        },
+        Subject {
+            id: 10,
+            project: "Libtiff",
+            bug_id: "CVE-2017-7595",
+            source: "program libtiff_cve_2017_7595 {
+                input h in [0, 8];
+                input v in [0, 8];
+                if (__patch_cond__(h, v)) { return 0 - 1; }
+                bug div_by_zero requires (h != 0);
+                var q: int = (v * 16) / h;
+                return q;
+            }",
+            failing: &[("h", 0), ("v", 3)],
+            hole_vars: &["h", "v"],
+            constants: &[0],
+            dev_patch: "h == 0",
+            ..base()
+        },
+        Subject {
+            id: 11,
+            project: "Libtiff",
+            bug_id: "bugzilla 2611",
+            source: "program libtiff_bugzilla_2611 {
+                input num in [0, 32];
+                input denom in [-8, 8];
+                if (__patch_cond__(num, denom)) { return 0 - 1; }
+                bug bad_ratio requires (denom > 0);
+                var q: int = num / denom;
+                var i: int = 0;
+                while (i < q) { i = i + 1; }
+                return i;
+            }",
+            failing: &[("num", 6), ("denom", 0)],
+            hole_vars: &["num", "denom"],
+            constants: &[0],
+            dev_patch: "denom <= 0",
+            ..base()
+        },
+        Subject {
+            id: 12,
+            project: "Binutils",
+            bug_id: "CVE-2018-10372",
+            source: "program binutils_cve_2018_10372 {
+                input count in [0, 40];
+                input limit in [0, 24];
+                var buf: int[24];
+                var i: int = 0;
+                while (i < limit) { buf[i] = i; i = i + 1; }
+                if (__patch_cond__(count, limit)) { return 0 - 1; }
+                bug heap_read requires (count <= limit);
+                var acc: int = 0;
+                i = 0;
+                while (i < count) { acc = acc + buf[i]; i = i + 1; }
+                return acc;
+            }",
+            failing: &[("count", 30), ("limit", 8)],
+            hole_vars: &["count", "limit"],
+            constants: &[0],
+            dev_patch: "count > limit",
+            ..base()
+        },
+        Subject {
+            id: 13,
+            project: "Binutils",
+            bug_id: "CVE-2017-15025",
+            source: "program binutils_cve_2017_15025 {
+                input line_range in [0, 16];
+                input opcode in [0, 64];
+                var adj: int = opcode - 13;
+                if (__patch_cond__(line_range, opcode)) { return 0 - 1; }
+                bug div_by_zero requires (line_range != 0);
+                var adv: int = adj / line_range;
+                return adv;
+            }",
+            failing: &[("line_range", 0), ("opcode", 10)],
+            hole_vars: &["line_range", "opcode"],
+            constants: &[0],
+            dev_patch: "line_range == 0",
+            ..base()
+        },
+        Subject {
+            id: 14,
+            project: "Libxml2",
+            bug_id: "CVE-2016-1834",
+            source: "program libxml2_cve_2016_1834 {
+                input len1 in [0, 24];
+                input len2 in [0, 24];
+                if (__patch_cond__(len1, len2)) { return 0 - 1; }
+                bug concat_overflow requires (len1 + len2 <= 32);
+                var buf: int[33];
+                buf[len1 + len2] = 1;
+                return buf[len1 + len2];
+            }",
+            failing: &[("len1", 20), ("len2", 20)],
+            hole_vars: &["len1", "len2"],
+            constants: &[32],
+            arith_ops: &[ArithOp::Add],
+            dev_patch: "len1 + len2 > 32",
+            ..base()
+        },
+        Subject {
+            id: 15,
+            project: "Libxml2",
+            bug_id: "CVE-2016-1838",
+            source: "program libxml2_cve_2016_1838 {
+                input pos in [0, 40];
+                input size in [1, 24];
+                var data: int[24];
+                var i: int = 0;
+                while (i < size) { data[i] = i + 1; i = i + 1; }
+                if (__patch_cond__(pos, size)) { return 0 - 1; }
+                bug oob_read requires (pos < size);
+                return data[pos];
+            }",
+            failing: &[("pos", 30), ("size", 10)],
+            hole_vars: &["pos", "size"],
+            constants: &[0],
+            dev_patch: "pos >= size",
+            ..base()
+        },
+        Subject {
+            id: 16,
+            project: "Libxml2",
+            bug_id: "CVE-2016-1839",
+            source: "program libxml2_cve_2016_1839 {
+                input len in [0, 40];
+                input cap in [8, 24];
+                var tbl: int[24];
+                if (__patch_cond__(len, cap)) { return 0 - 1; }
+                bug oob_write requires (len < cap);
+                tbl[len] = 5;
+                return tbl[len];
+            }",
+            failing: &[("len", 33), ("cap", 16)],
+            hole_vars: &["len", "cap"],
+            constants: &[0],
+            dev_patch: "len >= cap",
+            ..base()
+        },
+        Subject {
+            id: 17,
+            project: "Libxml2",
+            bug_id: "CVE-2012-5134",
+            source: "program libxml2_cve_2012_5134 {
+                input len in [0, 24];
+                var buf: int[25];
+                buf[len] = 9;
+                if (__patch_cond__(len)) { return 0 - 1; }
+                bug buffer_underflow requires (len >= 1);
+                buf[len - 1] = 0;
+                return buf[len - 1];
+            }",
+            failing: &[("len", 0)],
+            hole_vars: &["len"],
+            constants: &[1],
+            dev_patch: "len < 1",
+            ..base()
+        },
+        Subject {
+            id: 18,
+            project: "Libxml2",
+            bug_id: "CVE-2017-5969",
+            source: "program libxml2_cve_2017_5969 {
+                input name_ptr in [0, 1];
+                input mode in [0, 4];
+                if (__patch_cond__(name_ptr, mode)) { return 0; }
+                bug null_deref requires (name_ptr != 0);
+                return name_ptr * 100 + mode;
+            }",
+            failing: &[("name_ptr", 0), ("mode", 2)],
+            hole_vars: &["name_ptr", "mode"],
+            constants: &[0],
+            dev_patch: "name_ptr == 0",
+            ..base()
+        },
+        Subject {
+            id: 19,
+            project: "Libjpeg",
+            bug_id: "CVE-2018-14498",
+            source: "program libjpeg_cve_2018_14498 {
+                input cmap_idx in [0, 40];
+                input cmap_len in [1, 16];
+                var cmap: int[16];
+                var i: int = 0;
+                while (i < cmap_len) { cmap[i] = i * 2; i = i + 1; }
+                if (__patch_cond__(cmap_idx, cmap_len)) { return 0 - 1; }
+                bug oob_read requires (cmap_idx < cmap_len);
+                return cmap[cmap_idx];
+            }",
+            failing: &[("cmap_idx", 30), ("cmap_len", 8)],
+            hole_vars: &["cmap_idx", "cmap_len"],
+            constants: &[0],
+            dev_patch: "cmap_idx >= cmap_len",
+            ..base()
+        },
+        Subject {
+            id: 20,
+            project: "Libjpeg",
+            bug_id: "CVE-2018-19664",
+            source: "program libjpeg_cve_2018_19664 {
+                input precision in [0, 24];
+                if (__patch_cond__(precision)) { return 0 - 1; }
+                bug bad_precision requires (precision >= 2 && precision <= 8);
+                var scale: int = precision * 4;
+                return scale;
+            }",
+            failing: &[("precision", 16)],
+            hole_vars: &["precision"],
+            constants: &[2, 8],
+            pair_ops: &[CmpOp::Lt, CmpOp::Gt],
+            dev_patch: "precision < 2 || precision > 8",
+            ..base()
+        },
+        Subject {
+            id: 21,
+            project: "Libjpeg",
+            bug_id: "CVE-2017-15232",
+            source: "program libjpeg_cve_2017_15232 {
+                input outbuf in [0, 1];
+                input rows in [0, 8];
+                if (__patch_cond__(outbuf, rows)) { return 0; }
+                bug null_deref requires (outbuf != 0);
+                var i: int = 0;
+                var sum: int = 0;
+                while (i < rows) { sum = sum + outbuf * i; i = i + 1; }
+                return sum;
+            }",
+            failing: &[("outbuf", 0), ("rows", 3)],
+            hole_vars: &["outbuf", "rows"],
+            constants: &[0],
+            dev_patch: "outbuf == 0",
+            ..base()
+        },
+        Subject {
+            id: 22,
+            project: "Libjpeg",
+            bug_id: "CVE-2012-2806",
+            source: "program libjpeg_cve_2012_2806 {
+                input ncomp in [1, 20];
+                var comps: int[10];
+                if (__patch_cond__(ncomp)) { return 0 - 1; }
+                bug marker_overflow requires (ncomp <= 10);
+                var i: int = 0;
+                while (i < ncomp) { comps[i] = i; i = i + 1; }
+                return comps[0];
+            }",
+            failing: &[("ncomp", 15)],
+            hole_vars: &["ncomp"],
+            constants: &[10],
+            dev_patch: "ncomp > 10",
+            ..base()
+        },
+        Subject {
+            id: 23,
+            project: "FFmpeg",
+            bug_id: "CVE-2017-9992",
+            source: "program ffmpeg_cve_2017_9992 {
+                input len in [0, 40];
+                input size in [1, 24];
+                var frame: int[24];
+                if (__patch_cond__(len, size)) { return 0 - 1; }
+                bug decode_overflow requires (len <= size);
+                var i: int = 0;
+                while (i < len) { frame[i] = i; i = i + 1; }
+                return frame[0];
+            }",
+            failing: &[("len", 30), ("size", 8)],
+            hole_vars: &["len", "size"],
+            constants: &[0],
+            dev_patch: "len > size",
+            not_supported: true,
+            ..base()
+        },
+        Subject {
+            id: 24,
+            project: "FFmpeg",
+            bug_id: "Bugzilla-1404",
+            source: "program ffmpeg_bugzilla_1404 {
+                input nb in [0, 32];
+                input cap in [1, 16];
+                if (__patch_cond__(nb, cap)) { return 0 - 1; }
+                bug stream_overflow requires (nb <= cap);
+                return nb * cap;
+            }",
+            failing: &[("nb", 20), ("cap", 4)],
+            hole_vars: &["nb", "cap"],
+            constants: &[0],
+            dev_patch: "nb > cap",
+            not_supported: true,
+            ..base()
+        },
+        Subject {
+            id: 25,
+            project: "Jasper",
+            bug_id: "CVE-2016-8691",
+            source: "program jasper_cve_2016_8691 {
+                input hstep in [-6, 12];
+                input width in [1, 16];
+                if (__patch_cond__(hstep, width)) { return 0 - 1; }
+                bug div_by_zero requires (hstep > 0);
+                var comps: int = (width + hstep - 1) / hstep;
+                return comps;
+            }",
+            failing: &[("hstep", 0), ("width", 8)],
+            hole_vars: &["hstep", "width"],
+            constants: &[0],
+            dev_patch: "hstep <= 0",
+            ..base()
+        },
+        Subject {
+            id: 26,
+            project: "Jasper",
+            bug_id: "CVE-2016-9387",
+            source: "program jasper_cve_2016_9387 {
+                input xoff in [0, 24];
+                input xsiz in [0, 24];
+                if (__patch_cond__(xoff, xsiz)) { return 0 - 1; }
+                bug negative_dim requires (xsiz - xoff >= 0);
+                var width: int = xsiz - xoff;
+                var tiles: int[25];
+                tiles[width] = 1;
+                return tiles[width];
+            }",
+            failing: &[("xoff", 20), ("xsiz", 4)],
+            hole_vars: &["xoff", "xsiz"],
+            constants: &[0],
+            dev_patch: "xoff > xsiz",
+            ..base()
+        },
+        Subject {
+            id: 27,
+            project: "Coreutils",
+            bug_id: "Bugzilla 26545",
+            source: "program coreutils_bugzilla_26545 {
+                input i in [0, 40];
+                input lim in [1, 32];
+                var pattern: int[32];
+                var k: int = 0;
+                while (k < lim) { pattern[k] = k % 3; k = k + 1; }
+                if (__patch_cond__(i, lim)) { return 0 - 1; }
+                bug oob_write requires (i < lim);
+                pattern[i] = 7;
+                return pattern[i];
+            }",
+            failing: &[("i", 35), ("lim", 16)],
+            hole_vars: &["i", "lim"],
+            constants: &[0],
+            dev_patch: "i >= lim",
+            ..base()
+        },
+        Subject {
+            id: 28,
+            project: "Coreutils",
+            bug_id: "GNUBug 25003",
+            source: "program coreutils_gnubug_25003 {
+                input k in [0, 20];
+                input n in [1, 16];
+                if (__patch_cond__(k, n)) { return 0 - 1; }
+                bug bad_chunk requires (k <= n);
+                var chunk: int = n / max(k, 1);
+                var rest: int = n - chunk * max(k, 1);
+                return chunk + rest;
+            }",
+            failing: &[("k", 18), ("n", 4)],
+            hole_vars: &["k", "n"],
+            constants: &[0],
+            dev_patch: "k > n",
+            ..base()
+        },
+        Subject {
+            id: 29,
+            project: "Coreutils",
+            bug_id: "GNUBug 25023",
+            source: "program coreutils_gnubug_25023 {
+                input cols in [-8, 16];
+                if (__patch_cond__(cols)) { return 0 - 1; }
+                bug bad_cols requires (cols >= 1);
+                var w: int = 72 / cols;
+                return w;
+            }",
+            failing: &[("cols", 0)],
+            hole_vars: &["cols"],
+            constants: &[1],
+            dev_patch: "cols < 1",
+            ..base()
+        },
+        Subject {
+            id: 30,
+            project: "Coreutils",
+            bug_id: "Bugzilla 19784",
+            source: "program coreutils_bugzilla_19784 {
+                input n in [1, 20];
+                var size: int = 0;
+                size = __patch_expr__(n);
+                if (size < 0) { return 0 - 1; }
+                bug oob_prime requires (size < 20);
+                var primes: int[20];
+                primes[size] = 2;
+                return primes[size];
+            }",
+            failing: &[("n", 20)],
+            hole_vars: &["n"],
+            constants: &[1],
+            arith_ops: &[ArithOp::Add, ArithOp::Sub],
+            hole_kind: HoleKind::IntExpr,
+            dev_patch: "n - 1",
+            baseline: "n",
+            ..base()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subject_parses_and_type_checks() {
+        for s in subjects() {
+            let program = cpr_lang::parse(s.source)
+                .unwrap_or_else(|e| panic!("{}: {}", s.name(), e.render(s.source)));
+            cpr_lang::check(&program).unwrap_or_else(|e| panic!("{}: {}", s.name(), e));
+        }
+    }
+
+    #[test]
+    fn table5_subjects_are_present() {
+        let names: Vec<String> = subjects().iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"Jasper/CVE-2016-8691".to_owned()));
+        assert!(names.contains(&"Libtiff/CVE-2016-10094".to_owned()));
+    }
+}

@@ -1,0 +1,209 @@
+//! Benchmark subjects for the CPR evaluation.
+//!
+//! Three benchmark families mirror the paper's evaluation (§5):
+//!
+//! * [`extractfix`] — 30 security-vulnerability subjects modelled on the
+//!   ExtractFix benchmark (LibTIFF, Binutils, Libxml2, Libjpeg, FFmpeg,
+//!   Jasper, Coreutils CVEs). Each subject reproduces the *bug class and
+//!   control structure* of the original defect — divide-by-zero,
+//!   out-of-bounds access, shift/overflow guards, null dereferences — with
+//!   the attacker-controlled file fields modelled as bounded symbolic
+//!   inputs (see DESIGN.md for the substitution argument).
+//! * [`manybugs`] — 5 general-defect subjects in the style of the ManyBugs
+//!   benchmark (LibTIFF and gzip revisions), exercising CPR as a test-driven
+//!   general-purpose repair tool.
+//! * [`svcomp`] — 10 logical-error subjects in the style of SV-COMP
+//!   (sorting, searching, accumulation loops) whose specification is an
+//!   assertion rather than crash-freedom.
+//!
+//! Every subject records the developer (ground-truth) patch and the original
+//! (baseline) buggy expression, so the evaluation harness can compute the
+//! `Correct?` and `Rank` columns of the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extractfix;
+pub mod manybugs;
+pub mod svcomp;
+
+use cpr_core::{test_input, RepairProblem, TestInput};
+use cpr_lang::HoleKind;
+use cpr_smt::{ArithOp, CmpOp};
+use cpr_synth::{ComponentSet, SynthConfig};
+
+/// The benchmark family a subject belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// ExtractFix-style security vulnerabilities (Table 1, 2, 5).
+    ExtractFix,
+    /// ManyBugs-style general defects (Table 3).
+    ManyBugs,
+    /// SV-COMP-style logical errors (Table 4).
+    SvComp,
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Benchmark::ExtractFix => write!(f, "ExtractFix"),
+            Benchmark::ManyBugs => write!(f, "ManyBugs"),
+            Benchmark::SvComp => write!(f, "SV-COMP"),
+        }
+    }
+}
+
+/// A benchmark subject: program source, components, tests and ground truth.
+#[derive(Debug, Clone)]
+pub struct Subject {
+    /// Row number within its benchmark table.
+    pub id: usize,
+    /// Benchmark family.
+    pub benchmark: Benchmark,
+    /// Project name (e.g. `Libtiff`).
+    pub project: &'static str,
+    /// Bug identifier (e.g. `CVE-2016-3623`).
+    pub bug_id: &'static str,
+    /// Subject program source in the `cpr-lang` language.
+    pub source: &'static str,
+    /// The error-exposing input (the "exploit").
+    pub failing: &'static [(&'static str, i64)],
+    /// Additional passing tests (developer test suite), if any.
+    pub passing: &'static [&'static [(&'static str, i64)]],
+    /// Program variables handed to the synthesizer.
+    pub hole_vars: &'static [&'static str],
+    /// Constant components.
+    pub constants: &'static [i64],
+    /// Arithmetic operator components.
+    pub arith_ops: &'static [ArithOp],
+    /// Whether logical connectives are available.
+    pub use_logic: bool,
+    /// Comparison operators allowed in paired templates.
+    pub pair_ops: &'static [CmpOp],
+    /// Maximum template parameters (0 = concrete templates only).
+    pub max_params: usize,
+    /// Whether constant guards (`true`/`false`) are enumerated.
+    pub include_constant_guards: bool,
+    /// Kind of the patch hole.
+    pub hole_kind: HoleKind,
+    /// The developer patch as expression source.
+    pub dev_patch: &'static str,
+    /// The original buggy expression at the hole (`"false"` models an
+    /// inserted guard that did not exist before the fix).
+    pub baseline: &'static str,
+    /// Marked for subjects the concolic engine cannot drive (the paper's
+    /// `N/A` rows, where the test-driver execution faulted under KLEE).
+    pub not_supported: bool,
+}
+
+impl Subject {
+    /// Full display name, `Project/BugId`.
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.project, self.bug_id)
+    }
+
+    /// The component set handed to the synthesizer.
+    pub fn components(&self) -> ComponentSet {
+        let mut set = ComponentSet::new();
+        for &op in self.arith_ops {
+            set.add(cpr_synth::Component::Arith(op));
+        }
+        let set = set
+            .with_all_comparisons()
+            .with_variables(self.hole_vars.iter().copied())
+            .with_constants(self.constants);
+        if self.use_logic {
+            set.with_logic()
+        } else {
+            set
+        }
+    }
+
+    /// The synthesizer configuration, with the given parameter range.
+    pub fn synth_config(&self, param_range: (i64, i64)) -> SynthConfig {
+        SynthConfig {
+            hole_kind: self.hole_kind,
+            param_range,
+            max_params: self.max_params,
+            pair_ops: self.pair_ops.to_vec(),
+            include_constants: self.include_constant_guards,
+            extra_templates: Vec::new(),
+            max_candidates: 4096,
+        }
+    }
+
+    /// Builds the repair problem with the paper's default parameter range
+    /// `[-10, 10]`.
+    pub fn problem(&self) -> RepairProblem {
+        self.problem_with_range((-10, 10))
+    }
+
+    /// Builds the repair problem with a custom parameter range (Table 5).
+    pub fn problem_with_range(&self, param_range: (i64, i64)) -> RepairProblem {
+        let program = cpr_lang::parse(self.source).expect("subject parses");
+        cpr_lang::check(&program).expect("subject type-checks");
+        let failing = vec![test_input(self.failing)];
+        let passing: Vec<TestInput> = self.passing.iter().map(|p| test_input(p)).collect();
+        RepairProblem::new(
+            self.name(),
+            program,
+            self.components(),
+            self.synth_config(param_range),
+            failing,
+        )
+        .with_passing_inputs(passing)
+        .with_developer_patch(self.dev_patch)
+        .with_baseline(self.baseline)
+    }
+}
+
+/// All subjects of every benchmark, in table order.
+pub fn all_subjects() -> Vec<Subject> {
+    let mut v = extractfix::subjects();
+    v.extend(manybugs::subjects());
+    v.extend(svcomp::subjects());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_sizes_match_the_paper() {
+        assert_eq!(extractfix::subjects().len(), 30);
+        assert_eq!(manybugs::subjects().len(), 5);
+        assert_eq!(svcomp::subjects().len(), 10);
+        assert_eq!(all_subjects().len(), 45);
+    }
+
+    #[test]
+    fn ids_are_table_ordered() {
+        for (family, subjects) in [
+            (Benchmark::ExtractFix, extractfix::subjects()),
+            (Benchmark::ManyBugs, manybugs::subjects()),
+            (Benchmark::SvComp, svcomp::subjects()),
+        ] {
+            for (i, s) in subjects.iter().enumerate() {
+                assert_eq!(s.id, i + 1, "{}", s.name());
+                assert_eq!(s.benchmark, family);
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_rows_match_the_paper() {
+        let na: Vec<String> = all_subjects()
+            .iter()
+            .filter(|s| s.not_supported)
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            na,
+            vec![
+                "FFmpeg/CVE-2017-9992".to_owned(),
+                "FFmpeg/Bugzilla-1404".to_owned()
+            ]
+        );
+    }
+}

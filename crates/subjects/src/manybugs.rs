@@ -1,0 +1,165 @@
+//! The 5 ManyBugs-style general-defect subjects (paper Table 3).
+//!
+//! These subjects exercise CPR as a *test-driven general-purpose* repair
+//! tool: they come with failing and passing developer tests, their oracles
+//! are assertions (treated as partial specifications) or simple
+//! status-code constraints, and two of them use expression holes rather
+//! than condition holes.
+
+use cpr_lang::HoleKind;
+use cpr_smt::{ArithOp, CmpOp};
+
+use crate::{Benchmark, Subject};
+
+fn base() -> Subject {
+    Subject {
+        id: 0,
+        benchmark: Benchmark::ManyBugs,
+        project: "",
+        bug_id: "",
+        source: "",
+        failing: &[],
+        passing: &[],
+        hole_vars: &[],
+        constants: &[],
+        arith_ops: &[],
+        use_logic: true,
+        pair_ops: &[CmpOp::Eq, CmpOp::Lt, CmpOp::Ge],
+        max_params: 2,
+        include_constant_guards: true,
+        hole_kind: HoleKind::Cond,
+        dev_patch: "",
+        baseline: "false",
+        not_supported: false,
+    }
+}
+
+/// The 5 subjects, in the paper's Table 3 order.
+pub fn subjects() -> Vec<Subject> {
+    vec![
+        Subject {
+            id: 1,
+            project: "Libtiff",
+            bug_id: "ee65c74",
+            source: "program manybugs_libtiff_ee65c74 {
+                input tiled in [0, 1];
+                input rows in [1, 16];
+                var mode: int = 0;
+                if (__patch_cond__(tiled, rows)) { mode = 1; } else { mode = 2; }
+                var status: int = 0;
+                if (mode == 1) { if (tiled == 0) { status = 0 - 1; } }
+                if (mode == 2) { if (tiled == 1) { status = 0 - 1; } }
+                bug error_status requires (status >= 0);
+                return status;
+            }",
+            failing: &[("tiled", 1), ("rows", 3)],
+            passing: &[&[("tiled", 0), ("rows", 2)]],
+            hole_vars: &["tiled", "rows"],
+            constants: &[1],
+            dev_patch: "tiled == 1",
+            baseline: "rows > 8",
+            ..base()
+        },
+        Subject {
+            id: 2,
+            project: "Libtiff",
+            bug_id: "865f7b2",
+            source: "program manybugs_libtiff_865f7b2 {
+                input flags in [-10, 10];
+                input n in [0, 10];
+                var out: int = 0;
+                if (__patch_cond__(flags, n)) { out = n * 2; } else { out = n; }
+                assert(out == n * 2 || flags <= 0);
+                assert(out == n || flags > 0);
+                return out;
+            }",
+            failing: &[("flags", 3), ("n", 2)],
+            passing: &[&[("flags", 9), ("n", 1)], &[("flags", -4), ("n", 3)]],
+            hole_vars: &["flags", "n"],
+            constants: &[0],
+            dev_patch: "flags > 0",
+            baseline: "flags > 5",
+            ..base()
+        },
+        Subject {
+            id: 3,
+            project: "Libtiff",
+            bug_id: "7d6e298",
+            source: "program manybugs_libtiff_7d6e298 {
+                input code in [0, 4];
+                if (__patch_cond__(code)) { return 1; }
+                bug invalid_code requires (code <= 2);
+                return code * 10;
+            }",
+            failing: &[("code", 4)],
+            passing: &[&[("code", 1)]],
+            hole_vars: &["code"],
+            constants: &[],
+            dev_patch: "code > 2",
+            ..base()
+        },
+        Subject {
+            id: 4,
+            project: "gzip",
+            bug_id: "884ef6d16c",
+            source: "program manybugs_gzip_884ef6d16c {
+                input len in [0, 16];
+                input dist in [0, 16];
+                var head: int = 0;
+                head = __patch_expr__(len, dist);
+                assert(head == len + dist || len == 0);
+                return head;
+            }",
+            failing: &[("len", 2), ("dist", 3)],
+            passing: &[&[("len", 0), ("dist", 5)]],
+            hole_vars: &["len", "dist"],
+            constants: &[1],
+            arith_ops: &[ArithOp::Add, ArithOp::Sub, ArithOp::Mul],
+            hole_kind: HoleKind::IntExpr,
+            dev_patch: "len + dist",
+            baseline: "len",
+            ..base()
+        },
+        Subject {
+            id: 5,
+            project: "gzip",
+            bug_id: "f17cbd13a1",
+            source: "program manybugs_gzip_f17cbd13a1 {
+                input flag in [0, 1];
+                input size in [0, 20];
+                if (__patch_cond__(flag)) { return size; }
+                bug bad_flag requires (flag == 1);
+                return size + 1;
+            }",
+            failing: &[("flag", 0), ("size", 5)],
+            passing: &[&[("flag", 1), ("size", 2)]],
+            hole_vars: &["flag"],
+            constants: &[0, 1],
+            use_logic: false,
+            max_params: 0,
+            dev_patch: "flag == 0",
+            ..base()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subject_parses_and_type_checks() {
+        for s in subjects() {
+            let program = cpr_lang::parse(s.source)
+                .unwrap_or_else(|e| panic!("{}: {}", s.name(), e.render(s.source)));
+            cpr_lang::check(&program).unwrap_or_else(|e| panic!("{}: {}", s.name(), e));
+        }
+    }
+
+    #[test]
+    fn expression_hole_subject_present() {
+        assert!(subjects()
+            .iter()
+            .any(|s| s.hole_kind == HoleKind::IntExpr));
+    }
+}

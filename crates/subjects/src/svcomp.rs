@@ -1,0 +1,323 @@
+//! The 10 SV-COMP-style logical-error subjects (paper Table 4).
+//!
+//! Each subject carries a reachable-assertion specification (expressed
+//! through the `bug … requires` marker) and a seeded logical fault whose
+//! ground-truth fix is a *functional* change (a comparator, a loop bound,
+//! an accumulation step), not a change of the assertion — mirroring the
+//! selection criteria of the paper's §5.3.
+
+use cpr_lang::HoleKind;
+use cpr_smt::{ArithOp, CmpOp};
+
+use crate::{Benchmark, Subject};
+
+fn base() -> Subject {
+    Subject {
+        id: 0,
+        benchmark: Benchmark::SvComp,
+        project: "SV-COMP",
+        bug_id: "",
+        source: "",
+        failing: &[],
+        passing: &[],
+        hole_vars: &[],
+        constants: &[],
+        arith_ops: &[],
+        use_logic: true,
+        pair_ops: &[CmpOp::Eq, CmpOp::Lt, CmpOp::Ge],
+        max_params: 2,
+        include_constant_guards: true,
+        hole_kind: HoleKind::Cond,
+        dev_patch: "",
+        baseline: "false",
+        not_supported: false,
+    }
+}
+
+/// The 10 subjects, in the paper's Table 4 order.
+pub fn subjects() -> Vec<Subject> {
+    vec![
+        Subject {
+            id: 1,
+            bug_id: "loops/insertion_sort",
+            source: "program svcomp_insertion_sort {
+                input a0 in [-4, 4];
+                input a1 in [-4, 4];
+                input a2 in [-4, 4];
+                input a3 in [-4, 4];
+                var arr: int[4];
+                arr[0] = a0; arr[1] = a1; arr[2] = a2; arr[3] = a3;
+                var i: int = 1;
+                var j: int = 0;
+                var key: int = 0;
+                var cur: int = 0;
+                var cont: int = 0;
+                while (i < 4) {
+                    key = arr[i];
+                    j = i - 1;
+                    cont = 1;
+                    while (cont == 1) {
+                        if (j < 0) { cont = 0; } else {
+                            cur = arr[j];
+                            if (__patch_cond__(cur, key)) {
+                                arr[j + 1] = cur;
+                                j = j - 1;
+                            } else { cont = 0; }
+                        }
+                    }
+                    arr[j + 1] = key;
+                    i = i + 1;
+                }
+                bug sorted requires (arr[0] <= arr[1] && arr[1] <= arr[2] && arr[2] <= arr[3]);
+                return arr[0];
+            }",
+            failing: &[("a0", 3), ("a1", 1), ("a2", 2), ("a3", 0)],
+            hole_vars: &["cur", "key"],
+            constants: &[0],
+            dev_patch: "cur > key",
+            baseline: "cur < key",
+            ..base()
+        },
+        Subject {
+            id: 2,
+            bug_id: "loops/linear_search",
+            source: "program svcomp_linear_search {
+                input x0 in [-4, 4];
+                input x1 in [-4, 4];
+                input x2 in [-4, 4];
+                input x3 in [-4, 4];
+                input q in [-4, 4];
+                var arr: int[4];
+                arr[0] = x0; arr[1] = x1; arr[2] = x2; arr[3] = x3;
+                var found: int = 0;
+                var i: int = 0;
+                var cur: int = 0;
+                while (i < 4) {
+                    cur = arr[i];
+                    if (__patch_cond__(cur, q)) { found = 1; }
+                    i = i + 1;
+                }
+                bug search_correct requires ((found == 1 && (x0 == q || x1 == q || x2 == q || x3 == q)) || (found == 0 && x0 != q && x1 != q && x2 != q && x3 != q));
+                return found;
+            }",
+            failing: &[("x0", 2), ("x1", 0), ("x2", 0), ("x3", 0), ("q", 2)],
+            hole_vars: &["cur", "q"],
+            constants: &[0],
+            dev_patch: "cur == q",
+            baseline: "cur == q + 1",
+            ..base()
+        },
+        Subject {
+            id: 3,
+            bug_id: "loops/string",
+            source: "program svcomp_string_match {
+                input c0 in [0, 8];
+                input c1 in [0, 8];
+                input c2 in [0, 8];
+                input p in [0, 8];
+                var arr: int[3];
+                arr[0] = c0; arr[1] = c1; arr[2] = c2;
+                var count: int = 0;
+                var i: int = 0;
+                var cur: int = 0;
+                while (i < 3) {
+                    cur = arr[i];
+                    if (__patch_cond__(cur, p)) { count = count + 1; }
+                    i = i + 1;
+                }
+                bug match_count requires (count <= 2 || (c0 == p && c1 == p && c2 == p));
+                return count;
+            }",
+            failing: &[("c0", 5), ("c1", 3), ("c2", 2), ("p", 1)],
+            hole_vars: &["cur", "p"],
+            constants: &[0],
+            dev_patch: "cur == p",
+            baseline: "cur >= p",
+            ..base()
+        },
+        Subject {
+            id: 4,
+            bug_id: "loops/eureka",
+            source: "program svcomp_eureka {
+                input d in [0, 6];
+                input w in [0, 6];
+                var dist: int = 0;
+                dist = __patch_expr__(d, w);
+                bug relax_bound requires (dist <= d + w);
+                return dist;
+            }",
+            failing: &[("d", 1), ("w", 1)],
+            hole_vars: &["d", "w"],
+            constants: &[1],
+            arith_ops: &[ArithOp::Add, ArithOp::Sub],
+            hole_kind: HoleKind::IntExpr,
+            dev_patch: "d + w",
+            baseline: "d + w + 1",
+            ..base()
+        },
+        Subject {
+            id: 5,
+            bug_id: "loops-crafted-1/nested_delay",
+            source: "program svcomp_nested_delay {
+                input n in [0, 10];
+                input d in [0, 10];
+                var c: int = n * 2;
+                if (__patch_cond__(c, d)) { return 0; }
+                bug delay_bound requires (c - d <= 10);
+                return c - d;
+            }",
+            failing: &[("n", 9), ("d", 0)],
+            hole_vars: &["c", "d"],
+            constants: &[0],
+            arith_ops: &[ArithOp::Sub],
+            dev_patch: "c - d > 10",
+            ..base()
+        },
+        Subject {
+            id: 6,
+            bug_id: "loops/sum",
+            source: "program svcomp_sum {
+                input n in [0, 8];
+                var s: int = 0;
+                var i: int = 1;
+                while (__patch_cond__(i, n)) { s = s + i; i = i + 1; }
+                bug gauss requires (s * 2 == n * (n + 1));
+                return s;
+            }",
+            failing: &[("n", 3)],
+            hole_vars: &["i", "n"],
+            constants: &[],
+            dev_patch: "i <= n",
+            baseline: "i < n",
+            ..base()
+        },
+        Subject {
+            id: 7,
+            bug_id: "array-examples/bubble_sort",
+            source: "program svcomp_bubble_sort {
+                input b0 in [-4, 4];
+                input b1 in [-4, 4];
+                input b2 in [-4, 4];
+                var arr: int[3];
+                arr[0] = b0; arr[1] = b1; arr[2] = b2;
+                var i: int = 0;
+                var j: int = 0;
+                var cur: int = 0;
+                var nxt: int = 0;
+                var tmp: int = 0;
+                while (i < 3) {
+                    j = 0;
+                    while (j < 2) {
+                        cur = arr[j];
+                        nxt = arr[j + 1];
+                        if (__patch_cond__(cur, nxt)) {
+                            tmp = arr[j];
+                            arr[j] = arr[j + 1];
+                            arr[j + 1] = tmp;
+                        }
+                        j = j + 1;
+                    }
+                    i = i + 1;
+                }
+                bug sorted requires (arr[0] <= arr[1] && arr[1] <= arr[2]);
+                return arr[0];
+            }",
+            failing: &[("b0", 1), ("b1", 2), ("b2", 0)],
+            hole_vars: &["cur", "nxt"],
+            constants: &[0],
+            dev_patch: "cur > nxt",
+            baseline: "cur < nxt",
+            ..base()
+        },
+        Subject {
+            id: 8,
+            bug_id: "array-examples/unique_list",
+            source: "program svcomp_unique_list {
+                input v0 in [0, 3];
+                input v1 in [0, 3];
+                var list: int[2];
+                var n: int = 1;
+                list[0] = v0;
+                if (__patch_cond__(v0, v1)) { list[1] = v1; n = 2; }
+                bug unique requires (n == 1 || list[0] != list[1]);
+                return n;
+            }",
+            failing: &[("v0", 2), ("v1", 2)],
+            hole_vars: &["v0", "v1"],
+            constants: &[],
+            use_logic: false,
+            max_params: 0,
+            dev_patch: "v1 != v0",
+            baseline: "true",
+            ..base()
+        },
+        Subject {
+            id: 9,
+            bug_id: "array-examples/standard_run",
+            source: "program svcomp_standard_run {
+                input n in [0, 6];
+                input v in [-6, 6];
+                var a: int[6];
+                var i: int = 0;
+                while (i < n) { a[i] = __patch_expr__(v, i); i = i + 1; }
+                var ok: int = 1;
+                i = 0;
+                while (i < n) { if (a[i] != v) { ok = 0; } i = i + 1; }
+                bug all_set requires (ok == 1);
+                return ok;
+            }",
+            failing: &[("n", 2), ("v", 3)],
+            hole_vars: &["v", "i"],
+            constants: &[],
+            arith_ops: &[ArithOp::Add, ArithOp::Sub],
+            hole_kind: HoleKind::IntExpr,
+            dev_patch: "v",
+            baseline: "v + i",
+            ..base()
+        },
+        Subject {
+            id: 10,
+            bug_id: "recursive/addition",
+            source: "program svcomp_addition {
+                input m in [0, 8];
+                input n in [0, 8];
+                var r: int = m;
+                var i: int = 0;
+                while (i < n) { r = __patch_expr__(r, i); i = i + 1; }
+                bug add requires (r == m + n);
+                return r;
+            }",
+            failing: &[("m", 1), ("n", 2)],
+            hole_vars: &["r", "i"],
+            constants: &[1, 2],
+            arith_ops: &[ArithOp::Add, ArithOp::Sub],
+            hole_kind: HoleKind::IntExpr,
+            dev_patch: "r + 1",
+            baseline: "r + 2",
+            ..base()
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_subject_parses_and_type_checks() {
+        for s in subjects() {
+            let program = cpr_lang::parse(s.source)
+                .unwrap_or_else(|e| panic!("{}: {}", s.name(), e.render(s.source)));
+            cpr_lang::check(&program).unwrap_or_else(|e| panic!("{}: {}", s.name(), e));
+        }
+    }
+
+    #[test]
+    fn three_expression_hole_subjects() {
+        let n = subjects()
+            .iter()
+            .filter(|s| s.hole_kind == HoleKind::IntExpr)
+            .count();
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Ground-truth validation for every benchmark subject:
+//!
+//! 1. the subject parses and type-checks,
+//! 2. the *baseline* (buggy) expression makes the failing input fail,
+//! 3. the *developer patch* repairs the failing input, every provided
+//!    passing input, and a sampled grid over the whole input space,
+//! 4. the baseline passes the provided passing inputs (they are real
+//!    passing tests of the buggy program).
+
+use std::collections::HashMap;
+
+use cpr_core::lower_expr_src;
+use cpr_lang::{ConcretePatch, Interp, Outcome};
+use cpr_smt::{Model, TermPool};
+use cpr_subjects::{all_subjects, Subject};
+
+fn run_with_expr(
+    subject: &Subject,
+    expr_src: &str,
+    inputs: &HashMap<String, i64>,
+) -> Outcome {
+    let program = cpr_lang::parse(subject.source).unwrap();
+    cpr_lang::check(&program).unwrap();
+    let mut pool = TermPool::new();
+    let expr = lower_expr_src(&mut pool, expr_src)
+        .unwrap_or_else(|e| panic!("{}: bad expr `{expr_src}`: {e}", subject.name()));
+    let patch = ConcretePatch {
+        pool: &pool,
+        expr,
+        binding: Model::new(),
+    };
+    Interp::new().run(&program, inputs, Some(&patch)).outcome
+}
+
+fn to_map(pairs: &[(&str, i64)]) -> HashMap<String, i64> {
+    pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+/// Sampled grid over the declared input ranges (≤ 4096 points).
+fn grid(subject: &Subject) -> Vec<HashMap<String, i64>> {
+    let program = cpr_lang::parse(subject.source).unwrap();
+    let mut points: Vec<HashMap<String, i64>> = vec![HashMap::new()];
+    for decl in &program.inputs {
+        let mut values = vec![decl.lo, decl.hi, (decl.lo + decl.hi) / 2];
+        for v in [decl.lo + 1, decl.hi - 1, -1, 0, 1, 2] {
+            if v >= decl.lo && v <= decl.hi && !values.contains(&v) {
+                values.push(v);
+            }
+        }
+        // Keep the grid bounded for many-input subjects.
+        let per_dim = (4096f64.powf(1.0 / program.inputs.len() as f64)) as usize;
+        values.truncate(per_dim.max(2));
+        let mut next = Vec::new();
+        for base in &points {
+            for &v in &values {
+                if next.len() >= 4096 {
+                    break;
+                }
+                let mut m = base.clone();
+                m.insert(decl.name.clone(), v);
+                next.push(m);
+            }
+        }
+        points = next;
+    }
+    points
+}
+
+#[test]
+fn baselines_fail_the_failing_input() {
+    for s in all_subjects() {
+        let outcome = run_with_expr(&s, s.baseline, &to_map(s.failing));
+        assert!(
+            outcome.is_failure(),
+            "{}: baseline `{}` did not fail on the failing input (got {outcome:?})",
+            s.name(),
+            s.baseline
+        );
+    }
+}
+
+#[test]
+fn developer_patches_repair_the_failing_input() {
+    for s in all_subjects() {
+        let outcome = run_with_expr(&s, s.dev_patch, &to_map(s.failing));
+        assert!(
+            !outcome.is_failure(),
+            "{}: dev patch `{}` still fails (got {outcome:?})",
+            s.name(),
+            s.dev_patch
+        );
+    }
+}
+
+#[test]
+fn developer_patches_pass_the_passing_inputs() {
+    for s in all_subjects() {
+        for p in s.passing {
+            let outcome = run_with_expr(&s, s.dev_patch, &to_map(p));
+            assert!(
+                !outcome.is_failure(),
+                "{}: dev patch fails passing test {p:?} ({outcome:?})",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_pass_the_passing_inputs() {
+    for s in all_subjects() {
+        for p in s.passing {
+            let outcome = run_with_expr(&s, s.baseline, &to_map(p));
+            assert!(
+                !outcome.is_failure(),
+                "{}: baseline fails its own passing test {p:?} ({outcome:?})",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn developer_patches_are_correct_on_a_sampled_grid() {
+    for s in all_subjects() {
+        for point in grid(&s) {
+            let outcome = run_with_expr(&s, s.dev_patch, &point);
+            assert!(
+                !outcome.is_failure(),
+                "{}: dev patch `{}` fails on grid point {point:?} ({outcome:?})",
+                s.name(),
+                s.dev_patch
+            );
+        }
+    }
+}
+
+#[test]
+fn every_baseline_has_some_failing_grid_point() {
+    // Sanity: the bug is reachable — the baseline fails somewhere on the
+    // grid (at least on the recorded failing input, which the grid may or
+    // may not contain).
+    for s in all_subjects() {
+        let mut failed = run_with_expr(&s, s.baseline, &to_map(s.failing)).is_failure();
+        if !failed {
+            for point in grid(&s) {
+                if run_with_expr(&s, s.baseline, &point).is_failure() {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "{}: baseline never fails", s.name());
+    }
+}
+
+#[test]
+fn hole_vars_exist_and_component_counts_are_positive() {
+    for s in all_subjects() {
+        let program = cpr_lang::parse(s.source).unwrap();
+        let (_, args) = program.hole().expect("subject has a hole");
+        for v in s.hole_vars {
+            assert!(
+                args.iter().any(|a| a == v),
+                "{}: hole var {v} not among hole args {args:?}",
+                s.name()
+            );
+        }
+        let components = s.components();
+        assert!(components.general_count() > 0, "{}", s.name());
+        assert!(components.custom_count() > 0, "{}", s.name());
+    }
+}

@@ -1,0 +1,211 @@
+//! Language components: the building blocks handed to the synthesizer.
+//!
+//! The paper's evaluation reports, per subject, the number of *general*
+//! components (operators from the synthesis language) and *custom* components
+//! (program variables and constants specific to the subject). This module
+//! models both.
+
+use cpr_smt::{ArithOp, CmpOp};
+
+/// A single synthesis component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Component {
+    /// A program variable visible at the patch location (custom).
+    Variable(String),
+    /// An integer constant (custom).
+    Constant(i64),
+    /// An arithmetic operator (general).
+    Arith(ArithOp),
+    /// A comparison operator (general).
+    Cmp(CmpOp),
+    /// Logical conjunction of two atoms (general).
+    LogicAnd,
+    /// Logical disjunction of two atoms (general).
+    LogicOr,
+}
+
+impl Component {
+    /// Whether this is a *general* (language) component as opposed to a
+    /// *custom* (subject-specific) one.
+    pub fn is_general(&self) -> bool {
+        !matches!(self, Component::Variable(_) | Component::Constant(_))
+    }
+}
+
+/// The full component set for one synthesis run.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentSet {
+    components: Vec<Component>,
+}
+
+impl ComponentSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a component (duplicates are ignored).
+    pub fn add(&mut self, c: Component) -> &mut Self {
+        if !self.components.contains(&c) {
+            self.components.push(c);
+        }
+        self
+    }
+
+    /// Adds all standard comparison operators.
+    pub fn with_all_comparisons(mut self) -> Self {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            self.add(Component::Cmp(op));
+        }
+        self
+    }
+
+    /// Adds the given arithmetic operators.
+    pub fn with_arith(mut self, ops: &[ArithOp]) -> Self {
+        for &op in ops {
+            self.add(Component::Arith(op));
+        }
+        self
+    }
+
+    /// Adds logical conjunction and disjunction.
+    pub fn with_logic(mut self) -> Self {
+        self.add(Component::LogicAnd);
+        self.add(Component::LogicOr);
+        self
+    }
+
+    /// Adds program variables (custom components).
+    pub fn with_variables<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self.add(Component::Variable(n.into()));
+        }
+        self
+    }
+
+    /// Adds integer constants (custom components).
+    pub fn with_constants(mut self, consts: &[i64]) -> Self {
+        for &c in consts {
+            self.add(Component::Constant(c));
+        }
+        self
+    }
+
+    /// All components.
+    pub fn iter(&self) -> impl Iterator<Item = &Component> {
+        self.components.iter()
+    }
+
+    /// The variable names, in insertion order.
+    pub fn variables(&self) -> Vec<&str> {
+        self.components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Variable(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The constants, in insertion order.
+    pub fn constants(&self) -> Vec<i64> {
+        self.components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Constant(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The arithmetic operators.
+    pub fn arith_ops(&self) -> Vec<ArithOp> {
+        self.components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Arith(op) => Some(*op),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The comparison operators.
+    pub fn cmp_ops(&self) -> Vec<CmpOp> {
+        self.components
+            .iter()
+            .filter_map(|c| match c {
+                Component::Cmp(op) => Some(*op),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether logical connectives are available.
+    pub fn has_logic(&self) -> bool {
+        self.components
+            .iter()
+            .any(|c| matches!(c, Component::LogicAnd | Component::LogicOr))
+    }
+
+    /// Number of general components (the `General` column of Table 1).
+    pub fn general_count(&self) -> usize {
+        // The paper groups operators coarsely; we count operator *kinds*:
+        // comparisons, each arithmetic op class, and logic.
+        let mut n = 0;
+        if !self.cmp_ops().is_empty() {
+            n += 1;
+        }
+        n += self.arith_ops().len();
+        if self.has_logic() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of custom components (the `Custom` column of Table 1).
+    pub fn custom_count(&self) -> usize {
+        self.components.iter().filter(|c| !c.is_general()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_components() {
+        let set = ComponentSet::new()
+            .with_all_comparisons()
+            .with_arith(&[ArithOp::Add, ArithOp::Mul])
+            .with_logic()
+            .with_variables(["x", "y"])
+            .with_constants(&[0, 1]);
+        assert_eq!(set.variables(), vec!["x", "y"]);
+        assert_eq!(set.constants(), vec![0, 1]);
+        assert_eq!(set.arith_ops(), vec![ArithOp::Add, ArithOp::Mul]);
+        assert_eq!(set.cmp_ops().len(), 6);
+        assert!(set.has_logic());
+        assert_eq!(set.custom_count(), 4);
+        assert_eq!(set.general_count(), 4); // cmp + 2 arith + logic
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let set = ComponentSet::new()
+            .with_variables(["x", "x"])
+            .with_constants(&[0, 0]);
+        assert_eq!(set.custom_count(), 2);
+    }
+
+    #[test]
+    fn generality_classification() {
+        assert!(Component::Cmp(CmpOp::Lt).is_general());
+        assert!(Component::LogicOr.is_general());
+        assert!(!Component::Variable("x".into()).is_general());
+        assert!(!Component::Constant(3).is_general());
+    }
+}

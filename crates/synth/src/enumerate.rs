@@ -1,0 +1,521 @@
+//! Typed bottom-up enumeration of patch template candidates.
+//!
+//! The synthesizer generates expression trees from the available components
+//! (§3.3 of the paper): program variables, template parameters, constants,
+//! arithmetic operators, comparisons, and logical connectives. All candidate
+//! templates are deduplicated through the hash-consing pool and produced in
+//! a deterministic order.
+
+use cpr_lang::HoleKind;
+use cpr_smt::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
+
+use crate::components::ComponentSet;
+
+/// Tuning knobs for enumeration. Defaults correspond to the paper's
+/// experimental setup (parameters in `[-10, 10]`, up to two parameters per
+/// template, pairwise conjunction/disjunction of simple atoms).
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Kind of expression expected by the hole.
+    pub hole_kind: HoleKind,
+    /// Inclusive parameter range (the paper's default is `[-10, 10]`).
+    pub param_range: (i64, i64),
+    /// Maximum number of distinct template parameters per candidate.
+    pub max_params: usize,
+    /// Comparison operators allowed inside paired (`∧`/`∨`) templates.
+    pub pair_ops: Vec<CmpOp>,
+    /// Include the constant templates `true` / `false` (functionality
+    /// deletion candidates, deprioritized later by ranking).
+    pub include_constants: bool,
+    /// Additional patch templates in SMT-LIB syntax (paper §3.3: "more
+    /// components can be easily added to our synthesizer by providing them
+    /// in the SMT-LIB format"). Symbols named `a`–`d` become template
+    /// parameters; other symbols are program variables. Malformed or
+    /// ill-sorted templates are skipped.
+    pub extra_templates: Vec<String>,
+    /// Hard cap on the number of candidates generated.
+    pub max_candidates: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            hole_kind: HoleKind::Cond,
+            param_range: (-10, 10),
+            max_params: 2,
+            pair_ops: vec![CmpOp::Eq, CmpOp::Lt, CmpOp::Ge],
+            include_constants: true,
+            extra_templates: Vec::new(),
+            max_candidates: 4096,
+        }
+    }
+}
+
+/// An enumerated template candidate, prior to validation: `θ` plus the
+/// parameters it uses (in order of first occurrence).
+#[derive(Debug, Clone)]
+pub struct PatchCandidate {
+    /// Candidate template expression.
+    pub theta: TermId,
+    /// Parameters used by the template.
+    pub params: Vec<VarId>,
+}
+
+/// Names used for template parameters, in allocation order.
+pub const PARAM_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Interns the parameter variables `a, b, c, …` in `pool` and returns them.
+pub fn param_vars(pool: &mut TermPool, n: usize) -> Vec<VarId> {
+    PARAM_NAMES
+        .iter()
+        .take(n)
+        .map(|name| pool.var(name, Sort::Int))
+        .collect()
+}
+
+/// Enumerates candidate templates for the hole described by `config` from
+/// the given components. Deterministic; deduplicated; capped at
+/// `config.max_candidates`.
+pub fn enumerate(
+    pool: &mut TermPool,
+    components: &ComponentSet,
+    config: &SynthConfig,
+) -> Vec<PatchCandidate> {
+    let mut out = match config.hole_kind {
+        HoleKind::Cond => enumerate_cond(pool, components, config),
+        HoleKind::IntExpr => enumerate_int(pool, components, config),
+    };
+    append_extra_templates(pool, config, &mut out);
+    out
+}
+
+/// Parses `config.extra_templates` (SMT-LIB syntax) and appends them as
+/// candidates; the parameter variables they use are the symbols named in
+/// [`PARAM_NAMES`]. Ill-sorted or duplicate templates are skipped.
+fn append_extra_templates(
+    pool: &mut TermPool,
+    config: &SynthConfig,
+    out: &mut Vec<PatchCandidate>,
+) {
+    let expected = match config.hole_kind {
+        HoleKind::Cond => Sort::Bool,
+        HoleKind::IntExpr => Sort::Int,
+    };
+    for src in &config.extra_templates {
+        if out.len() >= config.max_candidates {
+            return;
+        }
+        let Ok(theta) = pool.parse_term(src) else {
+            continue;
+        };
+        if pool.sort(theta) != expected || out.iter().any(|c| c.theta == theta) {
+            continue;
+        }
+        let params: Vec<VarId> = pool
+            .vars_of(theta)
+            .into_iter()
+            .filter(|&v| PARAM_NAMES.contains(&pool.var_name(v)))
+            .collect();
+        out.push(PatchCandidate { theta, params });
+    }
+}
+
+/// Integer building blocks: program variables, then `var op var` composites
+/// over the available arithmetic ops (commutative ops emitted once).
+fn int_blocks(pool: &mut TermPool, components: &ComponentSet) -> Vec<TermId> {
+    let vars: Vec<TermId> = components
+        .variables()
+        .iter()
+        .map(|v| pool.named_var(v, Sort::Int))
+        .collect();
+    let mut blocks = vars.clone();
+    for &op in &components.arith_ops() {
+        for (i, &lhs) in vars.iter().enumerate() {
+            for (j, &rhs) in vars.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // Commutative ops: canonical order only.
+                if matches!(op, ArithOp::Add | ArithOp::Mul) && i > j {
+                    continue;
+                }
+                let t = pool.arith(op, lhs, rhs);
+                if !blocks.contains(&t) {
+                    blocks.push(t);
+                }
+            }
+        }
+    }
+    blocks
+}
+
+fn enumerate_cond(
+    pool: &mut TermPool,
+    components: &ComponentSet,
+    config: &SynthConfig,
+) -> Vec<PatchCandidate> {
+    let mut out: Vec<PatchCandidate> = Vec::new();
+    let mut seen: Vec<TermId> = Vec::new();
+    let params = param_vars(pool, config.max_params);
+    let blocks = int_blocks(pool, components);
+    let consts = components.constants();
+    let cmp_ops = components.cmp_ops();
+    let var_terms: Vec<TermId> = components
+        .variables()
+        .iter()
+        .map(|v| pool.named_var(v, Sort::Int))
+        .collect();
+
+    let push = |pool: &mut TermPool, theta: TermId, used: &[VarId], out: &mut Vec<PatchCandidate>, seen: &mut Vec<TermId>| {
+        if out.len() >= config.max_candidates {
+            return;
+        }
+        if matches!(pool.data(theta), TermData::BoolConst(_)) && !config.include_constants {
+            return;
+        }
+        if seen.contains(&theta) {
+            return;
+        }
+        seen.push(theta);
+        out.push(PatchCandidate {
+            theta,
+            params: used.to_vec(),
+        });
+    };
+
+    // 1. Constant templates (functionality-deletion candidates).
+    if config.include_constants {
+        let t = pool.tt();
+        push(pool, t, &[], &mut out, &mut seen);
+        let f = pool.ff();
+        push(pool, f, &[], &mut out, &mut seen);
+    }
+
+    // 2. Single atoms: block ⋈ (fresh parameter | constant | other var).
+    if !params.is_empty() {
+        let p0 = pool.var_term(params[0]);
+        for &lhs in &blocks {
+            for &op in &cmp_ops {
+                let t = pool.cmp(op, lhs, p0);
+                push(pool, t, &params[..1], &mut out, &mut seen);
+            }
+        }
+    }
+    for &lhs in &blocks {
+        for &c in &consts {
+            let rhs = pool.int(c);
+            for &op in &cmp_ops {
+                let t = pool.cmp(op, lhs, rhs);
+                push(pool, t, &[], &mut out, &mut seen);
+            }
+        }
+    }
+    for (i, &lhs) in var_terms.iter().enumerate() {
+        for (j, &rhs) in var_terms.iter().enumerate() {
+            if i >= j {
+                continue;
+            }
+            for &op in &cmp_ops {
+                let t = pool.cmp(op, lhs, rhs);
+                push(pool, t, &[], &mut out, &mut seen);
+            }
+        }
+    }
+
+    // 3. Pairs of simple parameterized atoms over distinct variables:
+    //    (x ⋈ a) ∧/∨ (y ⋈ b) — the shape of the paper's patch 3.
+    if components.has_logic() && params.len() >= 2 && !var_terms.is_empty() {
+        let pa = pool.var_term(params[0]);
+        let pb = pool.var_term(params[1]);
+        for (i, &v1) in var_terms.iter().enumerate() {
+            for (j, &v2) in var_terms.iter().enumerate() {
+                if i > j {
+                    continue;
+                }
+                for (oi, &op1) in config.pair_ops.iter().enumerate() {
+                    if !cmp_ops.contains(&op1) {
+                        continue;
+                    }
+                    for (oj, &op2) in config.pair_ops.iter().enumerate() {
+                        if !cmp_ops.contains(&op2) {
+                            continue;
+                        }
+                        // Same-variable pairs (bounds checks like
+                        // `x < a ∨ x ≥ b`): the operator order is
+                        // canonicalized because the two parameters are
+                        // interchangeable.
+                        if i == j && oi > oj {
+                            continue;
+                        }
+                        let a1 = pool.cmp(op1, v1, pa);
+                        let a2 = pool.cmp(op2, v2, pb);
+                        let both = [params[0], params[1]];
+                        let conj = pool.and(a1, a2);
+                        push(pool, conj, &both, &mut out, &mut seen);
+                        let disj = pool.or(a1, a2);
+                        push(pool, disj, &both, &mut out, &mut seen);
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn enumerate_int(
+    pool: &mut TermPool,
+    components: &ComponentSet,
+    config: &SynthConfig,
+) -> Vec<PatchCandidate> {
+    let mut out: Vec<PatchCandidate> = Vec::new();
+    let mut seen: Vec<TermId> = Vec::new();
+    let params = param_vars(pool, config.max_params.max(1));
+    let p0 = pool.var_term(params[0]);
+    let var_terms: Vec<TermId> = components
+        .variables()
+        .iter()
+        .map(|v| pool.named_var(v, Sort::Int))
+        .collect();
+    let consts = components.constants();
+
+    let push = |theta: TermId, used: &[VarId], out: &mut Vec<PatchCandidate>, seen: &mut Vec<TermId>| {
+        if out.len() >= config.max_candidates || seen.contains(&theta) {
+            return;
+        }
+        seen.push(theta);
+        out.push(PatchCandidate {
+            theta,
+            params: used.to_vec(),
+        });
+    };
+
+    // 1. Bare parameter and bare variables / constants.
+    push(p0, &params[..1], &mut out, &mut seen);
+    for &v in &var_terms {
+        push(v, &[], &mut out, &mut seen);
+    }
+    for &c in &consts {
+        let t = pool.int(c);
+        push(t, &[], &mut out, &mut seen);
+    }
+
+    // 2. var op param, var op const, var op var.
+    for &op in &components.arith_ops() {
+        for &v in &var_terms {
+            let t = pool.arith(op, v, p0);
+            push(t, &params[..1], &mut out, &mut seen);
+            // param op var for non-commutative ops.
+            if !matches!(op, ArithOp::Add | ArithOp::Mul) {
+                let t = pool.arith(op, p0, v);
+                push(t, &params[..1], &mut out, &mut seen);
+            }
+            for &c in &consts {
+                let ct = pool.int(c);
+                let t = pool.arith(op, v, ct);
+                push(t, &[], &mut out, &mut seen);
+            }
+        }
+        for (i, &v1) in var_terms.iter().enumerate() {
+            for (j, &v2) in var_terms.iter().enumerate() {
+                if i == j || (matches!(op, ArithOp::Add | ArithOp::Mul) && i > j) {
+                    continue;
+                }
+                let t = pool.arith(op, v1, v2);
+                push(t, &[], &mut out, &mut seen);
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_smt::Model;
+
+    fn demo_components() -> ComponentSet {
+        ComponentSet::new()
+            .with_all_comparisons()
+            .with_logic()
+            .with_variables(["x", "y"])
+            .with_constants(&[0])
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let mut p1 = TermPool::new();
+        let mut p2 = TermPool::new();
+        let cfg = SynthConfig::default();
+        let c = demo_components();
+        let r1: Vec<String> = enumerate(&mut p1, &c, &cfg)
+            .iter()
+            .map(|c| p1.display(c.theta))
+            .collect();
+        let r2: Vec<String> = enumerate(&mut p2, &c, &cfg)
+            .iter()
+            .map(|c| p2.display(c.theta))
+            .collect();
+        assert_eq!(r1, r2);
+        assert!(!r1.is_empty());
+    }
+
+    #[test]
+    fn contains_paper_templates() {
+        let mut pool = TermPool::new();
+        let cfg = SynthConfig::default();
+        let c = demo_components();
+        let cands = enumerate(&mut pool, &c, &cfg);
+        let shown: Vec<String> = cands.iter().map(|c| pool.display(c.theta)).collect();
+        // The three templates of the paper's Figure 1 (single-parameter
+        // atoms always use the first parameter name, so the paper's `y < b`
+        // appears alpha-renamed as `y < a`).
+        assert!(shown.contains(&"(>= x a)".to_owned()), "{shown:?}");
+        assert!(shown.contains(&"(< y a)".to_owned()), "{shown:?}");
+        assert!(
+            shown.contains(&"(or (= x a) (= y b))".to_owned()),
+            "{shown:?}"
+        );
+    }
+
+    #[test]
+    fn constants_included_and_excludable() {
+        let mut pool = TermPool::new();
+        let c = demo_components();
+        let with = enumerate(&mut pool, &c, &SynthConfig::default());
+        let shown: Vec<String> = with.iter().map(|c| pool.display(c.theta)).collect();
+        assert!(shown.contains(&"true".to_owned()));
+        assert!(shown.contains(&"false".to_owned()));
+
+        let without = enumerate(
+            &mut pool,
+            &c,
+            &SynthConfig {
+                include_constants: false,
+                ..SynthConfig::default()
+            },
+        );
+        let shown: Vec<String> = without.iter().map(|c| pool.display(c.theta)).collect();
+        assert!(!shown.contains(&"true".to_owned()));
+    }
+
+    #[test]
+    fn params_tracked_per_candidate() {
+        let mut pool = TermPool::new();
+        let cfg = SynthConfig::default();
+        let c = demo_components();
+        let cands = enumerate(&mut pool, &c, &cfg);
+        for cand in &cands {
+            let theta_vars = pool.vars_of(cand.theta);
+            for p in &cand.params {
+                assert!(
+                    theta_vars.contains(p),
+                    "unused param in {}",
+                    pool.display(cand.theta)
+                );
+            }
+        }
+        // Some candidate uses two params.
+        assert!(cands.iter().any(|c| c.params.len() == 2));
+    }
+
+    #[test]
+    fn no_duplicate_candidates() {
+        let mut pool = TermPool::new();
+        let cands = enumerate(&mut pool, &demo_components(), &SynthConfig::default());
+        let mut thetas: Vec<TermId> = cands.iter().map(|c| c.theta).collect();
+        let before = thetas.len();
+        thetas.sort();
+        thetas.dedup();
+        assert_eq!(before, thetas.len());
+    }
+
+    #[test]
+    fn int_hole_enumeration() {
+        let mut pool = TermPool::new();
+        let c = ComponentSet::new()
+            .with_arith(&[ArithOp::Add, ArithOp::Sub])
+            .with_variables(["n"])
+            .with_constants(&[1]);
+        let cfg = SynthConfig {
+            hole_kind: HoleKind::IntExpr,
+            ..SynthConfig::default()
+        };
+        let cands = enumerate(&mut pool, &c, &cfg);
+        let shown: Vec<String> = cands.iter().map(|c| pool.display(c.theta)).collect();
+        assert!(shown.contains(&"a".to_owned()));
+        assert!(shown.contains(&"n".to_owned()));
+        assert!(shown.contains(&"(+ n a)".to_owned()));
+        assert!(shown.contains(&"(- n a)".to_owned()));
+        assert!(shown.contains(&"(- a n)".to_owned()));
+        assert!(shown.contains(&"(+ n 1)".to_owned()));
+    }
+
+    #[test]
+    fn smtlib_extra_templates_are_appended() {
+        let mut pool = TermPool::new();
+        let cfg = SynthConfig {
+            extra_templates: vec![
+                "(>= (* x 2) a)".to_owned(),    // valid, parameterized
+                "(+ x a)".to_owned(),            // wrong sort for a cond hole
+                "(oops x)".to_owned(),           // malformed: skipped
+                "(>= x a)".to_owned(),           // duplicate of an enumerated one
+            ],
+            ..SynthConfig::default()
+        };
+        let cands = enumerate(&mut pool, &demo_components(), &cfg);
+        let shown: Vec<String> = cands.iter().map(|c| pool.display(c.theta)).collect();
+        assert!(shown.contains(&"(>= (* x 2) a)".to_owned()), "{shown:?}");
+        assert!(!shown.contains(&"(+ x a)".to_owned()));
+        // The custom template's parameter was detected.
+        let custom = cands
+            .iter()
+            .find(|c| pool.display(c.theta) == "(>= (* x 2) a)")
+            .unwrap();
+        assert_eq!(custom.params.len(), 1);
+        // No duplicates were introduced.
+        let mut thetas: Vec<_> = cands.iter().map(|c| c.theta).collect();
+        let before = thetas.len();
+        thetas.sort();
+        thetas.dedup();
+        assert_eq!(before, thetas.len());
+    }
+
+    #[test]
+    fn template_space_size_is_stable() {
+        // Regression guard: accidental grammar changes move every |P_Init|
+        // column of the evaluation, so the candidate count for the standard
+        // two-variable component set is pinned.
+        let mut pool = TermPool::new();
+        let cands = enumerate(&mut pool, &demo_components(), &SynthConfig::default());
+        assert_eq!(cands.len(), 74);
+        let params: usize = cands.iter().map(|c| c.params.len()).sum();
+        assert_eq!(params, 96);
+    }
+
+    #[test]
+    fn max_candidates_cap_is_respected() {
+        let mut pool = TermPool::new();
+        let cfg = SynthConfig {
+            max_candidates: 5,
+            ..SynthConfig::default()
+        };
+        let cands = enumerate(&mut pool, &demo_components(), &cfg);
+        assert_eq!(cands.len(), 5);
+    }
+
+    #[test]
+    fn candidate_templates_evaluate() {
+        let mut pool = TermPool::new();
+        let cands = enumerate(&mut pool, &demo_components(), &SynthConfig::default());
+        // Every candidate evaluates totally under an arbitrary model.
+        let mut m = Model::new();
+        if let Some(x) = pool.find_var("x") {
+            m.set(x, 3i64);
+        }
+        for c in cands {
+            let _ = m.eval(&pool, c.theta);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Component-based synthesizer for concolic program repair.
+//!
+//! Implements Phase 1 of the paper's Algorithm 1 (§3.3): given a
+//! [`ComponentSet`] (program variables, constants, operators) and the
+//! kind of the patch hole, the synthesizer [`enumerate`]s candidate patch
+//! templates (expression trees). Candidates carrying template parameters
+//! become [`AbstractPatch`]es whose parameter constraint `T_ρ` starts as the
+//! full parameter range and is refined during the repair loop.
+//!
+//! Validation of candidates against the initial test case requires the
+//! solver and the concolic engine, and therefore lives in `cpr-core`
+//! (the `synthesize` entry point there builds the initial patch pool).
+//!
+//! # Example
+//!
+//! ```
+//! use cpr_synth::{enumerate, ComponentSet, SynthConfig};
+//! use cpr_smt::TermPool;
+//!
+//! let mut pool = TermPool::new();
+//! let components = ComponentSet::new()
+//!     .with_all_comparisons()
+//!     .with_logic()
+//!     .with_variables(["x", "y"])
+//!     .with_constants(&[0]);
+//! let candidates = enumerate(&mut pool, &components, &SynthConfig::default());
+//! // The paper's Figure-1 templates are among the candidates:
+//! let rendered: Vec<String> = candidates.iter().map(|c| pool.display(c.theta)).collect();
+//! assert!(rendered.contains(&"(>= x a)".to_string()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod components;
+mod enumerate;
+mod patch;
+
+pub use components::{Component, ComponentSet};
+pub use enumerate::{enumerate, param_vars, PatchCandidate, SynthConfig, PARAM_NAMES};
+pub use patch::AbstractPatch;

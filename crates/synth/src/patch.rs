@@ -1,0 +1,163 @@
+//! Abstract patches: the 3-tuple `(θ_ρ, T_ρ, ψ_ρ)` of the paper's §3.1.
+
+use cpr_smt::{Model, Region, TermId, TermPool, VarId};
+
+/// An abstract patch: a template expression `θ_ρ` over program variables and
+/// template parameters, together with the parameter constraint `T_ρ`
+/// represented exactly as a [`Region`] (disjunction of boxes).
+///
+/// The patch formula `ψ_ρ` of the paper is not stored: it is *derived* by
+/// the concolic executor when it substitutes the program variables in `θ_ρ`
+/// by their symbolic values at the patch location (see
+/// `cpr_concolic::HolePatch`).
+#[derive(Debug, Clone)]
+pub struct AbstractPatch {
+    /// Stable identifier within the patch pool.
+    pub id: usize,
+    /// The template expression `θ_ρ(X_P, A)`.
+    pub theta: TermId,
+    /// The template parameters `A` (empty for concrete patches).
+    pub params: Vec<VarId>,
+    /// The parameter constraint `T_ρ(A)`.
+    pub constraint: Region,
+}
+
+impl AbstractPatch {
+    /// Creates a patch. For parameterless (concrete) patches pass an empty
+    /// `params` list and a trivially-true region.
+    pub fn new(id: usize, theta: TermId, params: Vec<VarId>, constraint: Region) -> Self {
+        AbstractPatch {
+            id,
+            theta,
+            params,
+            constraint,
+        }
+    }
+
+    /// Creates a concrete (parameterless) patch.
+    pub fn concrete(id: usize, theta: TermId) -> Self {
+        use cpr_smt::ParamBox;
+        AbstractPatch {
+            id,
+            theta,
+            params: Vec::new(),
+            constraint: Region::from_boxes(Vec::new(), vec![ParamBox::new(Vec::new())]),
+        }
+    }
+
+    /// Whether the patch has no template parameters.
+    pub fn is_concrete(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Number of concrete patches covered (`# Conc. Patches` in Figure 1).
+    pub fn concrete_count(&self) -> u128 {
+        self.constraint.volume()
+    }
+
+    /// Whether the patch has been refined away entirely (`T_ρ = False`).
+    pub fn is_exhausted(&self) -> bool {
+        self.constraint.is_empty()
+    }
+
+    /// `T_ρ(A)` as a term for solver queries.
+    pub fn constraint_term(&self, pool: &mut TermPool) -> TermId {
+        self.constraint.to_term(pool)
+    }
+
+    /// A representative concrete parameter assignment, used to drive
+    /// concolic execution of the patched program. `None` when exhausted.
+    pub fn representative(&self) -> Option<Model> {
+        if self.is_concrete() {
+            Some(Model::new())
+        } else {
+            self.constraint.sample()
+        }
+    }
+
+    /// Renders the patch as `θ  with  T` for reports.
+    pub fn display(&self, pool: &TermPool) -> String {
+        if self.is_concrete() {
+            pool.display(self.theta)
+        } else {
+            format!(
+                "{}  with  {}",
+                pool.display(self.theta),
+                self.constraint.display(pool)
+            )
+        }
+    }
+
+    /// Replaces the parameter constraint, preserving identity and template.
+    pub fn with_constraint(&self, constraint: Region) -> AbstractPatch {
+        AbstractPatch {
+            id: self.id,
+            theta: self.theta,
+            params: self.params.clone(),
+            constraint,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_smt::Sort;
+
+    #[test]
+    fn abstract_patch_accessors() {
+        let mut pool = TermPool::new();
+        let x = pool.named_var("x", Sort::Int);
+        let a_var = pool.var("a", Sort::Int);
+        let a = pool.var_term(a_var);
+        let theta = pool.ge(x, a);
+        let region = Region::full(vec![a_var], -10, 10);
+        let p = AbstractPatch::new(0, theta, vec![a_var], region);
+        assert!(!p.is_concrete());
+        assert_eq!(p.concrete_count(), 21);
+        assert!(!p.is_exhausted());
+        let rep = p.representative().unwrap();
+        let v = rep.int(a_var).unwrap();
+        assert!((-10..=10).contains(&v));
+        assert!(p.display(&pool).contains(">= x a"));
+    }
+
+    #[test]
+    fn concrete_patch_counts_one() {
+        let mut pool = TermPool::new();
+        let t = pool.tt();
+        let p = AbstractPatch::concrete(7, t);
+        assert!(p.is_concrete());
+        assert_eq!(p.concrete_count(), 1);
+        assert!(p.representative().is_some());
+        let term = p.clone().constraint_term(&mut pool);
+        assert_eq!(pool.display(term), "true");
+    }
+
+    #[test]
+    fn exhausted_patch() {
+        let mut pool = TermPool::new();
+        let a_var = pool.var("a", Sort::Int);
+        let x = pool.named_var("x", Sort::Int);
+        let a = pool.var_term(a_var);
+        let theta = pool.ge(x, a);
+        let p = AbstractPatch::new(0, theta, vec![a_var], Region::empty(vec![a_var]));
+        assert!(p.is_exhausted());
+        assert_eq!(p.concrete_count(), 0);
+        assert!(p.representative().is_none());
+    }
+
+    #[test]
+    fn with_constraint_preserves_template() {
+        let mut pool = TermPool::new();
+        let a_var = pool.var("a", Sort::Int);
+        let x = pool.named_var("x", Sort::Int);
+        let a = pool.var_term(a_var);
+        let theta = pool.ge(x, a);
+        let p = AbstractPatch::new(3, theta, vec![a_var], Region::full(vec![a_var], -10, 10));
+        let narrowed = p.with_constraint(Region::full(vec![a_var], -10, 4));
+        assert_eq!(narrowed.id, 3);
+        assert_eq!(narrowed.theta, theta);
+        assert_eq!(narrowed.concrete_count(), 15);
+    }
+}

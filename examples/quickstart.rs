@@ -1,0 +1,67 @@
+//! Quickstart: repair a divide-by-zero with concolic program repair.
+//!
+//! This is the smallest end-to-end use of the public API: define a buggy
+//! program with a patch hole and a partial specification, give CPR one
+//! failing input, and let the co-exploration of input space and patch space
+//! shrink the candidate pool and rank the survivors.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cpr_core::{repair, test_input, RepairConfig, RepairProblem};
+use cpr_lang::{check, parse};
+use cpr_synth::{ComponentSet, SynthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A buggy program in the subject language. `__patch_cond__(x)` is the
+    // fault location (a guard the developer forgot); the `bug` marker is
+    // the location where the crash is observable, together with the
+    // crash-freedom specification σ: `x != 0`.
+    let program = parse(
+        "program safe_div {
+           input x in [-50, 50];
+           if (__patch_cond__(x)) { return 0 - 1; }
+           bug div_by_zero requires (x != 0);
+           return 1000 / x;
+         }",
+    )?;
+    check(&program)?;
+
+    // Language components for the synthesizer: the variable x, the constant
+    // 0, and all comparison operators.
+    let components = ComponentSet::new()
+        .with_all_comparisons()
+        .with_variables(["x"])
+        .with_constants(&[0]);
+
+    let problem = RepairProblem::new(
+        "quickstart/safe_div",
+        program,
+        components,
+        SynthConfig::default(),
+        // One failing input — the "exploit".
+        vec![test_input(&[("x", 0)])],
+    )
+    // Ground truth, used only to report the rank of the correct patch.
+    .with_developer_patch("x == 0");
+
+    let report = repair(&problem, &RepairConfig::default());
+
+    println!("subject:            {}", report.subject);
+    println!("|P_Init|  (concrete patches after synthesis): {}", report.p_init);
+    println!("|P_Final| (after concolic exploration):       {}", report.p_final);
+    println!("reduction ratio:    {:.0}%", report.reduction_ratio());
+    println!("paths explored φ_E: {}", report.paths_explored);
+    println!("paths skipped  φ_S: {}", report.paths_skipped);
+    println!(
+        "developer patch rank: {}",
+        report
+            .dev_rank
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "not found".into())
+    );
+    println!("\ntop 5 ranked patches:");
+    for p in report.ranked.iter().take(5) {
+        println!("  score {:>4}  {}", p.score, p.display);
+    }
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! A tour of the substrate crates under the repair loop: the hash-consed
+//! term pool, the branch-and-prune solver, parameter regions (the exact
+//! representation of `T_ρ`), and a raw concolic execution with a patch
+//! formula injected into the path constraint.
+//!
+//! Run with: `cargo run --release --example substrate_tour`
+
+use cpr_concolic::{ConcolicExecutor, HolePatch};
+use cpr_lang::{check, parse};
+use cpr_smt::{Domains, Model, Region, SatResult, Solver, SolverConfig, Sort, TermPool};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Terms and the solver -------------------------------------------
+    let mut pool = TermPool::new();
+    let x = pool.var("x", Sort::Int);
+    let y = pool.var("y", Sort::Int);
+    let xt = pool.var_term(x);
+    let yt = pool.var_term(y);
+
+    // x > 3 ∧ y ≤ 5 ∧ x·y = 0  — the paper's partition P1 plus the
+    // violation condition of the running example.
+    let c3 = pool.int(3);
+    let c5 = pool.int(5);
+    let zero = pool.int(0);
+    let g = pool.gt(xt, c3);
+    let l = pool.le(yt, c5);
+    let m = pool.mul(xt, yt);
+    let e = pool.eq(m, zero);
+
+    let mut domains = Domains::new();
+    domains.bound(x, -64, 64);
+    domains.bound(y, -64, 64);
+    let mut solver = Solver::new(SolverConfig::default());
+    match solver.check(&pool, &[g, l, e], &domains) {
+        SatResult::Sat(model) => {
+            println!("violation witness: {}", model.display(&pool));
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // --- Parameter regions ----------------------------------------------
+    let a = pool.var("a", Sort::Int);
+    let region = Region::full(vec![a], -10, 10);
+    println!("T_ρ = {}  covers {} concrete patches", region.display(&pool), region.volume());
+    let parts = region.split_at(&[5]);
+    let refined = Region::union(vec![a], parts).merged();
+    println!(
+        "after removing the counterexample a=5: {}  ({} patches)",
+        refined.display(&pool),
+        refined.volume()
+    );
+
+    // --- Concolic execution with an injected patch formula ---------------
+    let program = parse(
+        "program p {
+           input x in [-64, 64];
+           input y in [-64, 64];
+           if (__patch_cond__(x, y)) { return 1; }
+           bug div_by_zero requires (x * y != 0);
+           return 100 / (x * y);
+         }",
+    )?;
+    check(&program)?;
+
+    // θ := x ≥ a with representative a = 4.
+    let at = pool.var_term(a);
+    let theta = pool.ge(xt, at);
+    let mut params = Model::new();
+    params.set(a, 4i64);
+
+    let mut input = Model::new();
+    input.set(x, 7i64);
+    input.set(y, 2i64);
+    let run = ConcolicExecutor::new().execute(&mut pool, &program, &input, Some(&HolePatch { theta, params }));
+    println!("\nconcolic run on x=7, y=2 with patch x >= a (a := 4):");
+    println!("  hit_patch = {}, hit_bug = {}", run.hit_patch, run.hit_bug);
+    for step in &run.path {
+        println!(
+        "  path step{}: {}",
+            if step.from_patch() { " (ψ_ρ)" } else { "" },
+            pool.display(step.constraint)
+        );
+    }
+
+    // Re-target the same path at another template — the first-order
+    // encoding that powers Algorithm 2's pool-wide reduction.
+    let b = pool.var("b", Sort::Int);
+    let bt = pool.var_term(b);
+    let theta2 = pool.lt(yt, bt);
+    let retargeted = run.constraints_for_patch(&mut pool, theta2);
+    println!("\nsame partition re-targeted at y < b:");
+    for c in &retargeted {
+        println!("  {}", pool.display(*c));
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `cpr` — command-line interface to the concolic program repair library.
+//!
+//! ```console
+//! $ cpr check   prog.cpr                      # parse + type-check
+//! $ cpr run     prog.cpr -i x=7 -i y=0        # run the interpreter
+//! $ cpr fuzz    prog.cpr --baseline false     # find a failing input
+//! $ cpr repair  prog.cpr --failing x=7,y=0 --vars x,y --consts 0 --dev "x == 0 || y == 0"
+//! $ cpr subjects                              # list the benchmark registry
+//! $ cpr subjects --run Libtiff/CVE-2016-3623  # repair a registry subject
+//! ```
+//!
+//! The implementation lives in [`cpr::cli`] so it is unit-testable.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cpr::cli::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `cpr help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

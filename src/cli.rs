@@ -1,0 +1,548 @@
+//! Implementation of the `cpr` command-line tool (see `src/bin/cpr.rs`).
+//!
+//! Kept in the library so the argument parsing and every subcommand are
+//! unit-testable; the binary is a two-line wrapper around [`run`].
+
+use std::collections::HashMap;
+
+use cpr_core::{repair, RepairConfig, RepairProblem, TestInput};
+use cpr_fuzz::{find_failing_input, FuzzConfig};
+use cpr_lang::{check, parse, ConcretePatch, Interp, Program};
+use cpr_smt::{ArithOp, Model};
+use cpr_synth::{ComponentSet, SynthConfig};
+
+const USAGE: &str = "\
+cpr — concolic program repair (PLDI 2021, reproduced in Rust)
+
+USAGE:
+  cpr check <file>
+      Parse and type-check a subject program, reporting its hole and bug
+      location.
+
+  cpr run <file> [-i name=value]... [--patch <expr>] [--max-steps N]
+      Execute the program on the given inputs (missing inputs default to
+      their range's lower bound); --patch fills the hole.
+
+  cpr fuzz <file> [--baseline <expr>] [--max-execs N] [--seed N]
+      Search for a failing input with directed fuzzing; --baseline fills
+      the hole with the original buggy expression (default: false).
+
+  cpr repair <file> --failing k=v[,k=v...] [options]
+      Run concolic repair. Options:
+        --failing k=v,...    error-exposing input (repeatable)
+        --passing k=v,...    passing test (repeatable)
+        --vars a,b           synthesis variables (default: hole arguments)
+        --consts 0,8         constant components
+        --arith add,sub,mul,div,rem
+                             arithmetic components
+        --no-logic           disable ∧/∨ templates
+        --template <smtlib>  extra template in SMT-LIB syntax (repeatable)
+        --range lo,hi        parameter range (default -10,10)
+        --dev <expr>         developer patch, for rank reporting
+        --baseline <expr>    original buggy expression
+        --iters N            repair-loop budget (default 60)
+        --ms N               wall-clock budget for exploration (default 10000)
+        --top N              patches to print (default 10)
+        --emit               print the repaired program (top patch applied)
+
+  cpr subjects [--benchmark extractfix|manybugs|svcomp] [--run <name>]
+      List the benchmark registry, or repair one registry subject.
+
+  cpr help
+      Show this message.";
+
+/// Entry point: dispatches a full argument vector (without the program
+/// name) to the subcommands.
+///
+/// # Errors
+///
+/// Returns the message the binary prints before exiting non-zero.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "check" => cmd_check(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "fuzz" => cmd_fuzz(&args[1..]),
+        "repair" => cmd_repair(&args[1..]),
+        "subjects" => cmd_subjects(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_program(path: &str) -> Result<(Program, String), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse(&src).map_err(|e| e.render(&src))?;
+    check(&program).map_err(|e| e.render(&src))?;
+    Ok((program, src))
+}
+
+fn parse_kv_list(s: &str) -> Result<TestInput, String> {
+    let mut out = HashMap::new();
+    for pair in s.split(',') {
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("expected name=value, got `{pair}`"))?;
+        let v: i64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid integer `{v}`"))?;
+        out.insert(k.trim().to_owned(), v);
+    }
+    Ok(out)
+}
+
+/// Pulls `--flag value` pairs and positional args out of an argument list.
+struct Opts<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Opts<'a> {
+    fn parse(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    flags.push((name, None));
+                } else if value_flags.contains(&name) {
+                    i += 1;
+                    let v = args
+                        .get(i)
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.push((name, Some(v.as_str())));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else if a == "-i" {
+                i += 1;
+                let v = args.get(i).ok_or("-i needs a value")?;
+                flags.push(("i", Some(v.as_str())));
+            } else {
+                positional.push(a);
+            }
+            i += 1;
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .filter_map(|(_, v)| *v)
+            .collect()
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| *n == name)
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("usage: cpr check <file>".into());
+    };
+    let (program, _) = load_program(path)?;
+    println!("program `{}` is well-formed", program.name);
+    println!("  inputs: {}", program.inputs.len());
+    for i in &program.inputs {
+        println!("    {} in [{}, {}]", i.name, i.lo, i.hi);
+    }
+    if !program.functions.is_empty() {
+        println!("  functions: {}", program.functions.len());
+    }
+    match program.hole() {
+        Some((kind, vars)) => println!("  patch hole: {kind:?} over {vars:?}"),
+        None => println!("  patch hole: none"),
+    }
+    match program.bug() {
+        Some((name, _)) => println!("  bug location: {name}"),
+        None => println!("  bug location: none"),
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["patch", "max-steps"], &[])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("usage: cpr run <file> [-i name=value]...".into());
+    };
+    let (program, _) = load_program(path)?;
+    let mut inputs: TestInput = HashMap::new();
+    for kv in opts.values("i") {
+        inputs.extend(parse_kv_list(kv)?);
+    }
+    let max_steps: u64 = opts
+        .value("max-steps")
+        .map(|v| v.parse().map_err(|_| "invalid --max-steps"))
+        .transpose()?
+        .unwrap_or(100_000);
+
+    let mut pool = cpr_smt::TermPool::new();
+    let patch = match opts.value("patch") {
+        Some(src) => {
+            let expr = cpr_core::lower_expr_src(&mut pool, src)?;
+            Some(ConcretePatch {
+                pool: &pool,
+                expr,
+                binding: Model::new(),
+            })
+        }
+        None => None,
+    };
+    let result = Interp::with_max_steps(max_steps).run(&program, &inputs, patch.as_ref());
+    println!("outcome:    {:?}", result.outcome);
+    println!("patch hits: {}", result.patch_hits);
+    println!("bug hits:   {}", result.bug_hits);
+    println!("steps:      {}", result.steps);
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["baseline", "max-execs", "seed"], &[])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("usage: cpr fuzz <file> [--baseline <expr>]".into());
+    };
+    let (program, _) = load_program(path)?;
+    let mut pool = cpr_smt::TermPool::new();
+    let baseline_src = opts.value("baseline").unwrap_or("false");
+    let patch = if program.hole().is_some() {
+        let expr = cpr_core::lower_expr_src(&mut pool, baseline_src)?;
+        Some(ConcretePatch {
+            pool: &pool,
+            expr,
+            binding: Model::new(),
+        })
+    } else {
+        None
+    };
+    let config = FuzzConfig {
+        max_execs: opts
+            .value("max-execs")
+            .map(|v| v.parse().map_err(|_| "invalid --max-execs"))
+            .transpose()?
+            .unwrap_or(100_000),
+        seed: opts
+            .value("seed")
+            .map(|v| v.parse().map_err(|_| "invalid --seed"))
+            .transpose()?
+            .unwrap_or(0x5eed),
+        ..FuzzConfig::default()
+    };
+    let r = find_failing_input(&program, patch.as_ref(), &config);
+    match r.failing {
+        Some(input) => {
+            let mut kvs: Vec<String> = input.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            kvs.sort();
+            println!("failing input found after {} execs: {}", r.execs, kvs.join(","));
+            println!("failure: {:?}", r.failure.unwrap());
+        }
+        None => {
+            println!(
+                "no failing input in {} execs (best directedness score {})",
+                r.execs, r.best_score
+            );
+        }
+    }
+    Ok(())
+}
+
+fn parse_arith(s: &str) -> Result<Vec<ArithOp>, String> {
+    s.split(',')
+        .map(|op| match op.trim() {
+            "add" => Ok(ArithOp::Add),
+            "sub" => Ok(ArithOp::Sub),
+            "mul" => Ok(ArithOp::Mul),
+            "div" => Ok(ArithOp::Div),
+            "rem" => Ok(ArithOp::Rem),
+            other => Err(format!("unknown arithmetic op `{other}`")),
+        })
+        .collect()
+}
+
+fn cmd_repair(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "failing", "passing", "vars", "consts", "arith", "template", "range", "dev",
+            "baseline", "iters", "ms", "top",
+        ],
+        &["no-logic", "emit"],
+    )?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("usage: cpr repair <file> --failing k=v,... [options]".into());
+    };
+    let (program, _) = load_program(path)?;
+    let Some((hole_kind, hole_vars)) = program.hole() else {
+        return Err("the program has no patch hole (__patch_cond__/__patch_expr__)".into());
+    };
+
+    let failing: Vec<TestInput> = opts
+        .values("failing")
+        .into_iter()
+        .map(parse_kv_list)
+        .collect::<Result<_, _>>()?;
+    if failing.is_empty() {
+        return Err("at least one --failing input is required (try `cpr fuzz` to find one)".into());
+    }
+    let passing: Vec<TestInput> = opts
+        .values("passing")
+        .into_iter()
+        .map(parse_kv_list)
+        .collect::<Result<_, _>>()?;
+
+    let vars: Vec<String> = match opts.value("vars") {
+        Some(v) => v.split(',').map(|s| s.trim().to_owned()).collect(),
+        None => hole_vars,
+    };
+    let consts: Vec<i64> = match opts.value("consts") {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("invalid constant `{s}`")))
+            .collect::<Result<_, _>>()?,
+        None => Vec::new(),
+    };
+    let arith = match opts.value("arith") {
+        Some(v) => parse_arith(v)?,
+        None => Vec::new(),
+    };
+    let range: (i64, i64) = match opts.value("range") {
+        Some(v) => {
+            let (lo, hi) = v.split_once(',').ok_or("expected --range lo,hi")?;
+            (
+                lo.trim().parse().map_err(|_| "invalid range low")?,
+                hi.trim().parse().map_err(|_| "invalid range high")?,
+            )
+        }
+        None => (-10, 10),
+    };
+
+    let mut components = ComponentSet::new()
+        .with_all_comparisons()
+        .with_arith(&arith)
+        .with_variables(vars)
+        .with_constants(&consts);
+    if !opts.has("no-logic") {
+        components = components.with_logic();
+    }
+    let synth = SynthConfig {
+        hole_kind,
+        param_range: range,
+        extra_templates: opts
+            .values("template")
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        ..SynthConfig::default()
+    };
+    let mut problem = RepairProblem::new(
+        program.name.clone(),
+        program,
+        components,
+        synth,
+        failing,
+    )
+    .with_passing_inputs(passing);
+    if let Some(dev) = opts.value("dev") {
+        problem = problem.with_developer_patch(dev);
+    }
+    if let Some(b) = opts.value("baseline") {
+        problem = problem.with_baseline(b);
+    }
+
+    let config = RepairConfig {
+        max_iterations: opts
+            .value("iters")
+            .map(|v| v.parse().map_err(|_| "invalid --iters"))
+            .transpose()?
+            .unwrap_or(60),
+        max_millis: Some(
+            opts.value("ms")
+                .map(|v| v.parse().map_err(|_| "invalid --ms"))
+                .transpose()?
+                .unwrap_or(10_000),
+        ),
+        ..RepairConfig::default()
+    };
+    let top: usize = opts
+        .value("top")
+        .map(|v| v.parse().map_err(|_| "invalid --top"))
+        .transpose()?
+        .unwrap_or(10);
+
+    problem.validate()?;
+    let report = repair(&problem, &config);
+    print_report(&report, top);
+    if opts.has("emit") {
+        match &report.top_patched_source {
+            Some(src) => println!("\nrepaired program (top patch applied):\n{src}"),
+            None => println!("\n(no patch could be rendered as source)"),
+        }
+    }
+    Ok(())
+}
+
+fn print_report(report: &cpr_core::RepairReport, top: usize) {
+    println!("subject:          {}", report.subject);
+    println!(
+        "patch space:      {} -> {} concrete patches ({:.0}% reduction)",
+        report.p_init,
+        report.p_final,
+        report.reduction_ratio()
+    );
+    println!(
+        "exploration:      {} paths explored, {} skipped by path reduction, {} iterations",
+        report.paths_explored, report.paths_skipped, report.iterations
+    );
+    if let Some(rank) = report.dev_rank {
+        println!("developer patch:  rank {rank}");
+    }
+    println!("wall time:        {} ms", report.wall_millis);
+    println!("\ntop {} patches:", top.min(report.ranked.len()));
+    for p in report.ranked.iter().take(top) {
+        println!("  score {:>5}  [{} concrete]  {}", p.score, p.concrete, p.display);
+    }
+}
+
+fn cmd_subjects(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["benchmark", "run"], &[])?;
+    let subjects = cpr_subjects::all_subjects();
+    if let Some(name) = opts.value("run") {
+        let s = subjects
+            .iter()
+            .find(|s| s.name() == name || s.bug_id == name)
+            .ok_or_else(|| format!("unknown subject `{name}`"))?;
+        if s.not_supported {
+            return Err(format!("{} is marked N/A (unsupported)", s.name()));
+        }
+        let config = RepairConfig {
+            max_iterations: 60,
+            max_millis: Some(10_000),
+            ..RepairConfig::default()
+        };
+        let report = repair(&s.problem(), &config);
+        print_report(&report, 10);
+        return Ok(());
+    }
+    let filter = opts.value("benchmark").map(str::to_lowercase);
+    println!("{:<4} {:<12} {:<38} dev patch", "id", "benchmark", "subject");
+    for s in &subjects {
+        let bench = format!("{}", s.benchmark).to_lowercase();
+        if let Some(f) = &filter {
+            if !bench.contains(f.trim_start_matches("sv-").trim()) && &bench != f {
+                continue;
+            }
+        }
+        println!("{:<4} {:<12} {:<38} {}", s.id, bench, s.name(), s.dev_patch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_demo() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "cpr_cli_demo_{}.cpr",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "program demo {
+               input x in [-50, 50];
+               if (__patch_cond__(x)) { return 0 - 1; }
+               bug div_by_zero requires (x != 0);
+               return 1000 / x;
+             }",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn opts_parser_handles_flags_and_positionals() {
+        let a = args(&["file.cpr", "--failing", "x=1", "--no-logic", "-i", "y=2"]);
+        let opts = Opts::parse(&a, &["failing"], &["no-logic"]).unwrap();
+        assert_eq!(opts.positional, vec!["file.cpr"]);
+        assert_eq!(opts.value("failing"), Some("x=1"));
+        assert!(opts.has("no-logic"));
+        assert_eq!(opts.values("i"), vec!["y=2"]);
+        // Unknown flags are rejected.
+        assert!(Opts::parse(&args(&["--nope"]), &[], &[]).is_err());
+        // Missing values are rejected.
+        assert!(Opts::parse(&args(&["--failing"]), &["failing"], &[]).is_err());
+    }
+
+    #[test]
+    fn kv_lists_parse() {
+        let m = parse_kv_list("x=1, y =-3").unwrap();
+        assert_eq!(m["x"], 1);
+        assert_eq!(m["y"], -3);
+        assert!(parse_kv_list("oops").is_err());
+        assert!(parse_kv_list("x=abc").is_err());
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        run(&args(&["help"])).unwrap();
+        run(&[]).unwrap();
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn check_run_fuzz_and_repair_subcommands() {
+        let path = write_demo();
+        let p = path.to_str().unwrap();
+        run(&args(&["check", p])).unwrap();
+        run(&args(&["run", p, "-i", "x=4"])).unwrap();
+        run(&args(&["run", p, "-i", "x=4", "--patch", "x == 0"])).unwrap();
+        run(&args(&["fuzz", p, "--max-execs", "5000"])).unwrap();
+        run(&args(&[
+            "repair", p, "--failing", "x=0", "--consts", "0", "--dev", "x == 0", "--iters",
+            "4", "--ms", "2000", "--top", "2", "--emit",
+        ]))
+        .unwrap();
+        // Validation errors surface.
+        assert!(run(&args(&["repair", p, "--failing", "x=99"])).is_err());
+        assert!(run(&args(&["repair", p])).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn subjects_listing_and_errors() {
+        run(&args(&["subjects"])).unwrap();
+        run(&args(&["subjects", "--benchmark", "manybugs"])).unwrap();
+        assert!(run(&args(&["subjects", "--run", "no/such-subject"])).is_err());
+        // The unsupported FFmpeg rows refuse to run.
+        assert!(run(&args(&["subjects", "--run", "FFmpeg/CVE-2017-9992"])).is_err());
+    }
+
+    #[test]
+    fn check_reports_missing_file() {
+        assert!(run(&args(&["check", "/nonexistent/x.cpr"])).is_err());
+    }
+}

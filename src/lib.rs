@@ -1,0 +1,32 @@
+//! Umbrella crate for the Rust reproduction of **Concolic Program Repair**
+//! (Shariffdeen, Noller, Grunske, Roychoudhury — PLDI 2021).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`smt`] — term language, branch-and-prune solver, parameter regions;
+//! * [`lang`] — the subject language (parser, type checker, interpreter);
+//! * [`concolic`] — the concolic execution engine and generational search;
+//! * [`synth`] — the component-based synthesizer and abstract patches;
+//! * [`core`] — Algorithms 1–3: the anytime concolic repair loop;
+//! * [`baselines`] — CEGIS and the ExtractFix/Angelix/Prophet-style
+//!   comparison baselines;
+//! * [`fuzz`] — directed fuzzing for failing-input generation (§3.2);
+//! * [`subjects`] — the 45 benchmark subjects of the evaluation.
+//!
+//! See the runnable binaries in `crates/bench/src/bin` (`table1` …
+//! `table6`, `figure1`) for the full evaluation harness, and `examples/`
+//! for API walkthroughs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use cpr_baselines as baselines;
+pub use cpr_concolic as concolic;
+pub use cpr_core as core;
+pub use cpr_fuzz as fuzz;
+pub use cpr_lang as lang;
+pub use cpr_smt as smt;
+pub use cpr_subjects as subjects;
+pub use cpr_synth as synth;

@@ -1,0 +1,151 @@
+//! Cross-crate consistency tests: the concolic executor, concrete
+//! interpreter and solver must agree on every benchmark subject.
+
+use std::collections::HashMap;
+
+use cpr_concolic::{ConcolicExecutor, HolePatch};
+use cpr_core::{lower_expr_src, RepairConfig, Session};
+use cpr_lang::{ConcretePatch, Interp, Outcome};
+use cpr_smt::Model;
+use cpr_subjects::all_subjects;
+
+/// A handful of deterministic inputs inside the declared ranges.
+fn sample_inputs(program: &cpr_lang::Program) -> Vec<HashMap<String, i64>> {
+    let mut out = Vec::new();
+    for pick in 0..5 {
+        let mut m = HashMap::new();
+        for (i, decl) in program.inputs.iter().enumerate() {
+            let span = decl.hi - decl.lo;
+            let v = decl.lo + (span * ((pick + i as i64) % 5)) / 4;
+            m.insert(decl.name.clone(), v.clamp(decl.lo, decl.hi));
+        }
+        out.push(m);
+    }
+    out
+}
+
+/// The concolic executor and the concrete interpreter produce the same
+/// outcome for the developer patch on sampled inputs of every subject.
+#[test]
+fn concolic_agrees_with_interpreter_on_all_subjects() {
+    for s in all_subjects() {
+        let problem = s.problem();
+        let config = RepairConfig::quick();
+        let mut sess = Session::new(&problem, &config);
+        let theta = lower_expr_src(&mut sess.pool, s.dev_patch).unwrap();
+        for input in sample_inputs(&problem.program) {
+            // Concrete interpreter.
+            let patch = ConcretePatch {
+                pool: &sess.pool,
+                expr: theta,
+                binding: Model::new(),
+            };
+            let concrete = Interp::new().run(&problem.program, &input, Some(&patch));
+
+            // Concolic executor.
+            let model = sess.input_model(&input);
+            let hole = HolePatch {
+                theta,
+                params: Model::new(),
+            };
+            let run = ConcolicExecutor::new().execute(
+                &mut sess.pool,
+                &problem.program,
+                &model,
+                Some(&hole),
+            );
+            assert_eq!(
+                run.outcome,
+                concrete.outcome,
+                "{}: outcome mismatch on {input:?}",
+                s.name()
+            );
+            assert_eq!(
+                u32::from(run.hit_bug),
+                u32::from(concrete.bug_hits > 0),
+                "{}: bug-hit mismatch on {input:?}",
+                s.name()
+            );
+        }
+    }
+}
+
+/// Every recorded path constraint is satisfied by the concrete input that
+/// produced it (with the developer patch's parameters empty, all parameter
+/// variables are absent from the path).
+#[test]
+fn path_constraints_hold_for_their_inputs() {
+    for s in all_subjects() {
+        let problem = s.problem();
+        let config = RepairConfig::quick();
+        let mut sess = Session::new(&problem, &config);
+        let theta = lower_expr_src(&mut sess.pool, s.dev_patch).unwrap();
+        for input in sample_inputs(&problem.program).into_iter().take(3) {
+            let model = sess.input_model(&input);
+            let hole = HolePatch {
+                theta,
+                params: Model::new(),
+            };
+            let run = ConcolicExecutor::new().execute(
+                &mut sess.pool,
+                &problem.program,
+                &model,
+                Some(&hole),
+            );
+            for step in &run.path {
+                // `__hole_k` output variables are defined by their
+                // equations; bind them by evaluating under the model and
+                // checking only constraints free of them is overkill —
+                // total evaluation with defaults suffices for cond holes,
+                // so restrict the check to those subjects.
+                if s.hole_kind == cpr_lang::HoleKind::Cond {
+                    assert!(
+                        run.inputs.eval_bool(&sess.pool, step.constraint),
+                        "{}: unsatisfied path step {} for {input:?}",
+                        s.name(),
+                        sess.pool.display(step.constraint)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The specification σ captured concolically matches the concrete verdict:
+/// whenever the bug location is reached, evaluating σ under the inputs
+/// agrees with whether the run failed with `SpecViolated`.
+#[test]
+fn captured_sigma_matches_concrete_verdict() {
+    for s in all_subjects() {
+        let problem = s.problem();
+        let config = RepairConfig::quick();
+        let mut sess = Session::new(&problem, &config);
+        // Use the baseline so that violations are actually reachable.
+        let theta = lower_expr_src(&mut sess.pool, s.baseline).unwrap();
+        for input in sample_inputs(&problem.program).into_iter().take(3) {
+            let model = sess.input_model(&input);
+            let hole = HolePatch {
+                theta,
+                params: Model::new(),
+            };
+            let run = ConcolicExecutor::new().execute(
+                &mut sess.pool,
+                &problem.program,
+                &model,
+                Some(&hole),
+            );
+            if s.hole_kind != cpr_lang::HoleKind::Cond {
+                continue; // σ may reference __hole_k outputs
+            }
+            if let Some(sigma) = run.sigma {
+                let holds = run.inputs.eval_bool(&sess.pool, sigma);
+                let violated = matches!(run.outcome, Outcome::SpecViolated { .. });
+                assert_eq!(
+                    holds, !violated,
+                    "{}: σ/verdict mismatch on {input:?}",
+                    s.name()
+                );
+            }
+        }
+    }
+}

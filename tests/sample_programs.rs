@@ -1,0 +1,76 @@
+//! The sample programs shipped in `programs/` stay well-formed and behave
+//! as documented (their doc comments name the failing inputs and fixes).
+
+use std::collections::HashMap;
+
+use cpr_core::lower_expr_src;
+use cpr_lang::{check, parse, ConcretePatch, Interp};
+use cpr_smt::{Model, TermPool};
+
+const SAMPLES: &[(&str, &str)] = &[
+    ("safe_div", include_str!("../programs/safe_div.cpr")),
+    ("rgb2ycbcr", include_str!("../programs/rgb2ycbcr.cpr")),
+    ("records_lookup", include_str!("../programs/records_lookup.cpr")),
+    ("summation", include_str!("../programs/summation.cpr")),
+];
+
+#[test]
+fn samples_parse_and_type_check() {
+    for (name, src) in SAMPLES {
+        let program = parse(src).unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
+        check(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(program.hole().is_some(), "{name} has no hole");
+    }
+}
+
+#[test]
+fn documented_fixes_repair_the_documented_failures() {
+    // (sample, failing input, buggy baseline, documented fix)
+    type Case = (&'static str, &'static [(&'static str, i64)], &'static str, &'static str);
+    let cases: &[Case] = &[
+        ("safe_div", &[("x", 0)], "false", "x == 0"),
+        ("rgb2ycbcr", &[("x", 7), ("y", 0)], "false", "x == 0 || y == 0"),
+        (
+            "records_lookup",
+            &[("idx", -128), ("len", 1)],
+            "false",
+            "idx < 0 || idx >= len",
+        ),
+        ("summation", &[("n", 3)], "i < n", "i <= n"),
+    ];
+    for (name, failing, baseline, fix) in cases {
+        let src = SAMPLES.iter().find(|(n, _)| n == name).unwrap().1;
+        let program = parse(src).unwrap();
+        let inputs: HashMap<String, i64> =
+            failing.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+
+        let mut pool = TermPool::new();
+        let baseline_expr = lower_expr_src(&mut pool, baseline).unwrap();
+        let broken = Interp::new().run(
+            &program,
+            &inputs,
+            Some(&ConcretePatch {
+                pool: &pool,
+                expr: baseline_expr,
+                binding: Model::new(),
+            }),
+        );
+        assert!(broken.outcome.is_failure(), "{name}: baseline did not fail");
+
+        let fix_expr = lower_expr_src(&mut pool, fix).unwrap();
+        let fixed = Interp::new().run(
+            &program,
+            &inputs,
+            Some(&ConcretePatch {
+                pool: &pool,
+                expr: fix_expr,
+                binding: Model::new(),
+            }),
+        );
+        assert!(
+            !fixed.outcome.is_failure(),
+            "{name}: documented fix still fails ({:?})",
+            fixed.outcome
+        );
+    }
+}
