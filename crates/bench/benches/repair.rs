@@ -2,7 +2,7 @@
 //! construction (Phase 1), the Reduce step (Algorithm 2), abstract-patch
 //! refinement (Algorithm 3), a full repair run, and the CEGIS baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpr_bench::timing::Criterion;
 
 use cpr_baselines::cegis;
 use cpr_concolic::{ConcolicExecutor, HolePatch};
@@ -131,5 +131,4 @@ fn bench_full_repair(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_phase1, bench_refine, bench_full_repair);
-criterion_main!(benches);
+cpr_bench::bench_main!(bench_phase1, bench_refine, bench_full_repair);

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cpr_bench::timing::Criterion;
 
 use cpr_concolic::{ConcolicExecutor, HolePatch};
 use cpr_lang::{check, parse, Interp};
@@ -199,5 +199,4 @@ fn bench_execution(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_regions, bench_terms, bench_execution);
-criterion_main!(benches);
+cpr_bench::bench_main!(bench_solver, bench_regions, bench_terms, bench_execution);

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;

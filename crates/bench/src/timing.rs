@@ -1,0 +1,284 @@
+//! A lightweight in-repo timing harness with a Criterion-shaped API.
+//!
+//! The workspace builds with no network access, so the external
+//! `criterion` crate is unavailable; this module provides the subset of
+//! its surface the benches in `benches/` use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_function`, `Bencher::iter` —
+//! plus a `bench_main!` macro standing in for
+//! `criterion_group!`/`criterion_main!`.
+//!
+//! Measurement model: each `bench_function` first calibrates a batch size
+//! so one sample takes a few milliseconds, then times `samples` batches
+//! and reports the minimum, mean, and maximum per-iteration time. Knobs:
+//!
+//! * `CPR_BENCH_SAMPLES` — samples per benchmark (default 10),
+//! * `CPR_BENCH_MAX_MS` — soft wall cap per benchmark in milliseconds
+//!   (default 3000); sampling stops early once it is exceeded,
+//! * `CPR_BENCH_FILTER` — substring filter on `group/name` ids.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark timing summary (per-iteration durations).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Fastest observed per-iteration time.
+    pub min: Duration,
+    /// Mean per-iteration time across samples.
+    pub mean: Duration,
+    /// Slowest observed per-iteration time.
+    pub max: Duration,
+    /// Iterations per timed sample.
+    pub batch: u64,
+    /// Number of timed samples taken.
+    pub samples: u32,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl fmt::Display for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<48} {:>12} {:>12} {:>12}   ({} samples × {} iters)",
+            self.id,
+            fmt_duration(self.min),
+            fmt_duration(self.mean),
+            fmt_duration(self.max),
+            self.samples,
+            self.batch,
+        )
+    }
+}
+
+/// Harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: u32,
+    max_per_bench: Duration,
+    filter: Option<String>,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion::from_env()
+    }
+}
+
+impl Criterion {
+    /// Builds a harness configured from the environment.
+    pub fn from_env() -> Self {
+        let default_samples = std::env::var("CPR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(1);
+        let max_ms = std::env::var("CPR_BENCH_MAX_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3_000u64);
+        let filter = std::env::var("CPR_BENCH_FILTER").ok().filter(|f| !f.is_empty());
+        Criterion {
+            default_samples,
+            max_per_bench: Duration::from_millis(max_ms),
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: None,
+        }
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Prints the final summary table.
+    pub fn finish(&self) {
+        println!(
+            "\n{:<48} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "mean", "max"
+        );
+        println!("{}", "-".repeat(48 + 3 * 13 + 3));
+        for s in &self.results {
+            println!("{s}");
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some((n as u32).max(1));
+        self
+    }
+
+    /// Times one benchmark; the closure drives a [`Bencher`].
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        if let Some(filter) = &self.criterion.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: self.samples.unwrap_or(self.criterion.default_samples),
+            max_total: self.criterion.max_per_bench,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some((min, mean, max, batch, samples)) = bencher.result {
+            let sample = Sample {
+                id,
+                min,
+                mean,
+                max,
+                batch,
+                samples,
+            };
+            println!("{sample}");
+            self.criterion.results.push(sample);
+        }
+        self
+    }
+
+    /// Group teardown (a no-op; kept for Criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a closure, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    max_total: Duration,
+    result: Option<(Duration, Duration, Duration, u64, u32)>,
+}
+
+impl Bencher {
+    /// Runs the routine repeatedly and records per-iteration timing.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: pick a batch size so one sample takes ~2 ms, using a
+        // single warmup iteration as the estimate (also warms caches).
+        let start = Instant::now();
+        black_box(routine());
+        let est = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let batch = (target.as_nanos() / est.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut taken = 0u32;
+        let overall = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed() / batch as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += per_iter;
+            taken += 1;
+            if overall.elapsed() > self.max_total {
+                break;
+            }
+        }
+        let mean = total / taken.max(1);
+        self.result = Some((min, mean, max, batch, taken));
+    }
+}
+
+/// Expands to a `main` that runs the listed benchmark functions, standing
+/// in for `criterion_group!` + `criterion_main!`.
+#[macro_export]
+macro_rules! bench_main {
+    ($($func:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::timing::Criterion::from_env();
+            $( $func(&mut criterion); )+
+            criterion.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = Criterion {
+            default_samples: 3,
+            max_per_bench: Duration::from_millis(200),
+            filter: None,
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        let s = &c.results()[0];
+        assert_eq!(s.id, "g/sum");
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.samples >= 1 && s.batch >= 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            default_samples: 2,
+            max_per_bench: Duration::from_millis(200),
+            filter: Some("keep".into()),
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("g");
+        g.bench_function("keep_me", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("drop_me", |b| b.iter(|| 1u64 + 1));
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/keep_me");
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -128,6 +128,22 @@ impl ConcolicResult {
         self.patched_prefix(pool, theta, self.path.len(), false)
     }
 
+    /// Batch form of [`ConcolicResult::constraints_for_patch`]: re-targets
+    /// the path at every patch template in turn, interning all constraints
+    /// into `pool`. This is the pre-interning hook for the parallel reduce
+    /// phase — running it serially before forking the pool guarantees every
+    /// worker agrees on the `TermId` of every path constraint.
+    pub fn constraints_for_patches(
+        &self,
+        pool: &mut TermPool,
+        thetas: &[TermId],
+    ) -> Vec<Vec<TermId>> {
+        thetas
+            .iter()
+            .map(|&theta| self.constraints_for_patch(pool, theta))
+            .collect()
+    }
+
     /// The first `upto` steps re-targeted at `theta` (see
     /// [`ConcolicResult::constraints_for_patch`]); when `flip_last` is set
     /// the final step is negated (generational search).

@@ -64,7 +64,7 @@ pub use apply::{apply_patch, term_to_expr};
 pub use lower::{lower_expr, lower_expr_src, LowerError};
 pub use problem::{test_input, RepairConfig, RepairProblem, TestInput};
 pub use ranking::{rank_order, PoolEntry, RankScore};
-pub use reduce::{refine_patch, ReduceStats};
+pub use reduce::{reduce, refine_patch, ReduceStats};
 pub use repair::{developer_rank, equivalent, repair, RankedPatch, RepairReport};
 pub use session::Session;
 pub use synthesize::{build_patch_pool, SynthStats};

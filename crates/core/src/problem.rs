@@ -202,6 +202,11 @@ pub struct RepairConfig {
     pub track_coverage: bool,
     /// Fixpoint rounds when validating candidates in Phase 1.
     pub max_validation_rounds: usize,
+    /// Worker threads for the patch-space reduction phase (Algorithm 2);
+    /// `reduce` fans the per-patch feasibility check and refinement out over
+    /// this many workers. Defaults to the machine's available parallelism.
+    /// Any value produces bit-identical results — only wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for RepairConfig {
@@ -222,6 +227,9 @@ impl Default for RepairConfig {
             path_reduction: true,
             track_coverage: false,
             max_validation_rounds: 6,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }

@@ -8,9 +8,34 @@
 //! parameter value can violate `σ` anywhere in the partition. Refinement
 //! works on the exact region representation of `T_ρ` via counterexample
 //! splitting and merging.
+//!
+//! # Parallelism
+//!
+//! The pool walk is embarrassingly parallel — entries never interact — so
+//! `reduce` fans it out over [`RepairConfig::threads`] workers, each owning
+//! a fork of the term pool and the solver. The output is bit-identical to a
+//! serial walk at any thread count because of two invariants:
+//!
+//! 1. **Serial pre-interning.** Every term shared between entries (the
+//!    re-targeted path constraints `φ_i`, the parameter-constraint terms
+//!    `T_i`, `σ`, `¬σ`, and the oriented `¬ψ_i` of the deletion check) is
+//!    interned into the shared pool *before* the fan-out, so all pool forks
+//!    agree on those ids.
+//! 2. **At most one worker-local id per query.** Any term a worker interns
+//!    itself (a refinement region term) gets an id past the pre-interned
+//!    base, so in the solver's canonical (sorted) query order it always
+//!    sorts last — a worker's interning history can never change the
+//!    canonical form, hence never the verdict or the witness model.
+//!
+//! Workers return pool-independent outcomes (regions, flags) that are
+//! merged in entry order, and their solver statistics and cacheable query
+//! results are folded back via [`Solver::absorb`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cpr_concolic::ConcolicResult;
-use cpr_smt::{Region, SatResult, TermId};
+use cpr_smt::{Domains, Region, SatResult, Solver, TermId, TermPool};
+use cpr_synth::AbstractPatch;
 
 use crate::problem::RepairConfig;
 use crate::ranking::PoolEntry;
@@ -29,6 +54,16 @@ pub struct ReduceStats {
     pub solver_calls: u64,
 }
 
+/// Per-entry result of the parallel pool walk. Deliberately free of
+/// `TermId`s from worker-local pools: regions and flags carry over to the
+/// shared pool unchanged.
+struct EntryOutcome {
+    feasible: bool,
+    refined_shrunk: bool,
+    new_patch: Option<AbstractPatch>,
+    deletion: bool,
+}
+
 /// Algorithm 2: reduces the patch pool against one explored partition.
 ///
 /// Entries whose constraint becomes empty are removed from `entries`.
@@ -40,56 +75,180 @@ pub fn reduce(
 ) -> ReduceStats {
     let mut stats = ReduceStats::default();
     let before = sess.solver.stats().queries;
-    for entry in entries.iter_mut() {
-        // π ← φ(X) ∧ ψ_ρ(X, A) ∧ T_ρ(A)
-        let phi = run.constraints_for_patch(&mut sess.pool, entry.patch.theta);
-        let t_term = entry.patch.constraint_term(&mut sess.pool);
-        let mut pi = phi.clone();
-        pi.push(t_term);
-        match sess.check(&pi) {
-            SatResult::Sat(_) => {
-                stats.feasible += 1;
-                if run.hit_bug || !run.asserts.is_empty() {
-                    if let Some(sigma) = run.spec_term(&mut sess.pool) {
-                        let refined = refine_patch(
-                            sess,
-                            &phi,
-                            &entry.patch.constraint,
-                            sigma,
-                            0,
-                            &mut 0,
-                            config,
-                        );
-                        let old_volume = entry.patch.constraint.volume();
-                        let new_volume = refined.volume();
-                        if new_volume < old_volume {
-                            stats.refined += 1;
-                        }
-                        entry.patch = entry.patch.with_constraint(refined);
-                    }
-                }
-                // UpdateRanking(ρ): feasibility evidence, plus bug-location
-                // bonus, plus the functionality-deletion check.
-                if !entry.patch.is_exhausted() {
-                    entry.score.feasible += 1;
-                    if run.hit_bug {
-                        entry.score.bug_hits += 1;
-                    }
-                    if config.deletion_check && deletion_like(sess, entry, run, config) {
-                        entry.score.deletion_evidence += 1;
-                    }
-                }
-            }
-            SatResult::Unsat | SatResult::Unknown => {
-                // Cannot reason about ρ on this partition; ranking unchanged.
+    let n = entries.len();
+
+    // Serial pre-interning (invariant 1 of the module docs): φ_i, T_i, σ,
+    // ¬σ and the oriented ¬ψ_i all get their ids in the shared pool.
+    let thetas: Vec<TermId> = entries.iter().map(|e| e.patch.theta).collect();
+    let phis = run.constraints_for_patches(&mut sess.pool, &thetas);
+    let t_terms: Vec<TermId> = entries
+        .iter_mut()
+        .map(|e| e.patch.constraint_term(&mut sess.pool))
+        .collect();
+    let sigma = run.spec_term(&mut sess.pool);
+    if let Some(sigma) = sigma {
+        sess.pool.not(sigma);
+    }
+    if config.deletion_check {
+        for phi in &phis {
+            if let Some(psi) = oriented_patch_step(run, phi) {
+                sess.pool.not(psi);
             }
         }
     }
+    let base_terms = sess.pool.len();
+    let refine_spec = run.hit_bug || !run.asserts.is_empty();
+
+    // Fan the per-entry work out over forked workers; entry index order is
+    // restored at merge time, so scheduling cannot influence the result.
+    let threads = config.threads.clamp(1, n.max(1));
+    let counter = AtomicUsize::new(0);
+    let entries_view: &[PoolEntry] = entries;
+    let domains = &sess.domains;
+    let worker_results: Vec<(Vec<(usize, EntryOutcome)>, Solver)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let mut pool = sess.pool.clone();
+                let mut solver = sess.solver.fork(base_terms);
+                let counter = &counter;
+                let phis = &phis;
+                let t_terms = &t_terms;
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let outcome = process_entry(
+                            &mut pool,
+                            &mut solver,
+                            domains,
+                            &entries_view[i].patch,
+                            &phis[i],
+                            t_terms[i],
+                            sigma,
+                            refine_spec,
+                            run,
+                            config,
+                        );
+                        done.push((i, outcome));
+                    }
+                    (done, solver)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: fold solvers back in spawn order, apply
+    // outcomes in entry order.
+    let mut outcomes: Vec<Option<EntryOutcome>> = Vec::with_capacity(n);
+    outcomes.resize_with(n, || None);
+    for (done, solver) in worker_results {
+        for (i, outcome) in done {
+            outcomes[i] = Some(outcome);
+        }
+        sess.solver.absorb(solver);
+    }
+    for (entry, outcome) in entries.iter_mut().zip(outcomes) {
+        let outcome = outcome.expect("every entry is processed exactly once");
+        if !outcome.feasible {
+            // Unsat/Unknown π: cannot reason about ρ here; ranking unchanged.
+            continue;
+        }
+        stats.feasible += 1;
+        if outcome.refined_shrunk {
+            stats.refined += 1;
+        }
+        if let Some(patch) = outcome.new_patch {
+            entry.patch = patch;
+        }
+        // UpdateRanking(ρ): feasibility evidence, plus bug-location bonus,
+        // plus the functionality-deletion check.
+        if !entry.patch.is_exhausted() {
+            entry.score.feasible += 1;
+            if run.hit_bug {
+                entry.score.bug_hits += 1;
+            }
+            if outcome.deletion {
+                entry.score.deletion_evidence += 1;
+            }
+        }
+    }
+
     let removed_before = entries.len();
     entries.retain(|e| !e.patch.is_exhausted());
     stats.removed = removed_before - entries.len();
     stats.solver_calls = sess.solver.stats().queries - before;
     stats
+}
+
+/// One entry of the pool walk, on worker-owned state.
+#[allow(clippy::too_many_arguments)]
+fn process_entry(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    domains: &Domains,
+    patch: &AbstractPatch,
+    phi: &[TermId],
+    t_term: TermId,
+    sigma: Option<TermId>,
+    refine_spec: bool,
+    run: &ConcolicResult,
+    config: &RepairConfig,
+) -> EntryOutcome {
+    let mut outcome = EntryOutcome {
+        feasible: false,
+        refined_shrunk: false,
+        new_patch: None,
+        deletion: false,
+    };
+    // π ← φ(X) ∧ ψ_ρ(X, A) ∧ T_ρ(A)
+    let mut pi = phi.to_vec();
+    pi.push(t_term);
+    if !solver.check(pool, &pi, domains).is_sat() {
+        return outcome;
+    }
+    outcome.feasible = true;
+    let mut patch = patch.clone();
+    if refine_spec {
+        if let Some(sigma) = sigma {
+            let refined = refine_patch_impl(
+                pool,
+                solver,
+                domains,
+                phi,
+                &patch.constraint,
+                sigma,
+                0,
+                &mut 0,
+                config,
+            );
+            if refined.volume() < patch.constraint.volume() {
+                outcome.refined_shrunk = true;
+            }
+            patch = patch.with_constraint(refined);
+            outcome.new_patch = Some(patch.clone());
+        }
+    }
+    if !patch.is_exhausted() && config.deletion_check {
+        outcome.deletion = deletion_like(pool, solver, domains, &patch, run, phi, config);
+    }
+    outcome
+}
+
+/// The path constraint of the (first) patch-hole step of `phi`, oriented
+/// the way the partition went.
+fn oriented_patch_step(run: &ConcolicResult, phi: &[TermId]) -> Option<TermId> {
+    run.path
+        .iter()
+        .zip(phi)
+        .find(|(step, _)| step.from_patch())
+        .map(|(_, &c)| c)
 }
 
 /// Functionality-deletion heuristic (§3.5.3): on the partition defined by
@@ -101,16 +260,18 @@ pub fn reduce(
 /// is computed by exact branch-and-count (under the patch's representative
 /// parameters), and redirection above `deletion_ratio` counts as evidence.
 fn deletion_like(
-    sess: &mut Session,
-    entry: &PoolEntry,
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    domains: &Domains,
+    patch: &AbstractPatch,
     run: &ConcolicResult,
+    phi: &[TermId],
     config: &RepairConfig,
 ) -> bool {
     // Collect the partition without the patch branch itself.
     let mut base: Vec<TermId> = Vec::new();
     let mut psi_oriented: Option<TermId> = None;
-    let phi = run.constraints_for_patch(&mut sess.pool, entry.patch.theta);
-    for (step, c) in run.path.iter().zip(&phi) {
+    for (step, c) in run.path.iter().zip(phi) {
         if step.from_patch() {
             if psi_oriented.is_none() {
                 psi_oriented = Some(*c);
@@ -125,42 +286,37 @@ fn deletion_like(
     if config.model_counting {
         // Fix parameters to the representative so the count ranges over
         // program inputs only.
-        let Some(rep) = entry.patch.representative() else {
+        let Some(rep) = patch.representative() else {
             return false;
         };
         let mut map = std::collections::HashMap::new();
         for (v, val) in rep.iter() {
-            let c = sess.pool.int(val.as_int().unwrap_or(0));
+            let c = pool.int(val.as_int().unwrap_or(0));
             map.insert(v, c);
         }
-        let base_inst: Vec<TermId> = base
-            .iter()
-            .map(|&c| sess.pool.substitute(c, &map))
-            .collect();
-        let psi_inst = sess.pool.substitute(psi, &map);
-        let total = sess
-            .solver
-            .count_models(&sess.pool, &base_inst, &sess.domains);
+        let base_inst: Vec<TermId> = base.iter().map(|&c| pool.substitute(c, &map)).collect();
+        let psi_inst = pool.substitute(psi, &map);
+        let total = solver.count_models(pool, &base_inst, domains);
         if total.hi == 0 {
             return false;
         }
         // The partition was recorded with ψ oriented *along* the executed
         // path; the redirected inputs are those taking the opposite side.
-        let not_psi = sess.pool.not(psi_inst);
+        let not_psi = pool.not(psi_inst);
         let mut away = base_inst.clone();
         away.push(not_psi);
-        let redirected = sess.solver.count_models(&sess.pool, &away, &sess.domains);
+        let redirected = solver.count_models(pool, &away, domains);
         let ratio = 1.0 - redirected.estimate() / total.estimate().max(1.0);
         return ratio >= config.deletion_ratio;
     }
-    let t_term = entry.patch.constraint_term(&mut sess.pool);
+    let t_term = patch.constraint_term(pool);
     base.push(t_term);
     // If the *other* direction is infeasible on this partition, the patch is
     // constant here: evidence of functionality deletion.
-    let not_psi = sess.pool.not(psi);
+    let not_psi = pool.not(psi);
     let mut q = base.clone();
     q.push(not_psi);
-    matches!(sess.check(&q), SatResult::Unsat)
+    matches!(solver.check(pool, &q, domains), SatResult::Unsat)
 }
 
 /// Algorithm 3: refines the parameter constraint `T_ρ` (given as a
@@ -177,25 +333,52 @@ pub fn refine_patch(
     calls: &mut u32,
     config: &RepairConfig,
 ) -> Region {
+    refine_patch_impl(
+        &mut sess.pool,
+        &mut sess.solver,
+        &sess.domains,
+        phi,
+        region,
+        sigma,
+        depth,
+        calls,
+        config,
+    )
+}
+
+/// [`refine_patch`] on explicit pool/solver/domain state, so reduce workers
+/// can run it on their forks.
+#[allow(clippy::too_many_arguments)]
+fn refine_patch_impl(
+    pool: &mut TermPool,
+    solver: &mut Solver,
+    domains: &Domains,
+    phi: &[TermId],
+    region: &Region,
+    sigma: TermId,
+    depth: u32,
+    calls: &mut u32,
+    config: &RepairConfig,
+) -> Region {
     if depth >= config.max_refine_depth || *calls >= config.max_refine_calls {
         // Budget exhausted: keep the region (conservative, mirrors a solver
         // timeout in the original tool).
         return region.clone();
     }
-    let region_term = region.to_term(&mut sess.pool);
-    let not_sigma = sess.pool.not(sigma);
+    let region_term = region.to_term(pool);
+    let not_sigma = pool.not(sigma);
 
     // ω_pass1 ← φ(X) ∧ σ(X)
     *calls += 1;
     let mut pass1 = phi.to_vec();
     pass1.push(sigma);
-    if sess.check(&pass1).is_sat() {
+    if solver.check(pool, &pass1, domains).is_sat() {
         // ω_pass2 ← φ ∧ ψ_ρ ∧ T_ρ ∧ σ
         *calls += 1;
         let mut pass2 = phi.to_vec();
         pass2.push(region_term);
         pass2.push(sigma);
-        if sess.check(&pass2).is_unsat() {
+        if solver.check(pool, &pass2, domains).is_unsat() {
             // No parameter value in T_ρ can make the spec pass: discard.
             return Region::empty(region.params().to_vec());
         }
@@ -206,7 +389,7 @@ pub fn refine_patch(
     let mut fail = phi.to_vec();
     fail.push(region_term);
     fail.push(not_sigma);
-    match sess.check(&fail) {
+    match solver.check(pool, &fail, domains) {
         SatResult::Sat(model) => {
             // Extract the counterexample parameter point m_A.
             let point: Vec<i64> = region
@@ -227,13 +410,22 @@ pub fn refine_patch(
             for r in subregions {
                 // Guard: only recurse into regions compatible with the path.
                 *calls += 1;
-                let r_term = r.to_term(&mut sess.pool);
+                let r_term = r.to_term(pool);
                 let mut pi = phi.to_vec();
                 pi.push(r_term);
-                match sess.check(&pi) {
+                match solver.check(pool, &pi, domains) {
                     SatResult::Sat(_) | SatResult::Unknown => {
-                        let refined =
-                            refine_patch(sess, phi, &r, sigma, depth + 1, calls, config);
+                        let refined = refine_patch_impl(
+                            pool,
+                            solver,
+                            domains,
+                            phi,
+                            &r,
+                            sigma,
+                            depth + 1,
+                            calls,
+                            config,
+                        );
                         if !refined.is_empty() {
                             kept.push(refined);
                         }
@@ -561,5 +753,101 @@ mod tests {
         // A tautology is never removed (it violates no spec) — only
         // deprioritized, exactly as the paper describes.
         assert_eq!(stats.removed, 0);
+    }
+
+    /// The pool walk is bit-identical at any thread count: same stats, same
+    /// surviving entries, same refined regions, same scores.
+    #[test]
+    fn reduce_is_deterministic_across_thread_counts() {
+        let run_with_threads = |threads: usize| {
+            let (mut sess, program, mut config) = setup();
+            config.threads = threads;
+            let theta_exec = sess.pool.ff();
+            let patch = HolePatch {
+                theta: theta_exec,
+                params: cpr_smt::Model::new(),
+            };
+            let mut input = cpr_smt::Model::new();
+            input.set(sess.pool.find_var("x").unwrap(), 7i64);
+            input.set(sess.pool.find_var("y").unwrap(), 0i64);
+            let run =
+                ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
+
+            // A mixed pool: parameterized single/pair patches + concretes.
+            let x = sess.pool.named_var("x", Sort::Int);
+            let y = sess.pool.named_var("y", Sort::Int);
+            let a_var = sess.pool.find_var("a").unwrap();
+            let b_var = sess.pool.find_var("b").unwrap();
+            let a = sess.pool.var_term(a_var);
+            let b = sess.pool.var_term(b_var);
+            let ge_xa = sess.pool.ge(x, a);
+            let eq_xa = sess.pool.eq(x, a);
+            let eq_yb = sess.pool.eq(y, b);
+            let pair = sess.pool.or(eq_xa, eq_yb);
+            let tt = sess.pool.tt();
+            let ff = sess.pool.ff();
+            let mut entries = vec![
+                PoolEntry::new(AbstractPatch::new(
+                    0,
+                    ge_xa,
+                    vec![a_var],
+                    Region::full(vec![a_var], -10, 10),
+                )),
+                PoolEntry::new(AbstractPatch::new(
+                    1,
+                    pair,
+                    vec![a_var, b_var],
+                    Region::full(vec![a_var, b_var], -10, 10),
+                )),
+                PoolEntry::new(AbstractPatch::concrete(2, tt)),
+                PoolEntry::new(AbstractPatch::concrete(3, ff)),
+                PoolEntry::new(AbstractPatch::new(
+                    4,
+                    eq_xa,
+                    vec![a_var],
+                    Region::full(vec![a_var], -10, 10),
+                )),
+            ];
+            let stats = reduce(&mut sess, &mut entries, &run, &config);
+            let snapshot: Vec<_> = entries
+                .iter()
+                .map(|e| {
+                    (
+                        e.patch.id,
+                        e.patch.constraint.volume(),
+                        e.patch.constraint.clone(),
+                        e.score.feasible,
+                        e.score.bug_hits,
+                        e.score.deletion_evidence,
+                    )
+                })
+                .collect();
+            (stats, snapshot)
+        };
+
+        let serial = run_with_threads(1);
+        for threads in [2, 4, 8] {
+            let parallel = run_with_threads(threads);
+            assert_eq!(serial.0, parallel.0, "stats differ at {threads} threads");
+            assert_eq!(
+                serial.1.len(),
+                parallel.1.len(),
+                "pool size differs at {threads} threads"
+            );
+            for (s, p) in serial.1.iter().zip(&parallel.1) {
+                assert_eq!(s.0, p.0, "entry order differs at {threads} threads");
+                assert_eq!(s.1, p.1, "volume differs at {threads} threads");
+                assert_eq!(
+                    format!("{:?}", s.2),
+                    format!("{:?}", p.2),
+                    "region differs at {threads} threads"
+                );
+                assert_eq!(
+                    (s.3, s.4, s.5),
+                    (p.3, p.4, p.5),
+                    "score differs at {threads} threads"
+                );
+            }
+        }
     }
 }

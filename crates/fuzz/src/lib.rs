@@ -34,11 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod rng;
+
 use std::collections::HashMap;
 
 use cpr_lang::{ConcretePatch, Interp, Outcome, Program};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::XorShiftRng;
 
 /// Tuning knobs for the fuzzer.
 #[derive(Debug, Clone)]
@@ -82,6 +83,10 @@ pub struct FuzzResult {
 struct Seed {
     input: HashMap<String, i64>,
     score: u32,
+    /// Execution counter at creation; ties in score are broken towards
+    /// newer seeds so the directed walk keeps drifting instead of freezing
+    /// on the first inputs that reached the bug location.
+    born: u64,
 }
 
 /// Searches for an input whose execution fails observably (sanitizer crash,
@@ -93,7 +98,7 @@ pub fn find_failing_input(
     patch: Option<&ConcretePatch<'_>>,
     config: &FuzzConfig,
 ) -> FuzzResult {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = XorShiftRng::seed_from_u64(config.seed);
     let interp = Interp::with_max_steps(config.max_steps);
     let mut execs = 0u64;
     let mut best_score = 0u32;
@@ -120,7 +125,7 @@ pub fn find_failing_input(
                 1 => decl.hi,
                 2 => 0i64.clamp(decl.lo, decl.hi),
                 3 => (decl.lo + decl.hi) / 2,
-                _ => rng.gen_range(decl.lo..=decl.hi),
+                _ => rng.gen_range_i64(decl.lo, decl.hi),
             };
             input.insert(decl.name.clone(), v);
         }
@@ -134,7 +139,11 @@ pub fn find_failing_input(
                 best_score,
             };
         }
-        corpus.push(Seed { input, score });
+        corpus.push(Seed {
+            input,
+            score,
+            born: execs,
+        });
     }
     if program.inputs.is_empty() {
         return FuzzResult {
@@ -146,25 +155,26 @@ pub fn find_failing_input(
     }
 
     while execs < config.max_execs {
-        // Power schedule: prefer seeds closer to the bug location.
-        corpus.sort_by_key(|s| std::cmp::Reverse(s.score));
+        // Power schedule: prefer seeds closer to the bug location, and
+        // among equally-directed seeds prefer recent ones.
+        corpus.sort_by_key(|s| std::cmp::Reverse((s.score, s.born)));
         corpus.truncate(24);
-        let pick = rng.gen_range(0..corpus.len().min(8));
+        let pick = rng.gen_index(corpus.len().min(8));
         let base = corpus[pick].input.clone();
         for _ in 0..config.mutations_per_seed {
             if execs >= config.max_execs {
                 break;
             }
             let mut input = base.clone();
-            let decl = &program.inputs[rng.gen_range(0..program.inputs.len())];
+            let decl = &program.inputs[rng.gen_index(program.inputs.len())];
             let cur = input[&decl.name];
-            let mutated = match rng.gen_range(0..6) {
+            let mutated = match rng.gen_index(6) {
                 0 => cur + 1,
                 1 => cur - 1,
-                2 => cur + rng.gen_range(1..=8),
-                3 => cur - rng.gen_range(1..=8),
-                4 => rng.gen_range(decl.lo..=decl.hi),
-                _ => [decl.lo, decl.hi, 0, 1, -1][rng.gen_range(0..5)],
+                2 => cur + rng.gen_range_i64(1, 8),
+                3 => cur - rng.gen_range_i64(1, 8),
+                4 => rng.gen_range_i64(decl.lo, decl.hi),
+                _ => [decl.lo, decl.hi, 0, 1, -1][rng.gen_index(5)],
             };
             input.insert(decl.name.clone(), mutated.clamp(decl.lo, decl.hi));
             let (score, failure) = run(&input, &mut execs);
@@ -179,7 +189,11 @@ pub fn find_failing_input(
             }
             // Keep mutants that make directed progress.
             if score >= corpus[pick].score {
-                corpus.push(Seed { input, score });
+                corpus.push(Seed {
+                    input,
+                    score,
+                    born: execs,
+                });
             }
         }
     }

@@ -1,0 +1,107 @@
+//! A small, dependency-free xorshift64* PRNG.
+//!
+//! This replaces the external `rand` crate so the workspace builds fully
+//! offline. Xorshift64* (Vigna, "An experimental exploration of Marsaglia's
+//! xorshift generators, scrambled") passes the statistical tests that matter
+//! for fuzzing-grade randomness, is four lines of code, and — crucially for
+//! this repository — is deterministic for a fixed seed on every platform,
+//! which the repair pipeline's reproducibility tests rely on.
+
+/// Deterministic xorshift64* pseudo-random number generator.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. A zero seed (the one fixed point of
+    /// the xorshift transition) is remapped to an arbitrary odd constant.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        XorShiftRng {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform draw from the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        // Multiply-shift rejection-free mapping is fine here: span is tiny
+        // relative to 2^64, so the bias is far below fuzzing relevance.
+        let draw = (self.next_u64() as u128 * span) >> 64;
+        (lo as i128 + draw as i128) as i64
+    }
+
+    /// A uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = XorShiftRng::seed_from_u64(42);
+        let mut b = XorShiftRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShiftRng::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = XorShiftRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range_i64(-13, 17);
+            assert!((-13..=17).contains(&v));
+            let i = r.gen_index(9);
+            assert!(i < 9);
+        }
+        // Point range.
+        assert_eq!(r.gen_range_i64(5, 5), 5);
+        assert_eq!(r.gen_index(1), 0);
+    }
+
+    #[test]
+    fn output_covers_the_range() {
+        let mut r = XorShiftRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+}

@@ -12,6 +12,7 @@
 //! conservatively by all callers.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 use crate::interval::Interval;
 use crate::model::Model;
@@ -106,6 +107,9 @@ pub struct SolverConfig {
     pub max_contraction_rounds: u32,
     /// Domain assumed for variables without an explicit bound.
     pub default_domain: Interval,
+    /// Capacity of the memoizing query cache (entries per generation);
+    /// `0` disables caching entirely.
+    pub cache_capacity: usize,
 }
 
 impl Default for SolverConfig {
@@ -114,6 +118,7 @@ impl Default for SolverConfig {
             max_nodes: 50_000,
             max_contraction_rounds: 30,
             default_domain: Interval::of(-(1 << 30), 1 << 30),
+            cache_capacity: 4_096,
         }
     }
 }
@@ -131,14 +136,92 @@ pub struct SolverStats {
     pub unknown: u64,
     /// Total search nodes explored.
     pub nodes: u64,
+    /// Queries answered from the memoizing cache.
+    pub cache_hits: u64,
+    /// Queries that missed the cache and ran the full search.
+    pub cache_misses: u64,
+}
+
+/// Cache key: the query's live constraints in sorted, deduplicated `TermId`
+/// order plus a fingerprint of the variable domains. Because constraints
+/// are conjunctive, sorting loses nothing — and the solver *answers* the
+/// sorted query, so a result is a pure function of its key.
+type QueryKey = (Vec<TermId>, u64);
+
+/// Bounded memoization table for solver verdicts, evicted in two
+/// generations: inserts land in `current`, and when it fills up the
+/// previous generation is dropped wholesale. Recently-used entries are
+/// promoted back into `current`, which approximates LRU without
+/// per-entry bookkeeping.
+#[derive(Debug, Default, Clone)]
+struct QueryCache {
+    current: HashMap<QueryKey, SatResult>,
+    previous: HashMap<QueryKey, SatResult>,
+}
+
+impl QueryCache {
+    fn get(&mut self, key: &QueryKey) -> Option<SatResult> {
+        if let Some(r) = self.current.get(key) {
+            return Some(r.clone());
+        }
+        if let Some(r) = self.previous.remove(key) {
+            self.current.insert(key.clone(), r.clone());
+            return Some(r);
+        }
+        None
+    }
+
+    fn insert(&mut self, key: QueryKey, result: SatResult, capacity: usize) {
+        if self.current.len() >= capacity {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(key, result);
+    }
+
+    fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+}
+
+/// Fingerprint (FNV-1a) of the domain environment a query runs under, so
+/// identical constraint sets solved under different domains never share a
+/// cache entry.
+fn domains_fingerprint(domains: &Domains, default: Interval) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(default.lo() as u64);
+    mix(default.hi() as u64);
+    for (var, iv) in domains.iter() {
+        mix(u64::from(var.0) + 1);
+        mix(iv.lo() as u64);
+        mix(iv.hi() as u64);
+    }
+    h
 }
 
 /// The branch-and-prune solver. Stateless between queries apart from
-/// [`SolverStats`]; cheap to construct.
+/// [`SolverStats`] and the memoizing query cache; cheap to construct.
+///
+/// The cache is shared between a solver and its [`Solver::fork`]s: workers
+/// of a parallel phase serve each other's repeated queries through one
+/// table instead of each paying the search again. Sharing is safe because
+/// [`Solver::check`] answers the canonical (sorted, deduplicated) form of
+/// every query, making each verdict a pure function of its cache key —
+/// whichever thread computed it.
 #[derive(Debug, Default, Clone)]
 pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
+    cache: Arc<Mutex<QueryCache>>,
+    /// Queries mentioning a term id at or above this floor bypass the
+    /// cache. Forked workers intern terms into their own pool forks; such
+    /// ids name different terms in different forks, so only queries over
+    /// the shared prefix (ids below the fork point) may touch the shared
+    /// table. `usize::MAX` (the root solver) caches everything.
+    cache_floor: usize,
 }
 
 impl Solver {
@@ -147,7 +230,42 @@ impl Solver {
         Solver {
             config,
             stats: SolverStats::default(),
+            cache: Arc::new(Mutex::new(QueryCache::default())),
+            cache_floor: usize::MAX,
         }
+    }
+
+    /// Creates a worker solver for a parallel phase: same configuration,
+    /// zeroed statistics (so [`Solver::absorb`] can sum worker counters
+    /// without double-counting), and the *shared* query cache, gated at
+    /// `base_terms`: the worker may consult and fill the cache only with
+    /// queries whose term ids all lie below the fork point, because ids it
+    /// interns into its own pool fork mean nothing in other forks.
+    pub fn fork(&self, base_terms: usize) -> Solver {
+        Solver {
+            config: self.config.clone(),
+            stats: SolverStats::default(),
+            cache: Arc::clone(&self.cache),
+            cache_floor: base_terms.min(self.cache_floor),
+        }
+    }
+
+    /// Folds a forked worker back in by summing its statistics. (The query
+    /// cache is shared with the worker, so there is nothing to merge.)
+    pub fn absorb(&mut self, worker: Solver) {
+        let s = worker.stats;
+        self.stats.queries += s.queries;
+        self.stats.sat += s.sat;
+        self.stats.unsat += s.unsat;
+        self.stats.unknown += s.unknown;
+        self.stats.nodes += s.nodes;
+        self.stats.cache_hits += s.cache_hits;
+        self.stats.cache_misses += s.cache_misses;
+    }
+
+    /// Number of entries currently memoized.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.lock().expect("query cache poisoned").len()
     }
 
     /// Accumulated statistics.
@@ -191,8 +309,38 @@ impl Solver {
                 }
             }
         }
+        // Canonicalize: constraints are conjunctive, so sorted deduplicated
+        // order is equivalent. The solver *answers* the canonical query
+        // (not merely keys on it), which makes each verdict a pure function
+        // of (canonical constraints, domains, config) — the property that
+        // lets cached results be reused across forked solvers without
+        // changing any answer.
+        live.sort_unstable();
+        live.dedup();
+        let caching = self.config.cache_capacity > 0
+            && live
+                .last()
+                .is_none_or(|id| (id.0 as usize) < self.cache_floor);
+        let key: QueryKey = (
+            live,
+            domains_fingerprint(domains, self.config.default_domain),
+        );
+        if caching {
+            let cached = self.cache.lock().expect("query cache poisoned").get(&key);
+            if let Some(result) = cached {
+                self.stats.cache_hits += 1;
+                match &result {
+                    SatResult::Sat(_) => self.stats.sat += 1,
+                    SatResult::Unsat => self.stats.unsat += 1,
+                    SatResult::Unknown => self.stats.unknown += 1,
+                }
+                return result;
+            }
+            self.stats.cache_misses += 1;
+        }
+        let live = &key.0;
         let mut vars: Vec<VarId> = Vec::new();
-        for &c in &live {
+        for &c in live {
             for v in pool.vars_of(c) {
                 if !vars.contains(&v) {
                     vars.push(v);
@@ -201,11 +349,17 @@ impl Solver {
         }
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         let mut budget = self.config.max_nodes;
-        let result = self.search(pool, &live, &mut vbox, &mut budget);
+        let result = self.search(pool, live, &mut vbox, &mut budget);
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
             SatResult::Unknown => self.stats.unknown += 1,
+        }
+        if caching {
+            self.cache
+                .lock()
+                .expect("query cache poisoned")
+                .insert(key, result.clone(), self.config.cache_capacity);
         }
         result
     }
@@ -1144,5 +1298,120 @@ mod tests {
         let zero = p.int(0);
         let c = p.gt(x, zero);
         assert_eq!(s.check(&p, &[c], &Domains::new()), SatResult::Unknown);
+    }
+
+    #[test]
+    fn cache_answers_repeated_queries() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let a = p.gt(x, five);
+        let b = p.lt(x, five);
+        let mut d = Domains::new();
+        d.bound(xv, -10, 10);
+        let r1 = s.check(&p, &[a, b], &d);
+        // Same conjunction in a different order hits the canonical entry.
+        let r2 = s.check(&p, &[b, a], &d);
+        assert_eq!(r1, r2);
+        assert_eq!(s.stats().cache_misses, 1);
+        assert_eq!(s.stats().cache_hits, 1);
+        // Hits still count as queries with their verdict tallied.
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().unsat + s.stats().sat + s.stats().unknown, 2);
+    }
+
+    #[test]
+    fn cache_distinguishes_domains() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let c = p.gt(x, five);
+        let mut narrow = Domains::new();
+        narrow.bound(xv, 0, 3);
+        let mut wide = Domains::new();
+        wide.bound(xv, 0, 30);
+        assert!(s.check(&p, &[c], &narrow).is_unsat());
+        assert!(s.check(&p, &[c], &wide).is_sat());
+        assert_eq!(s.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig {
+            cache_capacity: 0,
+            ..SolverConfig::default()
+        });
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let zero = p.int(0);
+        let c = p.gt(x, zero);
+        let mut d = Domains::new();
+        d.bound(xv, -5, 5);
+        let r1 = s.check(&p, &[c], &d);
+        let r2 = s.check(&p, &[c], &d);
+        assert_eq!(r1, r2);
+        assert_eq!(s.stats().cache_hits, 0);
+        assert_eq!(s.stats().cache_misses, 0);
+        assert_eq!(s.cache_entries(), 0);
+    }
+
+    #[test]
+    fn cache_capacity_is_bounded() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig {
+            cache_capacity: 8,
+            ..SolverConfig::default()
+        });
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let mut d = Domains::new();
+        d.bound(xv, -100, 100);
+        for i in 0..100 {
+            let bound = p.int(i);
+            let c = p.gt(x, bound);
+            let _ = s.check(&p, &[c], &d);
+        }
+        // Two generations of at most `capacity` entries each.
+        assert!(s.cache_entries() <= 16, "{}", s.cache_entries());
+    }
+
+    #[test]
+    fn fork_shares_cache_below_the_floor() {
+        let mut p = TermPool::new();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let base_query = p.gt(x, five);
+        let base_terms = p.len();
+        let mut d = Domains::new();
+        d.bound(xv, -10, 10);
+
+        let mut main = Solver::new(SolverConfig::default());
+        let mut worker_pool = p.clone();
+        let mut worker = main.fork(base_terms);
+        assert_eq!(worker.stats().queries, 0);
+        // One query over base terms, one over a worker-local term.
+        let _ = worker.check(&worker_pool, &[base_query], &d);
+        let seven = worker_pool.int(7);
+        let local_query = worker_pool.gt(x, seven);
+        let _ = worker.check(&worker_pool, &[local_query], &d);
+
+        main.absorb(worker);
+        assert_eq!(main.stats().queries, 2);
+        // The base-term query was cached through the shared table, so the
+        // main solver hits it; the worker-local query was never cached.
+        assert_eq!(main.cache_entries(), 1);
+        let _ = main.check(&p, &[base_query], &d);
+        assert_eq!(main.stats().cache_hits, 1);
+
+        // A second fork also sees the shared entry.
+        let mut worker2 = main.fork(base_terms);
+        let _ = worker2.check(&p, &[base_query], &d);
+        assert_eq!(worker2.stats().cache_hits, 1);
     }
 }

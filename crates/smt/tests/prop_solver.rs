@@ -1,11 +1,46 @@
 //! Property-based tests: the branch-and-prune solver against brute-force
 //! enumeration on small domains, interval soundness, and region invariants.
+//!
+//! The random-input generation is driven by the same dependency-free
+//! xorshift64* generator the fuzz crate uses (inlined here because
+//! `cpr-fuzz` depends on `cpr-smt`, so a dev-dependency would be cyclic).
+//! Every case prints its seed on failure, so any counterexample is
+//! reproducible by construction.
 
 use cpr_smt::{
     ArithOp, CmpOp, Domains, Interval, Model, ParamBox, Region, SatResult, Solver, SolverConfig,
     Sort, TermId, TermPool,
 };
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* generator (same algorithm as `cpr_fuzz::rng`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw from the inclusive range `[lo, hi]`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let draw = (self.next_u64() as u128 * span) >> 64;
+        (lo as i128 + draw as i128) as i64
+    }
+
+    /// Uniform index in `[0, n)`.
+    fn index(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
 
 /// A small random formula AST that we can lower into a pool and also
 /// brute-force evaluate.
@@ -27,41 +62,54 @@ enum Fb {
     Not(Box<Fb>),
 }
 
-fn arb_fx() -> impl Strategy<Value = Fx> {
-    let leaf = prop_oneof![
-        (0u8..3).prop_map(Fx::Var),
-        (-6i64..=6).prop_map(Fx::Const),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fx::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Fx::Div(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_fx(rng: &mut Rng, depth: u32) -> Fx {
+    // Leaves at the depth limit, and with 2/5 probability elsewhere, which
+    // keeps the expected tree size close to the old proptest strategy's.
+    if depth == 0 || rng.index(5) < 2 {
+        if rng.index(2) == 0 {
+            Fx::Var(rng.index(3) as u8)
+        } else {
+            Fx::Const(rng.range(-6, 6))
+        }
+    } else {
+        let a = Box::new(gen_fx(rng, depth - 1));
+        let b = Box::new(gen_fx(rng, depth - 1));
+        match rng.index(4) {
+            0 => Fx::Add(a, b),
+            1 => Fx::Sub(a, b),
+            2 => Fx::Mul(a, b),
+            _ => Fx::Div(a, b),
+        }
+    }
 }
 
-fn arb_cmp() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
+fn gen_cmp(rng: &mut Rng) -> CmpOp {
+    match rng.index(6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
 }
 
-fn arb_fb() -> impl Strategy<Value = Fb> {
-    let leaf = (arb_cmp(), arb_fx(), arb_fx()).prop_map(|(op, a, b)| Fb::Cmp(op, a, b));
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fb::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fb::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| Fb::Not(Box::new(a))),
-        ]
-    })
+fn gen_fb(rng: &mut Rng, depth: u32) -> Fb {
+    if depth == 0 || rng.index(5) < 2 {
+        Fb::Cmp(gen_cmp(rng), gen_fx(rng, 3), gen_fx(rng, 3))
+    } else {
+        match rng.index(3) {
+            0 => Fb::And(
+                Box::new(gen_fb(rng, depth - 1)),
+                Box::new(gen_fb(rng, depth - 1)),
+            ),
+            1 => Fb::Or(
+                Box::new(gen_fb(rng, depth - 1)),
+                Box::new(gen_fb(rng, depth - 1)),
+            ),
+            _ => Fb::Not(Box::new(gen_fb(rng, depth - 1))),
+        }
+    }
 }
 
 fn lower_fx(pool: &mut TermPool, e: &Fx, vars: &[TermId]) -> TermId {
@@ -135,152 +183,205 @@ fn brute_force_sat(pool: &TermPool, phi: TermId, vars: &[cpr_smt::VarId]) -> boo
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// Fresh pool with the standard three test variables, plus the lowering of
+/// a random boolean formula over them.
+fn pool_with_formula(f: &Fb) -> (TermPool, [cpr_smt::VarId; 3], TermId) {
+    let mut pool = TermPool::new();
+    let vx = pool.var("x", Sort::Int);
+    let vy = pool.var("y", Sort::Int);
+    let vz = pool.var("z", Sort::Int);
+    let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
+    let phi = lower_fb(&mut pool, f, &vars);
+    (pool, [vx, vy, vz], phi)
+}
 
-    /// The solver agrees with brute-force enumeration on small domains,
-    /// and its models actually satisfy the formula.
-    #[test]
-    fn solver_matches_brute_force(f in arb_fb()) {
-        let mut pool = TermPool::new();
-        let vx = pool.var("x", Sort::Int);
-        let vy = pool.var("y", Sort::Int);
-        let vz = pool.var("z", Sort::Int);
-        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
-        let phi = lower_fb(&mut pool, &f, &vars);
+/// The solver agrees with brute-force enumeration on small domains, and
+/// its models actually satisfy the formula.
+#[test]
+fn solver_matches_brute_force() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0x50a7 + case);
+        let f = gen_fb(&mut rng, 3);
+        let (pool, vs, phi) = pool_with_formula(&f);
 
         let mut domains = Domains::new();
-        for v in [vx, vy, vz] {
+        for v in vs {
             domains.bound(v, *DOM.start(), *DOM.end());
         }
         let mut solver = Solver::new(SolverConfig::default());
-        let expected = brute_force_sat(&pool, phi, &[vx, vy, vz]);
+        let expected = brute_force_sat(&pool, phi, &vs);
         match solver.check(&pool, &[phi], &domains) {
             SatResult::Sat(m) => {
-                prop_assert!(expected, "solver said sat, brute force says unsat: {}", pool.display(phi));
-                prop_assert!(m.eval_bool(&pool, phi), "model does not satisfy formula");
+                assert!(
+                    expected,
+                    "case {case}: solver said sat, brute force says unsat: {}",
+                    pool.display(phi)
+                );
+                assert!(
+                    m.eval_bool(&pool, phi),
+                    "case {case}: model does not satisfy formula"
+                );
             }
             SatResult::Unsat => {
-                prop_assert!(!expected, "solver said unsat, brute force found a model: {}", pool.display(phi));
+                assert!(
+                    !expected,
+                    "case {case}: solver said unsat, brute force found a model: {}",
+                    pool.display(phi)
+                );
             }
             SatResult::Unknown => {
                 // Budget exhaustion is allowed (treated as a timeout), but
                 // should not happen on these tiny domains.
-                prop_assert!(false, "unexpected Unknown on tiny domain");
+                panic!("case {case}: unexpected Unknown on tiny domain");
             }
         }
     }
+}
 
-    /// Simplification preserves semantics on all points of the domain.
-    #[test]
-    fn simplify_preserves_semantics(f in arb_fb()) {
-        let mut pool = TermPool::new();
-        let vx = pool.var("x", Sort::Int);
-        let vy = pool.var("y", Sort::Int);
-        let vz = pool.var("z", Sort::Int);
-        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
-        let phi = lower_fb(&mut pool, &f, &vars);
+/// Simplification preserves semantics on all points of the domain.
+#[test]
+fn simplify_preserves_semantics() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0x51a9 + case);
+        let f = gen_fb(&mut rng, 3);
+        let (mut pool, vs, phi) = pool_with_formula(&f);
         let simp = pool.simplify(phi);
         for x in DOM {
             for y in DOM {
                 let mut m = Model::new();
-                m.set(vx, x);
-                m.set(vy, y);
-                m.set(vz, 1i64);
-                prop_assert_eq!(m.eval_bool(&pool, phi), m.eval_bool(&pool, simp));
+                m.set(vs[0], x);
+                m.set(vs[1], y);
+                m.set(vs[2], 1i64);
+                assert_eq!(
+                    m.eval_bool(&pool, phi),
+                    m.eval_bool(&pool, simp),
+                    "case {case}: {}",
+                    pool.display(phi)
+                );
             }
         }
     }
+}
 
-    /// Forward interval evaluation encloses the concrete value of every
-    /// point inside the domains (soundness of the contractor's basis).
-    #[test]
-    fn enclosure_soundness_via_solver(
-        f in arb_fb(),
-        x in DOM, y in DOM, z in DOM,
-    ) {
-        // If a concrete point satisfies the formula, the solver must not
-        // answer Unsat for domains containing that point.
-        let mut pool = TermPool::new();
-        let vx = pool.var("x", Sort::Int);
-        let vy = pool.var("y", Sort::Int);
-        let vz = pool.var("z", Sort::Int);
-        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
-        let phi = lower_fb(&mut pool, &f, &vars);
+/// Forward interval evaluation encloses the concrete value of every point
+/// inside the domains (soundness of the contractor's basis): if a concrete
+/// point satisfies the formula, the solver must not answer Unsat for
+/// domains containing that point.
+#[test]
+fn enclosure_soundness_via_solver() {
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0x52ab + case);
+        let f = gen_fb(&mut rng, 3);
+        let (x, y, z) = (
+            rng.range(*DOM.start(), *DOM.end()),
+            rng.range(*DOM.start(), *DOM.end()),
+            rng.range(*DOM.start(), *DOM.end()),
+        );
+        let (pool, vs, phi) = pool_with_formula(&f);
         let mut m = Model::new();
-        m.set(vx, x);
-        m.set(vy, y);
-        m.set(vz, z);
+        m.set(vs[0], x);
+        m.set(vs[1], y);
+        m.set(vs[2], z);
         if m.eval_bool(&pool, phi) {
             let mut domains = Domains::new();
-            for v in [vx, vy, vz] {
+            for v in vs {
                 domains.bound(v, *DOM.start(), *DOM.end());
             }
             let mut solver = Solver::new(SolverConfig::default());
             let r = solver.check(&pool, &[phi], &domains);
-            prop_assert!(!r.is_unsat(), "solver refuted a satisfiable formula");
+            assert!(
+                !r.is_unsat(),
+                "case {case}: solver refuted a satisfiable formula: {}",
+                pool.display(phi)
+            );
         }
     }
+}
 
-    /// Interval multiplication soundness: products of members are members.
-    #[test]
-    fn interval_mul_sound(
-        alo in -50i64..50, aw in 0i64..20,
-        blo in -50i64..50, bw in 0i64..20,
-        pa in 0i64..20, pb in 0i64..20,
-    ) {
+/// Interval multiplication soundness: products of members are members.
+#[test]
+fn interval_mul_sound() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x53ad + case);
+        let (alo, aw) = (rng.range(-50, 49), rng.range(0, 19));
+        let (blo, bw) = (rng.range(-50, 49), rng.range(0, 19));
+        let (pa, pb) = (rng.range(0, 19), rng.range(0, 19));
         let a = Interval::of(alo, alo + aw);
         let b = Interval::of(blo, blo + bw);
         let x = alo + pa.min(aw);
         let y = blo + pb.min(bw);
-        prop_assert!(a.mul(b).contains(x * y));
+        assert!(
+            a.mul(b).contains(x * y),
+            "case {case}: {a:?} * {b:?} misses {x} * {y}"
+        );
     }
+}
 
-    /// Interval division soundness with total semantics.
-    #[test]
-    fn interval_div_sound(
-        alo in -50i64..50, aw in 0i64..20,
-        blo in -50i64..50, bw in 0i64..20,
-        pa in 0i64..20, pb in 0i64..20,
-    ) {
+/// Interval division soundness with total semantics.
+#[test]
+fn interval_div_sound() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x54af + case);
+        let (alo, aw) = (rng.range(-50, 49), rng.range(0, 19));
+        let (blo, bw) = (rng.range(-50, 49), rng.range(0, 19));
+        let (pa, pb) = (rng.range(0, 19), rng.range(0, 19));
         let a = Interval::of(alo, alo + aw);
         let b = Interval::of(blo, blo + bw);
         let x = alo + pa.min(aw);
         let y = blo + pb.min(bw);
         let q = if y == 0 { 0 } else { x / y };
-        prop_assert!(a.div_total(b).contains(q));
+        assert!(
+            a.div_total(b).contains(q),
+            "case {case}: {a:?} / {b:?} misses {x} / {y}"
+        );
     }
+}
 
-    /// Region split removes exactly the counterexample point: volume drops
-    /// by one and the point is gone while neighbours remain.
-    #[test]
-    fn region_split_removes_one_point(
-        lo in -20i64..0, hi in 0i64..20,
-        px in -20i64..20, py in -20i64..20,
-        dims in 1usize..=3,
-    ) {
+/// Region split removes exactly the counterexample point: volume drops by
+/// one and the point is gone while neighbours remain.
+#[test]
+fn region_split_removes_one_point() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x55b1 + case);
+        let (lo, hi) = (rng.range(-20, -1), rng.range(0, 19));
+        let (px, py) = (rng.range(-20, 19), rng.range(-20, 19));
+        let dims = rng.index(3) + 1;
         let mut pool = TermPool::new();
-        let params: Vec<_> = (0..dims).map(|i| pool.var(&format!("p{i}"), Sort::Int)).collect();
+        let params: Vec<_> = (0..dims)
+            .map(|i| pool.var(&format!("p{i}"), Sort::Int))
+            .collect();
         let region = Region::full(params.clone(), lo, hi);
         let point: Vec<i64> = (0..dims).map(|i| if i % 2 == 0 { px } else { py }).collect();
         let inside = point.iter().all(|&v| v >= lo && v <= hi);
         let parts = region.split_at(&point);
         let merged = Region::union(params, parts).merged();
         if inside {
-            prop_assert_eq!(merged.volume(), region.volume() - 1);
-            prop_assert!(!merged.contains_point(&point));
+            assert_eq!(merged.volume(), region.volume() - 1, "case {case}");
+            assert!(!merged.contains_point(&point), "case {case}");
         } else {
-            prop_assert_eq!(merged.volume(), region.volume());
+            assert_eq!(merged.volume(), region.volume(), "case {case}");
         }
     }
+}
 
-    /// Merge never changes the set of contained points (checked by volume
-    /// and by membership sampling).
-    #[test]
-    fn region_merge_preserves_membership(
-        seed_boxes in prop::collection::vec((-10i64..10, 0i64..6, -10i64..10, 0i64..6), 1..5),
-        qx in -12i64..12, qy in -12i64..12,
-    ) {
+/// Merge never changes the set of contained points (checked by membership
+/// sampling).
+#[test]
+fn region_merge_preserves_membership() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x56b3 + case);
+        let n_boxes = rng.index(4) + 1;
+        let seed_boxes: Vec<(i64, i64, i64, i64)> = (0..n_boxes)
+            .map(|_| {
+                (
+                    rng.range(-10, 9),
+                    rng.range(0, 5),
+                    rng.range(-10, 9),
+                    rng.range(0, 5),
+                )
+            })
+            .collect();
+        let (qx, qy) = (rng.range(-12, 11), rng.range(-12, 11));
         let mut pool = TermPool::new();
         let params = vec![pool.var("a", Sort::Int), pool.var("b", Sort::Int)];
         let boxes: Vec<ParamBox> = seed_boxes
@@ -291,43 +392,45 @@ proptest! {
             .collect();
         let region = Region::from_boxes(params, boxes);
         let merged = region.merged();
-        prop_assert_eq!(
+        assert_eq!(
             region.contains_point(&[qx, qy]),
-            merged.contains_point(&[qx, qy])
+            merged.contains_point(&[qx, qy]),
+            "case {case}: query ({qx}, {qy}) on {seed_boxes:?}"
         );
     }
+}
 
-    /// Region to_term agrees with membership.
-    #[test]
-    fn region_term_agrees_with_membership(
-        lo in -10i64..0, hi in 0i64..10,
-        q in -15i64..15,
-    ) {
+/// Region to_term agrees with membership.
+#[test]
+fn region_term_agrees_with_membership() {
+    for case in 0..256u64 {
+        let mut rng = Rng::new(0x57b5 + case);
+        let (lo, hi) = (rng.range(-10, -1), rng.range(0, 9));
+        let q = rng.range(-15, 14);
         let mut pool = TermPool::new();
         let params = vec![pool.var("a", Sort::Int)];
         let region = Region::full(params.clone(), lo, hi);
         let t = region.to_term(&mut pool);
         let mut m = Model::new();
         m.set(params[0], q);
-        prop_assert_eq!(m.eval_bool(&pool, t), region.contains_point(&[q]));
+        assert_eq!(
+            m.eval_bool(&pool, t),
+            region.contains_point(&[q]),
+            "case {case}: [{lo}, {hi}] at {q}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// `parse_term` is a left inverse of `display` for generated formulas.
-    #[test]
-    fn display_parse_roundtrip(f in arb_fb()) {
-        let mut pool = TermPool::new();
-        let vx = pool.var("x", Sort::Int);
-        let vy = pool.var("y", Sort::Int);
-        let vz = pool.var("z", Sort::Int);
-        let vars = [pool.var_term(vx), pool.var_term(vy), pool.var_term(vz)];
-        let phi = lower_fb(&mut pool, &f, &vars);
+/// `parse_term` is a left inverse of `display` for generated formulas.
+#[test]
+fn display_parse_roundtrip() {
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0x58b7 + case);
+        let f = gen_fb(&mut rng, 3);
+        let (mut pool, _, phi) = pool_with_formula(&f);
         let shown = pool.display(phi);
         let reparsed = pool.parse_term(&shown).expect("reparse");
-        prop_assert_eq!(reparsed, phi, "display: {}", shown);
+        assert_eq!(reparsed, phi, "case {case}: display: {shown}");
     }
 }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 verification: the workspace must build offline (zero external
+# dependencies) and the root package's build + test gate must pass.
+# Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> offline build (no registry, no network)"
+cargo build --offline --workspace
+
+echo "==> tier-1: release build"
+cargo build --release
+
+echo "==> tier-1: tests"
+cargo test -q
+
+echo "verify: OK"

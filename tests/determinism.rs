@@ -1,0 +1,72 @@
+//! Parallel reduce must not change results: a full `repair()` run produces
+//! a bit-identical [`RepairReport`] at every thread count. This is the
+//! end-to-end guarantee behind `RepairConfig::threads` — wall-clock is the
+//! only observable difference.
+
+use cpr_core::{repair, RepairConfig, RepairReport};
+use cpr_subjects::all_subjects;
+
+/// Everything in the report except the wall clock, as a comparable string.
+fn report_key(r: &RepairReport) -> String {
+    let ranked: Vec<String> = r
+        .ranked
+        .iter()
+        .map(|p| {
+            format!(
+                "id={} score={} concrete={} del={} display={}",
+                p.id, p.score, p.concrete, p.deletion_evidence, p.display
+            )
+        })
+        .collect();
+    format!(
+        "subject={} p_init={} p_final={} abs_init={} abs_final={} explored={} skipped={} \
+         iters={} inputs={} patch_hit={:.6} bug_hit={:.6} dev_rank={:?} history={:?} \
+         coverage={:?} queries={} top={:?} ranked=[{}]",
+        r.subject,
+        r.p_init,
+        r.p_final,
+        r.abstract_init,
+        r.abstract_final,
+        r.paths_explored,
+        r.paths_skipped,
+        r.iterations,
+        r.inputs_generated,
+        r.patch_loc_hit_ratio,
+        r.bug_loc_hit_ratio,
+        r.dev_rank,
+        r.history,
+        r.input_coverage,
+        r.solver_queries,
+        r.top_patched_source,
+        ranked.join("; ")
+    )
+}
+
+#[test]
+fn repair_is_bit_identical_across_thread_counts() {
+    // Three supported subjects, small enough for a quick() budget but
+    // non-trivial (each explores several partitions and refines
+    // parameterized patches).
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let run = |threads: usize| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            report_key(&repair(&problem, &config))
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let parallel = run(threads);
+            assert_eq!(
+                serial, parallel,
+                "{name}: report differs between 1 and {threads} threads"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
+}

@@ -7,16 +7,19 @@
 //! * pretty-printing a generated program round-trips through the parser.
 //!
 //! Programs are generated from a recipe (indices resolved modulo the set of
-//! in-scope variables), which keeps them well-typed by construction.
+//! in-scope variables), which keeps them well-typed by construction. The
+//! recipes themselves are drawn from the dependency-free xorshift64*
+//! generator in `cpr_fuzz::rng`; each case's seed is printed on failure so
+//! counterexamples are reproducible.
 
 use std::collections::HashMap;
 
 use cpr_concolic::ConcolicExecutor;
+use cpr_fuzz::rng::XorShiftRng;
 use cpr_lang::{
     ast::Span, check, parse, pretty, BinOp, Expr, Interp, Program, Stmt, Type,
 };
 use cpr_smt::{Model, Sort, TermPool};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum ExprRecipe {
@@ -39,78 +42,85 @@ enum StmtRecipe {
     Return(ExprRecipe),
 }
 
-fn arb_expr() -> impl Strategy<Value = ExprRecipe> {
-    let leaf = prop_oneof![
-        (0u8..8).prop_map(ExprRecipe::Var),
-        (-5i64..=5).prop_map(ExprRecipe::Const),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (0u8..5, inner.clone(), inner)
-            .prop_map(|(op, a, b)| ExprRecipe::Bin(op, Box::new(a), Box::new(b)))
-    })
-}
-
-fn arb_cond() -> impl Strategy<Value = CondRecipe> {
-    (0u8..6, arb_expr(), arb_expr()).prop_map(|(op, a, b)| CondRecipe::Cmp(op, a, b))
-}
-
-fn arb_stmt(depth: u32) -> BoxedStrategy<StmtRecipe> {
-    if depth == 0 {
-        prop_oneof![
-            arb_expr().prop_map(StmtRecipe::Decl),
-            (0u8..8, arb_expr()).prop_map(|(i, e)| StmtRecipe::Assign(i, e)),
-        ]
-        .boxed()
+fn gen_expr(rng: &mut XorShiftRng, depth: u32) -> ExprRecipe {
+    if depth == 0 || rng.gen_index(5) < 2 {
+        if rng.gen_bool() {
+            ExprRecipe::Var(rng.gen_index(8) as u8)
+        } else {
+            ExprRecipe::Const(rng.gen_range_i64(-5, 5))
+        }
     } else {
-        prop_oneof![
-            3 => arb_expr().prop_map(StmtRecipe::Decl),
-            3 => (0u8..8, arb_expr()).prop_map(|(i, e)| StmtRecipe::Assign(i, e)),
-            2 => (
-                arb_cond(),
-                prop::collection::vec(arb_stmt(depth - 1), 0..3),
-                prop::collection::vec(arb_stmt(depth - 1), 0..3),
-            )
-                .prop_map(|(c, t, e)| StmtRecipe::If(c, t, e)),
-            1 => (1u8..4, prop::collection::vec(arb_stmt(depth - 1), 1..3))
-                .prop_map(|(n, b)| StmtRecipe::CountedLoop(n, b)),
-            1 => arb_expr().prop_map(StmtRecipe::Return),
-        ]
-        .boxed()
+        ExprRecipe::Bin(
+            rng.gen_index(5) as u8,
+            Box::new(gen_expr(rng, depth - 1)),
+            Box::new(gen_expr(rng, depth - 1)),
+        )
     }
 }
 
-fn arb_program() -> impl Strategy<Value = (Program, u32)> {
-    (
-        prop::collection::vec(arb_stmt(2), 1..6),
-        arb_expr(),
-        2u8..=3,
-    )
-        .prop_map(|(stmts, ret, n_inputs)| {
-            let mut b = Builder {
-                vars: (0..n_inputs).map(|i| format!("in{i}")).collect(),
-                counter: 0,
-                loop_counter: 0,
-            };
-            let mut body: Vec<Stmt> = stmts.iter().map(|s| b.stmt(s)).collect();
-            body.push(Stmt::Return {
-                value: b.expr(&ret),
+fn gen_cond(rng: &mut XorShiftRng) -> CondRecipe {
+    CondRecipe::Cmp(rng.gen_index(6) as u8, gen_expr(rng, 3), gen_expr(rng, 3))
+}
+
+fn gen_stmts(rng: &mut XorShiftRng, depth: u32, lo: usize, hi: usize) -> Vec<StmtRecipe> {
+    let n = lo + rng.gen_index(hi - lo + 1);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_stmt(rng: &mut XorShiftRng, depth: u32) -> StmtRecipe {
+    if depth == 0 {
+        return if rng.gen_bool() {
+            StmtRecipe::Decl(gen_expr(rng, 3))
+        } else {
+            StmtRecipe::Assign(rng.gen_index(8) as u8, gen_expr(rng, 3))
+        };
+    }
+    // Weighted pick mirroring the original strategy: decl 3, assign 3,
+    // if 2, counted loop 1, return 1.
+    match rng.gen_index(10) {
+        0..=2 => StmtRecipe::Decl(gen_expr(rng, 3)),
+        3..=5 => StmtRecipe::Assign(rng.gen_index(8) as u8, gen_expr(rng, 3)),
+        6 | 7 => StmtRecipe::If(
+            gen_cond(rng),
+            gen_stmts(rng, depth - 1, 0, 2),
+            gen_stmts(rng, depth - 1, 0, 2),
+        ),
+        8 => StmtRecipe::CountedLoop(
+            rng.gen_range_i64(1, 3) as u8,
+            gen_stmts(rng, depth - 1, 1, 2),
+        ),
+        _ => StmtRecipe::Return(gen_expr(rng, 3)),
+    }
+}
+
+fn gen_program(rng: &mut XorShiftRng) -> (Program, u32) {
+    let stmts = gen_stmts(rng, 2, 1, 5);
+    let ret = gen_expr(rng, 3);
+    let n_inputs = rng.gen_range_i64(2, 3) as u8;
+    let mut b = Builder {
+        vars: (0..n_inputs).map(|i| format!("in{i}")).collect(),
+        counter: 0,
+        loop_counter: 0,
+    };
+    let mut body: Vec<Stmt> = stmts.iter().map(|s| b.stmt(s)).collect();
+    body.push(Stmt::Return {
+        value: b.expr(&ret),
+        span: Span::default(),
+    });
+    let program = Program {
+        name: "generated".into(),
+        functions: Vec::new(),
+        inputs: (0..n_inputs)
+            .map(|i| cpr_lang::InputDecl {
+                name: format!("in{i}"),
+                lo: -8,
+                hi: 8,
                 span: Span::default(),
-            });
-            let program = Program {
-                name: "generated".into(),
-                functions: Vec::new(),
-                inputs: (0..n_inputs)
-                    .map(|i| cpr_lang::InputDecl {
-                        name: format!("in{i}"),
-                        lo: -8,
-                        hi: 8,
-                        span: Span::default(),
-                    })
-                    .collect(),
-                body,
-            };
-            (program, n_inputs as u32)
-        })
+            })
+            .collect(),
+        body,
+    };
+    (program, n_inputs as u32)
 }
 
 struct Builder {
@@ -241,15 +251,17 @@ impl Builder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
-
-    #[test]
-    fn interpreter_and_concolic_agree_on_random_programs(
-        (program, n_inputs) in arb_program(),
-        seed in prop::collection::vec(-8i64..=8, 3),
-    ) {
-        prop_assume!(check(&program).is_ok());
+#[test]
+fn interpreter_and_concolic_agree_on_random_programs() {
+    let mut exercised = 0u32;
+    for case in 0..160u64 {
+        let mut rng = XorShiftRng::seed_from_u64(0x9806 + case);
+        let (program, n_inputs) = gen_program(&mut rng);
+        let seed: Vec<i64> = (0..3).map(|_| rng.gen_range_i64(-8, 8)).collect();
+        if check(&program).is_err() {
+            continue;
+        }
+        exercised += 1;
         let inputs: HashMap<String, i64> = (0..n_inputs as usize)
             .map(|i| (format!("in{i}"), seed[i.min(seed.len() - 1)]))
             .collect();
@@ -267,27 +279,45 @@ proptest! {
         let run = ConcolicExecutor::with_budgets(20_000, 512)
             .execute(&mut pool, &program, &model, None);
 
-        prop_assert_eq!(&run.outcome, &concrete.outcome, "outcome mismatch");
-        prop_assert_eq!(run.hit_bug, concrete.bug_hits > 0);
+        assert_eq!(
+            &run.outcome, &concrete.outcome,
+            "case {case}: outcome mismatch\n{}",
+            pretty(&program)
+        );
+        assert_eq!(run.hit_bug, concrete.bug_hits > 0, "case {case}");
 
         // Every recorded path step holds under the producing input.
         for step in &run.path {
-            prop_assert!(
+            assert!(
                 run.inputs.eval_bool(&pool, step.constraint),
-                "unsatisfied path step {}",
+                "case {case}: unsatisfied path step {}",
                 pool.display(step.constraint)
             );
         }
     }
+    assert!(exercised >= 100, "only {exercised}/160 generated programs checked");
+}
 
-    #[test]
-    fn pretty_print_roundtrips_random_programs((program, _) in arb_program()) {
-        prop_assume!(check(&program).is_ok());
+#[test]
+fn pretty_print_roundtrips_random_programs() {
+    let mut exercised = 0u32;
+    for case in 0..160u64 {
+        let mut rng = XorShiftRng::seed_from_u64(0x9906 + case);
+        let (program, _) = gen_program(&mut rng);
+        if check(&program).is_err() {
+            continue;
+        }
+        exercised += 1;
         let printed = pretty(&program);
         let reparsed = parse(&printed).unwrap_or_else(|e| {
-            panic!("pretty output failed to reparse: {}\n{}", e.render(&printed), printed)
+            panic!(
+                "case {case}: pretty output failed to reparse: {}\n{}",
+                e.render(&printed),
+                printed
+            )
         });
-        prop_assert_eq!(pretty(&reparsed), printed);
-        prop_assert!(check(&reparsed).is_ok());
+        assert_eq!(pretty(&reparsed), printed, "case {case}");
+        assert!(check(&reparsed).is_ok(), "case {case}");
     }
+    assert!(exercised >= 100, "only {exercised}/160 generated programs checked");
 }
