@@ -21,8 +21,7 @@ use std::time::Instant;
 
 use cpr_concolic::{prefix_flips, CandidateInput, HolePatch, InputQueue, SeenPrefixes};
 use cpr_core::{
-    build_patch_pool, equivalent, lower_expr_src, rank_order, RepairConfig, RepairProblem,
-    Session,
+    build_patch_pool, equivalent, lower_expr_src, rank_order, RepairConfig, RepairProblem, Session,
 };
 use cpr_smt::{Model, SatResult, TermData, TermId};
 
@@ -161,8 +160,7 @@ pub fn cegis(problem: &RepairProblem, config: &RepairConfig) -> CegisReport {
             };
             let mut passes = true;
             for ce in &counterexamples {
-                let run =
-                    exec.execute(&mut sess.pool, &problem.program, ce, Some(&candidate_hole));
+                let run = exec.execute(&mut sess.pool, &problem.program, ce, Some(&candidate_hole));
                 if run.outcome.is_failure() {
                     passes = false;
                     break;

@@ -14,8 +14,7 @@ use std::time::Instant;
 
 use cpr_concolic::HolePatch;
 use cpr_core::{
-    build_patch_pool, equivalent, lower_expr_src, rank_order, RepairConfig, RepairProblem,
-    Session,
+    build_patch_pool, equivalent, lower_expr_src, rank_order, RepairConfig, RepairProblem, Session,
 };
 use cpr_smt::{Model, SatResult, TermData};
 

@@ -80,17 +80,11 @@ fn bench_refine(c: &mut Criterion) {
         let zero = sess.pool.int(0);
         let theta = sess.pool.ge(x, a);
         let not_psi = sess.pool.not(theta);
-        let phi = vec![
-            sess.pool.gt(x, three),
-            sess.pool.le(y, five),
-            not_psi,
-        ];
+        let phi = vec![sess.pool.gt(x, three), sess.pool.le(y, five), not_psi];
         let xy = sess.pool.mul(x, y);
         let sigma = sess.pool.ne(xy, zero);
         let region = Region::full(vec![a_var], -10, 7);
-        b.iter(|| {
-            refine_patch(&mut sess, &phi, &region, sigma, 0, &mut 0, &config)
-        })
+        b.iter(|| refine_patch(&mut sess, &phi, &region, sigma, 0, &mut 0, &config))
     });
 
     g.bench_function("reduce_one_run", |b| {
@@ -105,7 +99,8 @@ fn bench_refine(c: &mut Criterion) {
             params: Model::new(),
         };
         let input = sess.input_model(&test_input(&[("x", 5), ("y", 2)]));
-        let run = ConcolicExecutor::new().execute(&mut sess.pool, &problem.program, &input, Some(&hole));
+        let run =
+            ConcolicExecutor::new().execute(&mut sess.pool, &problem.program, &input, Some(&hole));
         b.iter(|| {
             let mut pool = entries.clone();
             cpr_core::reduce::reduce(&mut sess, &mut pool, &run, &config)

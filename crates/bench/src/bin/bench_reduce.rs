@@ -36,7 +36,11 @@ const SRC: &str = "program bench_reduce {
 
 /// The pool walked by every configuration: the synthesized pool for the
 /// subject, padded with shifted comparison families up to 500+ entries.
-fn build_pool(sess: &mut Session, problem: &RepairProblem, config: &RepairConfig) -> Vec<PoolEntry> {
+fn build_pool(
+    sess: &mut Session,
+    problem: &RepairProblem,
+    config: &RepairConfig,
+) -> Vec<PoolEntry> {
     let (mut entries, _) = build_patch_pool(sess, problem, config);
     let x = sess.pool.named_var("x", Sort::Int);
     let y = sess.pool.named_var("y", Sort::Int);
@@ -177,13 +181,16 @@ fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize)
     }
     let millis = start.elapsed().as_secs_f64() * 1e3;
 
-    let solver_stats = sess.solver.stats().clone();
+    let solver_stats = sess.solver.stats();
     let mut snapshot = String::new();
     for e in &entries {
         let _ = writeln!(
             snapshot,
             "{} {:?} {} {} {}",
-            e.patch.id, e.patch.constraint, e.score.feasible, e.score.bug_hits,
+            e.patch.id,
+            e.patch.constraint,
+            e.score.feasible,
+            e.score.bug_hits,
             e.score.deletion_evidence
         );
     }
@@ -248,13 +255,13 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"reduce\",");
-    let _ = writeln!(json, "  \"pool_size\": {},", 500.max(serial_nocache.pool_after));
-    let _ = writeln!(json, "  \"pool_after\": {},", serial_nocache.pool_after);
     let _ = writeln!(
         json,
-        "  \"reduce_calls\": {},",
-        serial_nocache.stats.len()
+        "  \"pool_size\": {},",
+        500.max(serial_nocache.pool_after)
     );
+    let _ = writeln!(json, "  \"pool_after\": {},", serial_nocache.pool_after);
+    let _ = writeln!(json, "  \"reduce_calls\": {},", serial_nocache.stats.len());
     let _ = writeln!(json, "  \"rounds\": {rounds},");
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"identical_outcomes\": true,");
@@ -267,8 +274,7 @@ fn main() {
             "    {{\"label\": \"{}\", \"threads\": {}, \"cache_capacity\": {}, \
              \"millis\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \
              \"cache_misses\": {}}}{comma}",
-            o.label, o.threads, o.cache_capacity, o.millis, o.queries, o.cache_hits,
-            o.cache_misses
+            o.label, o.threads, o.cache_capacity, o.millis, o.queries, o.cache_hits, o.cache_misses
         );
     }
     let _ = writeln!(json, "  ],");

@@ -104,7 +104,12 @@ fn main() {
 
     let mut out = String::new();
     let snapshot = |step: &str, sess: &Session, patches: &[FigPatch], out: &mut String| {
-        let mut t = TextTable::new(["ID", "Patch Template", "Parameter Constraint", "# Conc. Patches"]);
+        let mut t = TextTable::new([
+            "ID",
+            "Patch Template",
+            "Parameter Constraint",
+            "# Conc. Patches",
+        ]);
         let mut total: u128 = 0;
         for p in patches.iter().filter(|p| p.alive) {
             total += p.patch.concrete_count();

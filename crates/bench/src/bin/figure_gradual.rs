@@ -66,7 +66,10 @@ fn main() {
                     milestones.push(format!("{q}% by iter {}", pos + 1));
                 }
             }
-            out.push_str(&format!("  reduction milestones: {}\n", milestones.join(", ")));
+            out.push_str(&format!(
+                "  reduction milestones: {}\n",
+                milestones.join(", ")
+            ));
         }
         out.push('\n');
     }

@@ -8,9 +8,22 @@ use cpr_subjects::extractfix;
 
 fn main() {
     let mut table = TextTable::new([
-        "ID", "Project", "Bug ID", "Gen", "Cus", // components
-        "C:|PInit|", "C:|PFinal|", "C:Ratio", "C:phiE", "C:Correct?",
-        "|PInit|", "|PFinal|", "Ratio", "phiE", "phiS", "Rank",
+        "ID",
+        "Project",
+        "Bug ID",
+        "Gen",
+        "Cus", // components
+        "C:|PInit|",
+        "C:|PFinal|",
+        "C:Ratio",
+        "C:phiE",
+        "C:Correct?",
+        "|PInit|",
+        "|PFinal|",
+        "Ratio",
+        "phiE",
+        "phiS",
+        "Rank",
     ]);
     let mut cpr_better = 0usize;
     let mut similar = 0usize;
@@ -64,7 +77,11 @@ fn main() {
             cg.p_final.to_string(),
             pct(cg.reduction_ratio()),
             cg.paths_explored.to_string(),
-            if cg.correct { "✓".into() } else { "✗".to_string() },
+            if cg.correct {
+                "✓".into()
+            } else {
+                "✗".to_string()
+            },
             cp.p_init.to_string(),
             cp.p_final.to_string(),
             pct(cp.reduction_ratio()),

@@ -28,7 +28,13 @@ struct Counts {
 fn main() {
     let mut per_project: BTreeMap<&'static str, Counts> = BTreeMap::new();
     let order = [
-        "Libtiff", "Binutils", "Libxml2", "Libjpeg", "FFmpeg", "Jasper", "Coreutils",
+        "Libtiff",
+        "Binutils",
+        "Libxml2",
+        "Libjpeg",
+        "FFmpeg",
+        "Jasper",
+        "Coreutils",
     ];
     for p in order {
         per_project.insert(p, Counts::default());
@@ -72,9 +78,16 @@ fn main() {
     }
 
     let mut table = TextTable::new([
-        "Program", "#Vul",
-        "Gen:Prophet", "Gen:Angelix", "Gen:ExtractFix", "Gen:CPR",
-        "Cor:Prophet", "Cor:Angelix", "Cor:ExtractFix", "Cor:CPR",
+        "Program",
+        "#Vul",
+        "Gen:Prophet",
+        "Gen:Angelix",
+        "Gen:ExtractFix",
+        "Gen:CPR",
+        "Cor:Prophet",
+        "Cor:Angelix",
+        "Cor:ExtractFix",
+        "Cor:CPR",
     ]);
     let mut total = Counts::default();
     for p in order {

@@ -7,8 +7,17 @@ use cpr_subjects::manybugs;
 
 fn main() {
     let mut table = TextTable::new([
-        "ID", "Project", "Subject ID", "Gen", "Cus",
-        "|PInit|", "|PFinal|", "Ratio", "phiE", "phiS", "Rank",
+        "ID",
+        "Project",
+        "Subject ID",
+        "Gen",
+        "Cus",
+        "|PInit|",
+        "|PFinal|",
+        "Ratio",
+        "phiE",
+        "phiS",
+        "Rank",
     ]);
     for s in manybugs::subjects() {
         eprintln!("[table3] {} ...", s.name());

@@ -6,8 +6,7 @@ use cpr_subjects::svcomp;
 
 fn main() {
     let mut table = TextTable::new([
-        "ID", "Subject", "Gen", "Cus",
-        "|PInit|", "|PFinal|", "Ratio", "phiE", "phiS", "Rank",
+        "ID", "Subject", "Gen", "Cus", "|PInit|", "|PFinal|", "Ratio", "phiE", "phiS", "Rank",
     ]);
     let mut top10 = 0;
     let mut top1 = 0;

@@ -15,7 +15,9 @@ fn main() {
         if r.inputs_generated == 0 {
             continue;
         }
-        let entry = sums.entry(format!("{}", s.benchmark)).or_insert((0.0, 0.0, 0usize));
+        let entry = sums
+            .entry(format!("{}", s.benchmark))
+            .or_insert((0.0, 0.0, 0usize));
         entry.0 += r.patch_loc_hit_ratio;
         entry.1 += r.bug_loc_hit_ratio;
         entry.2 += 1;

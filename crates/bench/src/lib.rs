@@ -146,7 +146,10 @@ pub fn emit(name: &str, title: &str, body: &str) {
     println!("{body}");
     let dir = PathBuf::from("target/cpr-results");
     let _ = fs::create_dir_all(&dir);
-    let _ = fs::write(dir.join(format!("{name}.txt")), format!("{title}\n\n{body}"));
+    let _ = fs::write(
+        dir.join(format!("{name}.txt")),
+        format!("{title}\n\n{body}"),
+    );
 }
 
 /// Formats a percentage.

@@ -92,7 +92,9 @@ impl Criterion {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(3_000u64);
-        let filter = std::env::var("CPR_BENCH_FILTER").ok().filter(|f| !f.is_empty());
+        let filter = std::env::var("CPR_BENCH_FILTER")
+            .ok()
+            .filter(|f| !f.is_empty());
         Criterion {
             default_samples,
             max_per_bench: Duration::from_millis(max_ms),

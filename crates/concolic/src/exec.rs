@@ -194,11 +194,7 @@ impl ConcolicResult {
 
 /// Substitutes the program variables of `theta` by their symbolic values at
 /// a hole observation (parameters and unknown names are left symbolic).
-fn substitute_theta(
-    pool: &mut TermPool,
-    theta: TermId,
-    subst: &HashMap<String, TermId>,
-) -> TermId {
+fn substitute_theta(pool: &mut TermPool, theta: TermId, subst: &HashMap<String, TermId>) -> TermId {
     let mut map: HashMap<VarId, TermId> = HashMap::new();
     for v in pool.vars_of(theta) {
         let name = pool.var_name(v).to_owned();
@@ -885,10 +881,8 @@ mod tests {
 
     #[test]
     fn concolic_matches_concrete_interpreter() {
-        let prog = parse(
-            "program p { input x in [-10, 10]; if (x > 3) { return 1; } return 0; }",
-        )
-        .unwrap();
+        let prog = parse("program p { input x in [-10, 10]; if (x > 3) { return 1; } return 0; }")
+            .unwrap();
         check(&prog).unwrap();
         let mut pool = TermPool::new();
         let inputs = input_model(&mut pool, &[("x", 7)]);
@@ -903,10 +897,8 @@ mod tests {
 
     #[test]
     fn false_branch_is_negated() {
-        let prog = parse(
-            "program p { input x in [-10, 10]; if (x > 3) { return 1; } return 0; }",
-        )
-        .unwrap();
+        let prog = parse("program p { input x in [-10, 10]; if (x > 3) { return 1; } return 0; }")
+            .unwrap();
         check(&prog).unwrap();
         let mut pool = TermPool::new();
         let inputs = input_model(&mut pool, &[("x", 0)]);
@@ -1221,12 +1213,8 @@ mod tests {
         let prog = parse("program p { while (true) { } return 0; }").unwrap();
         check(&prog).unwrap();
         let mut pool = TermPool::new();
-        let r = ConcolicExecutor::with_budgets(50, 512).execute(
-            &mut pool,
-            &prog,
-            &Model::new(),
-            None,
-        );
+        let r =
+            ConcolicExecutor::with_budgets(50, 512).execute(&mut pool, &prog, &Model::new(), None);
         assert_eq!(r.outcome, Outcome::StepLimit);
     }
 
@@ -1244,12 +1232,7 @@ mod tests {
         check(&prog).unwrap();
         let mut pool = TermPool::new();
         let inputs = input_model(&mut pool, &[("n", 40)]);
-        let r = ConcolicExecutor::with_budgets(100_000, 8).execute(
-            &mut pool,
-            &prog,
-            &inputs,
-            None,
-        );
+        let r = ConcolicExecutor::with_budgets(100_000, 8).execute(&mut pool, &prog, &inputs, None);
         // Execution completes concretely, but only the first 8 branch
         // constraints are recorded.
         assert_eq!(r.outcome, Outcome::Returned(40));
@@ -1258,10 +1241,7 @@ mod tests {
 
     #[test]
     fn assume_records_and_stops_on_failure() {
-        let prog = parse(
-            "program p { input x in [0, 9]; assume(x > 4); return x; }",
-        )
-        .unwrap();
+        let prog = parse("program p { input x in [0, 9]; assume(x > 4); return x; }").unwrap();
         check(&prog).unwrap();
         let mut pool = TermPool::new();
         let ok = input_model(&mut pool, &[("x", 7)]);

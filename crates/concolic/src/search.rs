@@ -6,9 +6,7 @@
 //! search). Candidate inputs are scored by how likely they are to exercise
 //! the patch and bug locations, based on the parent run's evidence.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{BinaryHeap, HashSet};
-use std::hash::{Hash, Hasher};
 
 use cpr_smt::{Model, TermId, TermPool};
 
@@ -43,11 +41,18 @@ pub fn prefix_flips(pool: &mut TermPool, path: &[PathStep]) -> Vec<PrefixFlip> {
     out
 }
 
-/// Dedup set over path prefixes (hashes of oriented constraint sequences),
-/// so the search never asks the solver about the same prefix twice.
+/// Dedup set over path prefixes, keyed on the full oriented constraint
+/// sequence, so the search never asks the solver about the same prefix
+/// twice.
+///
+/// Earlier versions stored only a 64-bit `DefaultHasher` digest of the
+/// sequence; a digest collision between two distinct prefixes would then
+/// silently drop a never-explored path from the search. The set now owns
+/// the exact sequences — prefixes are short and `TermId`s small, so the
+/// memory cost is negligible next to a wrongly pruned partition.
 #[derive(Debug, Default, Clone)]
 pub struct SeenPrefixes {
-    seen: HashSet<u64>,
+    seen: HashSet<Box<[TermId]>>,
 }
 
 impl SeenPrefixes {
@@ -58,9 +63,10 @@ impl SeenPrefixes {
 
     /// Inserts the prefix; returns `true` if it was new.
     pub fn insert(&mut self, constraints: &[TermId]) -> bool {
-        let mut h = DefaultHasher::new();
-        constraints.hash(&mut h);
-        self.seen.insert(h.finish())
+        if self.seen.contains(constraints) {
+            return false;
+        }
+        self.seen.insert(constraints.into())
     }
 
     /// Number of distinct prefixes recorded.
@@ -209,6 +215,38 @@ mod tests {
         assert!(!seen.insert(&flips[0].constraints));
         assert!(seen.insert(&flips[1].constraints));
         assert_eq!(seen.len(), 2);
+    }
+
+    /// Regression for the 64-bit-digest dedup scheme: the set must key on
+    /// the *exact oriented sequence*, so prefixes that a weak digest could
+    /// conflate — permutations, equal-id-sum sequences, repetitions, and
+    /// opposite orientations of the same branch — all stay distinct. (An
+    /// actual `DefaultHasher` collision cannot be engineered in a test,
+    /// but exact keying rules out every collision class by construction.)
+    #[test]
+    fn seen_prefixes_key_on_full_sequences_not_digests() {
+        let mut pool = TermPool::new();
+        let x = pool.named_var("x", Sort::Int);
+        let zero = pool.int(0);
+        let one = pool.int(1);
+        let a = pool.gt(x, zero);
+        let b = pool.gt(x, one);
+        let not_b = pool.not(b);
+        let mut seen = SeenPrefixes::new();
+        // Permutations of the same constraint set are different prefixes
+        // (ordering is the branch history, not a conjunction).
+        assert!(seen.insert(&[a, b]));
+        assert!(seen.insert(&[b, a]));
+        // A prefix and its extension by a repeated id are distinct.
+        assert!(seen.insert(&[a]));
+        assert!(seen.insert(&[a, a]));
+        // Opposite orientations of the last branch are distinct.
+        assert!(seen.insert(&[a, not_b]));
+        assert_eq!(seen.len(), 5);
+        // Re-inserting any of them is a dup.
+        assert!(!seen.insert(&[b, a]));
+        assert!(!seen.insert(&[a, not_b]));
+        assert_eq!(seen.len(), 5);
     }
 
     #[test]

@@ -46,9 +46,7 @@ pub fn term_to_expr(pool: &TermPool, t: TermId) -> Result<Expr, String> {
             };
             bin(pool, op, a, b)?
         }
-        TermData::Ite(..) => {
-            return Err("`ite` has no subject-language expression form".into())
-        }
+        TermData::Ite(..) => return Err("`ite` has no subject-language expression form".into()),
     })
 }
 
@@ -124,9 +122,7 @@ fn replace_in_stmt(stmt: &mut Stmt, replacement: &Expr) {
             }
         }
         Stmt::Return { value, .. } => replace_in_expr(value, replacement),
-        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
-            replace_in_expr(cond, replacement)
-        }
+        Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => replace_in_expr(cond, replacement),
         Stmt::Bug { spec, .. } => replace_in_expr(spec, replacement),
     }
 }

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod apply;
+pub mod expand;
 mod lower;
 mod problem;
 mod ranking;
@@ -61,6 +62,7 @@ mod session;
 mod synthesize;
 
 pub use apply::{apply_patch, term_to_expr};
+pub use expand::{expand, ExpandOutcome, ExpandStats};
 pub use lower::{lower_expr, lower_expr_src, LowerError};
 pub use problem::{test_input, RepairConfig, RepairProblem, TestInput};
 pub use ranking::{rank_order, PoolEntry, RankScore};

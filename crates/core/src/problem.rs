@@ -202,11 +202,17 @@ pub struct RepairConfig {
     pub track_coverage: bool,
     /// Fixpoint rounds when validating candidates in Phase 1.
     pub max_validation_rounds: usize,
-    /// Worker threads for the patch-space reduction phase (Algorithm 2);
-    /// `reduce` fans the per-patch feasibility check and refinement out over
-    /// this many workers. Defaults to the machine's available parallelism.
-    /// Any value produces bit-identical results — only wall-clock changes.
+    /// Worker threads for the parallel phases of the repair loop: the
+    /// patch-space reduction walk (Algorithm 2) and the expansion phase
+    /// (generational search + path-reduction feasibility probes). Defaults
+    /// to the machine's available parallelism. Any value produces
+    /// bit-identical results — only wall-clock changes.
     pub threads: usize,
+    /// Capacity of the UNSAT-prefix store used for incremental prefix
+    /// solving during expansion: once a path prefix is proven UNSAT, every
+    /// extension of it is refuted by a subset check instead of a solver
+    /// search. `0` disables the store.
+    pub unsat_prefix_capacity: usize,
 }
 
 impl Default for RepairConfig {
@@ -230,6 +236,7 @@ impl Default for RepairConfig {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            unsat_prefix_capacity: 512,
         }
     }
 }

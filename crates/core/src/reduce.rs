@@ -502,7 +502,10 @@ mod tests {
         input.set(yv, 0i64);
         let run = ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
         assert!(run.hit_bug);
-        assert!(matches!(run.outcome, cpr_lang::Outcome::SpecViolated { .. }));
+        assert!(matches!(
+            run.outcome,
+            cpr_lang::Outcome::SpecViolated { .. }
+        ));
 
         // Refine T = [-10, 7] for patch 1 on this partition.
         let region = Region::full(vec![a_var], -10, 7);
@@ -573,7 +576,10 @@ mod tests {
         input.set(yv, 0i64);
         // x=7,y=0: guard (x==5 || y==5) is false → bug path → violation.
         let run = ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
-        assert!(matches!(run.outcome, cpr_lang::Outcome::SpecViolated { .. }));
+        assert!(matches!(
+            run.outcome,
+            cpr_lang::Outcome::SpecViolated { .. }
+        ));
 
         let region = Region::full(vec![a_var, b_var], -10, 10);
         let phi = run.constraints_for_patch(&mut sess.pool, theta);
@@ -606,8 +612,7 @@ mod tests {
         let yv = sess.pool.find_var("y").unwrap();
         input.set(xv, 7i64);
         input.set(yv, 2i64);
-        let run =
-            ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
+        let run = ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
 
         let x = sess.pool.named_var("x", Sort::Int);
         let a_var = sess.pool.find_var("a").unwrap();
@@ -741,8 +746,7 @@ mod tests {
         let yv = sess.pool.find_var("y").unwrap();
         input.set(xv, 7i64);
         input.set(yv, 2i64);
-        let run =
-            ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
+        let run = ConcolicExecutor::new().execute(&mut sess.pool, &program, &input, Some(&patch));
         assert!(run.hit_patch);
         assert!(!run.hit_bug); // early return: functionality deleted
 

@@ -2,7 +2,7 @@
 //! variable domains derived from the subject's input declarations.
 
 use cpr_concolic::ConcolicExecutor;
-use cpr_smt::{Domains, Model, SatResult, Solver, Sort, TermId, TermPool, VarId};
+use cpr_smt::{Domains, Model, SatResult, Solver, Sort, TermId, TermPool, UnsatPrefixStore, VarId};
 use cpr_synth::param_vars;
 
 use crate::problem::{RepairConfig, RepairProblem, TestInput};
@@ -21,6 +21,11 @@ pub struct Session {
     pub domains: Domains,
     /// The program input variables, in declaration order.
     pub input_vars: Vec<VarId>,
+    /// UNSAT path prefixes learned during expansion (incremental prefix
+    /// solving): a query subsumed by a stored prefix is UNSAT without a
+    /// search. Frozen during each parallel expansion batch and grown only
+    /// at the batch's deterministic merge point.
+    pub unsat_prefixes: UnsatPrefixStore,
 }
 
 impl Session {
@@ -45,12 +50,22 @@ impl Session {
             exec: ConcolicExecutor::with_budgets(config.exec_max_steps, config.exec_max_path),
             domains,
             input_vars,
+            unsat_prefixes: UnsatPrefixStore::new(config.unsat_prefix_capacity),
         }
     }
 
     /// Checks satisfiability of a conjunction under the session domains.
     pub fn check(&mut self, constraints: &[TermId]) -> SatResult {
         self.solver.check(&self.pool, constraints, &self.domains)
+    }
+
+    /// [`Session::check`] with incremental prefix solving: consults the
+    /// session's UNSAT-prefix store before searching. The caller is
+    /// responsible for learning new UNSAT queries back into
+    /// [`Session::unsat_prefixes`] at a deterministic point.
+    pub fn check_prefixed(&mut self, constraints: &[TermId]) -> SatResult {
+        self.solver
+            .check_prefixed(&self.pool, constraints, &self.domains, &self.unsat_prefixes)
     }
 
     /// Converts a named test input into a model over the input variables.
@@ -78,10 +93,8 @@ mod tests {
     use cpr_synth::{ComponentSet, SynthConfig};
 
     fn demo_problem() -> RepairProblem {
-        let program = parse(
-            "program p { input x in [-7, 7]; input y in [0, 3]; return x + y; }",
-        )
-        .unwrap();
+        let program =
+            parse("program p { input x in [-7, 7]; input y in [0, 3]; return x + y; }").unwrap();
         RepairProblem::new(
             "demo",
             program,

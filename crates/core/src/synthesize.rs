@@ -126,15 +126,8 @@ fn validate_candidate(
                         break;
                     };
                     let phi = run.constraints_for_patch(&mut sess.pool, cand.theta);
-                    let refined = refine_patch(
-                        sess,
-                        &phi,
-                        &patch.constraint,
-                        sigma,
-                        0,
-                        &mut 0,
-                        config,
-                    );
+                    let refined =
+                        refine_patch(sess, &phi, &patch.constraint, sigma, 0, &mut 0, config);
                     if refined.is_empty() {
                         return None;
                     }
@@ -158,8 +151,7 @@ fn validate_candidate(
                         .collect();
                     if region.contains_point(&rep_point) {
                         let parts = region.split_at(&rep_point);
-                        region =
-                            cpr_smt::Region::union(patch.params.clone(), parts).merged();
+                        region = cpr_smt::Region::union(patch.params.clone(), parts).merged();
                     }
                     if region.is_empty() {
                         return None;

@@ -262,10 +262,9 @@ mod tests {
 
     #[test]
     fn reports_exhaustion_on_unfailing_program() {
-        let program = parse(
-            "program p { input x in [0, 5]; bug never requires (x >= 0); return x; }",
-        )
-        .unwrap();
+        let program =
+            parse("program p { input x in [0, 5]; bug never requires (x >= 0); return x; }")
+                .unwrap();
         check(&program).unwrap();
         let r = find_failing_input(
             &program,

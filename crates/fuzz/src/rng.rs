@@ -18,7 +18,11 @@ impl XorShiftRng {
     /// the xorshift transition) is remapped to an arbitrary odd constant.
     pub fn seed_from_u64(seed: u64) -> Self {
         XorShiftRng {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

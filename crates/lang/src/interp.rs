@@ -655,7 +655,9 @@ mod tests {
             return 100 / (x * y);
           }";
         let bad = run(src, &[("x", 7), ("y", 0)]);
-        assert!(matches!(bad.outcome, Outcome::SpecViolated { ref bug, .. } if bug == "div_by_zero"));
+        assert!(
+            matches!(bad.outcome, Outcome::SpecViolated { ref bug, .. } if bug == "div_by_zero")
+        );
         assert_eq!(bad.bug_hits, 1);
         let good = run(src, &[("x", 5), ("y", 2)]);
         assert_eq!(good.outcome, Outcome::Returned(10));

@@ -214,9 +214,7 @@ pub fn lex(src: &str) -> LangResult<Vec<Token>> {
                 });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];

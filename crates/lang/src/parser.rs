@@ -649,8 +649,10 @@ mod tests {
 
     #[test]
     fn parse_logical_precedence() {
-        let p = parse("program p { input x in [0,9]; if (x > 1 && x < 5 || x == 7) { return 1; } return 0; }")
-            .unwrap();
+        let p = parse(
+            "program p { input x in [0,9]; if (x > 1 && x < 5 || x == 7) { return 1; } return 0; }",
+        )
+        .unwrap();
         let Stmt::If { cond, .. } = &p.body[0] else {
             panic!()
         };
@@ -688,7 +690,10 @@ mod tests {
 
     #[test]
     fn hole_args_must_be_variables() {
-        assert!(parse("program p { input x in [0,9]; if (__patch_cond__(x+1)) { return 1; } return 0; }").is_err());
+        assert!(parse(
+            "program p { input x in [0,9]; if (__patch_cond__(x+1)) { return 1; } return 0; }"
+        )
+        .is_err());
     }
 
     #[test]
@@ -755,8 +760,14 @@ mod tests {
             ("program p { return 1 }", "expected `;`"),
             ("program p { input x in [1]; return 0; }", "expected `,`"),
             ("program p { if (1) { } return 0; }", "expected"),
-            ("program p { var a: int[0]; return 0; }", "array size must be positive"),
-            ("program p { return min(1, 2, 3); }", "expects 2 argument(s)"),
+            (
+                "program p { var a: int[0]; return 0; }",
+                "array size must be positive",
+            ),
+            (
+                "program p { return min(1, 2, 3); }",
+                "expects 2 argument(s)",
+            ),
             ("program { return 0; }", "expected identifier"),
         ];
         for (src, needle) in cases {
@@ -776,10 +787,8 @@ mod tests {
 
     #[test]
     fn parse_assume_assert() {
-        let p = parse(
-            "program p { input x in [0, 9]; assume(x > 0); assert(x >= 1); return x; }",
-        )
-        .unwrap();
+        let p = parse("program p { input x in [0, 9]; assume(x > 0); assert(x >= 1); return x; }")
+            .unwrap();
         assert!(matches!(p.body[0], Stmt::Assume { .. }));
         assert!(matches!(p.body[1], Stmt::Assert { .. }));
     }

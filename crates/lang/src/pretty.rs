@@ -21,7 +21,11 @@ pub fn pretty(program: &Program) -> String {
         out.push_str("  }\n");
     }
     for input in &program.inputs {
-        let _ = writeln!(out, "  input {} in [{}, {}];", input.name, input.lo, input.hi);
+        let _ = writeln!(
+            out,
+            "  input {} in [{}, {}];",
+            input.name, input.lo, input.hi
+        );
     }
     for s in &program.body {
         pretty_stmt(s, 1, &mut out);
@@ -58,12 +62,14 @@ fn pretty_stmt(stmt: &Stmt, level: usize, out: &mut String) {
             let _ = writeln!(out, "{name} = {};", pretty_expr(value));
         }
         Stmt::AssignIndex {
-            name,
-            index,
-            value,
-            ..
+            name, index, value, ..
         } => {
-            let _ = writeln!(out, "{name}[{}] = {};", pretty_expr(index), pretty_expr(value));
+            let _ = writeln!(
+                out,
+                "{name}[{}] = {};",
+                pretty_expr(index),
+                pretty_expr(value)
+            );
         }
         Stmt::If {
             cond,

@@ -373,9 +373,7 @@ mod tests {
 
     #[test]
     fn duplicate_input_rejected() {
-        assert!(
-            check_src("program p { input x in [0,1]; input x in [0,1]; return 0; }").is_err()
-        );
+        assert!(check_src("program p { input x in [0,1]; input x in [0,1]; return 0; }").is_err());
     }
 
     #[test]
@@ -459,10 +457,9 @@ mod tests {
         )
         .unwrap();
         // Arity mismatch.
-        assert!(check_src(
-            "program p { fn f(v: int) -> int { return v; } return f(1, 2); }"
-        )
-        .is_err());
+        assert!(
+            check_src("program p { fn f(v: int) -> int { return v; } return f(1, 2); }").is_err()
+        );
         // Functions cannot read caller variables (purity).
         assert!(check_src(
             "program p {

@@ -63,5 +63,8 @@ pub use interval::Interval;
 pub use model::{Model, Value};
 pub use parse::ParseTermError;
 pub use region::{ParamBox, Region};
-pub use solver::{CountBounds, Domains, SatResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    CanonicalQuery, CountBounds, Domains, SatResult, Solver, SolverConfig, SolverStats,
+    UnsatPrefixStore,
+};
 pub use term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};

@@ -129,16 +129,12 @@ impl Model {
                 crate::Sort::Int => Value::Int(0),
             }),
             TermData::Not(a) => Value::Bool(!self.eval_bool(pool, a)),
-            TermData::And(a, b) => {
-                Value::Bool(self.eval_bool(pool, a) && self.eval_bool(pool, b))
-            }
+            TermData::And(a, b) => Value::Bool(self.eval_bool(pool, a) && self.eval_bool(pool, b)),
             TermData::Or(a, b) => Value::Bool(self.eval_bool(pool, a) || self.eval_bool(pool, b)),
             TermData::Cmp(op, a, b) => {
                 Value::Bool(op.apply(self.eval_int(pool, a), self.eval_int(pool, b)))
             }
-            TermData::Arith(op, a, b) => {
-                Value::Int(self.eval_arith(pool, op, a, b))
-            }
+            TermData::Arith(op, a, b) => Value::Int(self.eval_arith(pool, op, a, b)),
             TermData::Neg(a) => Value::Int(self.eval_int(pool, a).saturating_neg()),
             TermData::Ite(c, a, b) => {
                 if self.eval_bool(pool, c) {

@@ -25,7 +25,11 @@ pub struct ParseTermError {
 
 impl fmt::Display for ParseTermError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "term parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "term parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -63,10 +67,7 @@ fn tokenize(src: &str) -> Result<Vec<(String, usize)>, ParseTermError> {
     Ok(out)
 }
 
-fn parse_sexpr(
-    tokens: &[(String, usize)],
-    pos: &mut usize,
-) -> Result<SExpr, ParseTermError> {
+fn parse_sexpr(tokens: &[(String, usize)], pos: &mut usize) -> Result<SExpr, ParseTermError> {
     let Some((tok, off)) = tokens.get(*pos) else {
         return Err(ParseTermError {
             message: "unexpected end of input".into(),
@@ -143,11 +144,7 @@ impl TermPool {
         self.lower_sexpr(&sexpr, None)
     }
 
-    fn lower_sexpr(
-        &mut self,
-        e: &SExpr,
-        expected: Option<Sort>,
-    ) -> Result<TermId, ParseTermError> {
+    fn lower_sexpr(&mut self, e: &SExpr, expected: Option<Sort>) -> Result<TermId, ParseTermError> {
         match e {
             SExpr::Atom(a, off) => self.lower_atom(a, *off, expected),
             SExpr::List(items, off) => {

@@ -51,8 +51,7 @@ impl ParamBox {
 
     /// Whether the point (one value per dimension) lies inside.
     pub fn contains(&self, point: &[i64]) -> bool {
-        self.ivs.len() == point.len()
-            && self.ivs.iter().zip(point).all(|(iv, &v)| iv.contains(v))
+        self.ivs.len() == point.len() && self.ivs.iter().zip(point).all(|(iv, &v)| iv.contains(v))
     }
 
     /// Whether `other` lies entirely inside `self`.
@@ -215,7 +214,11 @@ impl Region {
     /// Whether the region contains the assignment in `model`
     /// (missing parameters default to `0`).
     pub fn contains_model(&self, model: &Model) -> bool {
-        let point: Vec<i64> = self.params.iter().map(|&p| model.int(p).unwrap_or(0)).collect();
+        let point: Vec<i64> = self
+            .params
+            .iter()
+            .map(|&p| model.int(p).unwrap_or(0))
+            .collect();
         self.contains_point(&point)
     }
 

@@ -11,7 +11,7 @@
 //! solver timeout in the original Z3-backed tool and is handled
 //! conservatively by all callers.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use crate::interval::Interval;
@@ -140,13 +140,110 @@ pub struct SolverStats {
     pub cache_hits: u64,
     /// Queries that missed the cache and ran the full search.
     pub cache_misses: u64,
+    /// Queries answered `Unsat` by UNSAT-prefix subsumption, without a
+    /// cache lookup or search (see [`UnsatPrefixStore`]).
+    pub prefix_short_circuits: u64,
 }
 
-/// Cache key: the query's live constraints in sorted, deduplicated `TermId`
-/// order plus a fingerprint of the variable domains. Because constraints
-/// are conjunctive, sorting loses nothing — and the solver *answers* the
-/// sorted query, so a result is a pure function of its key.
-type QueryKey = (Vec<TermId>, u64);
+/// Canonical form of a query: the live constraints in sorted, deduplicated
+/// `TermId` order plus a fingerprint of the variable domains. Because
+/// constraints are conjunctive, sorting loses nothing — and the solver
+/// *answers* the sorted query, so a result is a pure function of its
+/// canonical form. Used both as the memoizing-cache key and as the entry
+/// type of [`UnsatPrefixStore`].
+pub type CanonicalQuery = (Vec<TermId>, u64);
+
+type QueryKey = CanonicalQuery;
+
+/// Bounded store of canonical queries known to be unsatisfiable, used for
+/// *incremental prefix solving*: constraints are conjunctive, so every
+/// superset of an UNSAT constraint set is UNSAT — once a path prefix is
+/// proven infeasible, all of its extensions (deeper flips, re-targeted
+/// patch probes, appended parameter constraints) can be refuted by a
+/// subset check instead of a search.
+///
+/// Entries are deduplicated and evicted FIFO at `capacity`. Callers that
+/// fan queries out across threads must treat the store as frozen for the
+/// duration of the fan-out and fold newly learned UNSAT queries back in at
+/// a deterministic merge point — a store mutated concurrently would make
+/// verdicts depend on scheduling ([`Solver::check_prefixed`] only takes
+/// `&self` for exactly this reason).
+#[derive(Debug, Default, Clone)]
+pub struct UnsatPrefixStore {
+    /// Insertion-ordered entries (for FIFO eviction).
+    entries: VecDeque<CanonicalQuery>,
+    /// Exact-membership index (also the fast path of [`Self::subsumes`]).
+    index: HashSet<CanonicalQuery>,
+    capacity: usize,
+}
+
+impl UnsatPrefixStore {
+    /// Creates a store holding at most `capacity` UNSAT queries;
+    /// `0` disables the store (inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        UnsatPrefixStore {
+            entries: VecDeque::new(),
+            index: HashSet::new(),
+            capacity,
+        }
+    }
+
+    /// Records a canonical query as UNSAT. Returns `true` if it was new.
+    ///
+    /// The caller is responsible for only inserting genuinely
+    /// unsatisfiable queries; the store itself does not verify them.
+    pub fn insert(&mut self, key: CanonicalQuery) -> bool {
+        if self.capacity == 0 || self.index.contains(&key) {
+            return false;
+        }
+        while self.entries.len() >= self.capacity {
+            if let Some(old) = self.entries.pop_front() {
+                self.index.remove(&old);
+            }
+        }
+        self.entries.push_back(key.clone());
+        self.index.insert(key)
+    }
+
+    /// Whether some stored UNSAT query is a subset of `key` (same domain
+    /// fingerprint, constraint set included in `key`'s) — in which case
+    /// `key` is UNSAT by conjunction monotonicity.
+    pub fn subsumes(&self, key: &CanonicalQuery) -> bool {
+        if self.index.contains(key) {
+            return true;
+        }
+        let (constraints, fingerprint) = key;
+        self.entries.iter().any(|(set, fp)| {
+            fp == fingerprint && set.len() < constraints.len() && is_subset(set, constraints)
+        })
+    }
+
+    /// Number of stored UNSAT queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Subset test over sorted, deduplicated id slices (merge walk).
+fn is_subset(sub: &[TermId], sup: &[TermId]) -> bool {
+    let mut it = sup.iter();
+    'outer: for s in sub {
+        for t in it.by_ref() {
+            match t.cmp(s) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
 
 /// Bounded memoization table for solver verdicts, evicted in two
 /// generations: inserts land in `current`, and when it fills up the
@@ -261,6 +358,7 @@ impl Solver {
         self.stats.nodes += s.nodes;
         self.stats.cache_hits += s.cache_hits;
         self.stats.cache_misses += s.cache_misses;
+        self.stats.prefix_short_circuits += s.prefix_short_circuits;
     }
 
     /// Number of entries currently memoized.
@@ -285,7 +383,68 @@ impl Solver {
 
     /// Checks satisfiability of the conjunction of `constraints` under the
     /// given initial `domains`, returning a model on success.
-    pub fn check(&mut self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> SatResult {
+    pub fn check(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+    ) -> SatResult {
+        self.check_with_store(pool, constraints, domains, None)
+    }
+
+    /// [`Solver::check`] with incremental prefix solving: before consulting
+    /// the cache or searching, the canonical query is tested for subsumption
+    /// by `store` — if a recorded UNSAT constraint set is a subset of this
+    /// query, the query is UNSAT without any search.
+    ///
+    /// The store is read-only here so that a batch of queries fanned out
+    /// across forked solvers sees one frozen store and verdicts stay
+    /// independent of scheduling; learn new UNSAT queries into the store at
+    /// a deterministic merge point via [`Solver::canonical_query`] +
+    /// [`UnsatPrefixStore::insert`].
+    pub fn check_prefixed(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+        store: &UnsatPrefixStore,
+    ) -> SatResult {
+        self.check_with_store(pool, constraints, domains, Some(store))
+    }
+
+    /// The canonical form of a query, exactly as [`Solver::check`] caches
+    /// and answers it. `None` when a constant-`false` constraint makes the
+    /// conjunction trivially unsatisfiable (such queries are answered
+    /// before canonicalization and are not worth storing).
+    pub fn canonical_query(
+        &self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+    ) -> Option<CanonicalQuery> {
+        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            match pool.data(c) {
+                TermData::BoolConst(true) => {}
+                TermData::BoolConst(false) => return None,
+                _ => live.push(c),
+            }
+        }
+        live.sort_unstable();
+        live.dedup();
+        Some((
+            live,
+            domains_fingerprint(domains, self.config.default_domain),
+        ))
+    }
+
+    fn check_with_store(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
         self.stats.queries += 1;
         // Fast path: constant constraints.
         let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
@@ -325,6 +484,20 @@ impl Solver {
             live,
             domains_fingerprint(domains, self.config.default_domain),
         );
+        // UNSAT-prefix subsumption, ahead of the cache: a stored UNSAT
+        // subset refutes this query outright. Checking before any cache
+        // interaction keeps the verdict a pure function of (canonical
+        // query, frozen store) — a cached `Unknown` must not shadow a
+        // store-derived `Unsat`, and a store-derived `Unsat` must never be
+        // inserted into the cache (call sites without the store expect
+        // cache entries to be pure functions of the key alone).
+        if let Some(store) = store {
+            if store.subsumes(&key) {
+                self.stats.prefix_short_circuits += 1;
+                self.stats.unsat += 1;
+                return SatResult::Unsat;
+            }
+        }
         if caching {
             let cached = self.cache.lock().expect("query cache poisoned").get(&key);
             if let Some(result) = cached {
@@ -356,10 +529,11 @@ impl Solver {
             SatResult::Unknown => self.stats.unknown += 1,
         }
         if caching {
-            self.cache
-                .lock()
-                .expect("query cache poisoned")
-                .insert(key, result.clone(), self.config.cache_capacity);
+            self.cache.lock().expect("query cache poisoned").insert(
+                key,
+                result.clone(),
+                self.config.cache_capacity,
+            );
         }
         result
     }
@@ -473,7 +647,12 @@ impl Solver {
 
     /// Convenience wrapper: is the conjunction satisfiable? `Unknown` maps to
     /// `None`.
-    pub fn is_sat(&mut self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> Option<bool> {
+    pub fn is_sat(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+    ) -> Option<bool> {
         match self.check(pool, constraints, domains) {
             SatResult::Sat(_) => Some(true),
             SatResult::Unsat => Some(false),
@@ -1378,6 +1557,100 @@ mod tests {
         }
         // Two generations of at most `capacity` entries each.
         assert!(s.cache_entries() <= 16, "{}", s.cache_entries());
+    }
+
+    #[test]
+    fn unsat_prefix_store_subsumes_supersets() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let zero = p.int(0);
+        let five = p.int(5);
+        let pos = p.gt(x, zero);
+        let neg = p.lt(x, zero);
+        let extra = p.lt(x, five);
+        let mut d = Domains::new();
+        d.bound(xv, -10, 10);
+
+        // x > 0 ∧ x < 0 is UNSAT; learn it.
+        let mut store = UnsatPrefixStore::new(16);
+        assert_eq!(
+            s.check_prefixed(&p, &[pos, neg], &d, &store),
+            SatResult::Unsat
+        );
+        let key = s.canonical_query(&p, &[pos, neg], &d).unwrap();
+        assert!(store.insert(key.clone()));
+        assert!(!store.insert(key), "dedup");
+        assert_eq!(store.len(), 1);
+
+        // Any superset — here with an extra constraint — is refuted by
+        // subsumption, without a search.
+        let before = s.stats().nodes;
+        let r = s.check_prefixed(&p, &[extra, neg, pos], &d, &store);
+        assert_eq!(r, SatResult::Unsat);
+        assert_eq!(s.stats().nodes, before, "no search ran");
+        assert_eq!(s.stats().prefix_short_circuits, 1);
+
+        // A different domain fingerprint is not subsumed.
+        let mut wide = Domains::new();
+        wide.bound(xv, -99, 99);
+        let wide_key = s.canonical_query(&p, &[pos, neg], &wide).unwrap();
+        assert!(!store.subsumes(&wide_key));
+
+        // A mere overlap (not a superset) is not subsumed either.
+        let other_key = s.canonical_query(&p, &[pos, extra], &d).unwrap();
+        assert!(!store.subsumes(&other_key));
+    }
+
+    #[test]
+    fn unsat_prefix_store_is_bounded_fifo() {
+        let mut p = TermPool::new();
+        let s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let d = Domains::new();
+        let mut store = UnsatPrefixStore::new(2);
+        let keys: Vec<CanonicalQuery> = (0..3)
+            .map(|i| {
+                let c = p.int(i);
+                let q = p.gt(x, c);
+                s.canonical_query(&p, &[q], &d).unwrap()
+            })
+            .collect();
+        for k in &keys {
+            store.insert(k.clone());
+        }
+        assert_eq!(store.len(), 2);
+        // Oldest entry evicted first.
+        assert!(!store.subsumes(&keys[0]));
+        assert!(store.subsumes(&keys[1]));
+        assert!(store.subsumes(&keys[2]));
+
+        // Capacity 0 disables the store.
+        let mut off = UnsatPrefixStore::new(0);
+        assert!(!off.insert(keys[0].clone()));
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn canonical_query_matches_check_canonicalization() {
+        let mut p = TermPool::new();
+        let s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let zero = p.int(0);
+        let a = p.gt(x, zero);
+        let b = p.lt(x, zero);
+        let t = p.tt();
+        let f = p.ff();
+        let d = Domains::new();
+        // Order-insensitive, `true` dropped, duplicates removed.
+        let k1 = s.canonical_query(&p, &[a, b, t, a], &d).unwrap();
+        let k2 = s.canonical_query(&p, &[b, a], &d).unwrap();
+        assert_eq!(k1, k2);
+        // Constant-false conjunctions have no canonical form.
+        assert!(s.canonical_query(&p, &[a, f], &d).is_none());
     }
 
     #[test]

@@ -243,7 +243,8 @@ impl TermPool {
     pub fn var(&mut self, name: &str, sort: Sort) -> VarId {
         if let Some(&v) = self.var_names.get(name) {
             assert_eq!(
-                self.vars[v.index()].sort, sort,
+                self.vars[v.index()].sort,
+                sort,
                 "variable {name} re-declared with different sort"
             );
             return v;
@@ -444,14 +445,16 @@ impl TermPool {
         }
         match (op, self.data(a), self.data(b)) {
             (ArithOp::Add, TermData::IntConst(0), _) => return b,
-            (ArithOp::Add, _, TermData::IntConst(0))
-            | (ArithOp::Sub, _, TermData::IntConst(0)) => return a,
+            (ArithOp::Add, _, TermData::IntConst(0)) | (ArithOp::Sub, _, TermData::IntConst(0)) => {
+                return a
+            }
             (ArithOp::Mul, TermData::IntConst(1), _) => return b,
             (ArithOp::Mul, _, TermData::IntConst(1)) | (ArithOp::Div, _, TermData::IntConst(1)) => {
                 return a
             }
-            (ArithOp::Mul, TermData::IntConst(0), _)
-            | (ArithOp::Mul, _, TermData::IntConst(0)) => return self.int(0),
+            (ArithOp::Mul, TermData::IntConst(0), _) | (ArithOp::Mul, _, TermData::IntConst(0)) => {
+                return self.int(0)
+            }
             _ => {}
         }
         self.intern(TermData::Arith(op, a, b))
@@ -681,9 +684,7 @@ impl TermPool {
             | TermData::Or(a, b)
             | TermData::Cmp(_, a, b)
             | TermData::Arith(_, a, b) => 1 + self.tree_size(a) + self.tree_size(b),
-            TermData::Ite(c, a, b) => {
-                1 + self.tree_size(c) + self.tree_size(a) + self.tree_size(b)
-            }
+            TermData::Ite(c, a, b) => 1 + self.tree_size(c) + self.tree_size(a) + self.tree_size(b),
         }
     }
 }

@@ -17,7 +17,11 @@ struct Rng(u64);
 
 impl Rng {
     fn new(seed: u64) -> Self {
-        Rng(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        Rng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -351,7 +355,9 @@ fn region_split_removes_one_point() {
             .map(|i| pool.var(&format!("p{i}"), Sort::Int))
             .collect();
         let region = Region::full(params.clone(), lo, hi);
-        let point: Vec<i64> = (0..dims).map(|i| if i % 2 == 0 { px } else { py }).collect();
+        let point: Vec<i64> = (0..dims)
+            .map(|i| if i % 2 == 0 { px } else { py })
+            .collect();
         let inside = point.iter().all(|&v| v >= lo && v <= hi);
         let parts = region.split_at(&point);
         let merged = Region::union(params, parts).merged();
@@ -387,7 +393,10 @@ fn region_merge_preserves_membership() {
         let boxes: Vec<ParamBox> = seed_boxes
             .iter()
             .map(|&(alo, aw, blo, bw)| {
-                ParamBox::new(vec![Interval::of(alo, alo + aw), Interval::of(blo, blo + bw)])
+                ParamBox::new(vec![
+                    Interval::of(alo, alo + aw),
+                    Interval::of(blo, blo + bw),
+                ])
             })
             .collect();
         let region = Region::from_boxes(params, boxes);
@@ -441,7 +450,9 @@ fn long_conjunction_with_negated_suffix() {
     let mut pool = TermPool::new();
     let mut solver = Solver::new(SolverConfig::default());
     let n = 24;
-    let vars: Vec<_> = (0..n).map(|i| pool.var(&format!("v{i}"), Sort::Int)).collect();
+    let vars: Vec<_> = (0..n)
+        .map(|i| pool.var(&format!("v{i}"), Sort::Int))
+        .collect();
     let mut domains = Domains::new();
     let mut conj = Vec::new();
     for (i, &v) in vars.iter().enumerate() {

@@ -158,8 +158,6 @@ mod tests {
 
     #[test]
     fn expression_hole_subject_present() {
-        assert!(subjects()
-            .iter()
-            .any(|s| s.hole_kind == HoleKind::IntExpr));
+        assert!(subjects().iter().any(|s| s.hole_kind == HoleKind::IntExpr));
     }
 }

@@ -14,11 +14,7 @@ use cpr_lang::{ConcretePatch, Interp, Outcome};
 use cpr_smt::{Model, TermPool};
 use cpr_subjects::{all_subjects, Subject};
 
-fn run_with_expr(
-    subject: &Subject,
-    expr_src: &str,
-    inputs: &HashMap<String, i64>,
-) -> Outcome {
+fn run_with_expr(subject: &Subject, expr_src: &str, inputs: &HashMap<String, i64>) -> Outcome {
     let program = cpr_lang::parse(subject.source).unwrap();
     cpr_lang::check(&program).unwrap();
     let mut pool = TermPool::new();

@@ -54,7 +54,14 @@ impl ComponentSet {
 
     /// Adds all standard comparison operators.
     pub fn with_all_comparisons(mut self) -> Self {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             self.add(Component::Cmp(op));
         }
         self

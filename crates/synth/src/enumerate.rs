@@ -166,7 +166,11 @@ fn enumerate_cond(
         .map(|v| pool.named_var(v, Sort::Int))
         .collect();
 
-    let push = |pool: &mut TermPool, theta: TermId, used: &[VarId], out: &mut Vec<PatchCandidate>, seen: &mut Vec<TermId>| {
+    let push = |pool: &mut TermPool,
+                theta: TermId,
+                used: &[VarId],
+                out: &mut Vec<PatchCandidate>,
+                seen: &mut Vec<TermId>| {
         if out.len() >= config.max_candidates {
             return;
         }
@@ -279,16 +283,17 @@ fn enumerate_int(
         .collect();
     let consts = components.constants();
 
-    let push = |theta: TermId, used: &[VarId], out: &mut Vec<PatchCandidate>, seen: &mut Vec<TermId>| {
-        if out.len() >= config.max_candidates || seen.contains(&theta) {
-            return;
-        }
-        seen.push(theta);
-        out.push(PatchCandidate {
-            theta,
-            params: used.to_vec(),
-        });
-    };
+    let push =
+        |theta: TermId, used: &[VarId], out: &mut Vec<PatchCandidate>, seen: &mut Vec<TermId>| {
+            if out.len() >= config.max_candidates || seen.contains(&theta) {
+                return;
+            }
+            seen.push(theta);
+            out.push(PatchCandidate {
+                theta,
+                params: used.to_vec(),
+            });
+        };
 
     // 1. Bare parameter and bare variables / constants.
     push(p0, &params[..1], &mut out, &mut seen);
@@ -457,10 +462,10 @@ mod tests {
         let mut pool = TermPool::new();
         let cfg = SynthConfig {
             extra_templates: vec![
-                "(>= (* x 2) a)".to_owned(),    // valid, parameterized
-                "(+ x a)".to_owned(),            // wrong sort for a cond hole
-                "(oops x)".to_owned(),           // malformed: skipped
-                "(>= x a)".to_owned(),           // duplicate of an enumerated one
+                "(>= (* x 2) a)".to_owned(), // valid, parameterized
+                "(+ x a)".to_owned(),        // wrong sort for a cond hole
+                "(oops x)".to_owned(),       // malformed: skipped
+                "(>= x a)".to_owned(),       // duplicate of an enumerated one
             ],
             ..SynthConfig::default()
         };

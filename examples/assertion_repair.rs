@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = repair(&problem, &RepairConfig::default());
 
-    println!("patch pool: {} -> {} concrete patches", report.p_init, report.p_final);
+    println!(
+        "patch pool: {} -> {} concrete patches",
+        report.p_init, report.p_final
+    );
     println!(
         "developer patch `r + 1` rank: {}",
         report

@@ -47,8 +47,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = repair(&problem, &RepairConfig::default());
 
     println!("subject:            {}", report.subject);
-    println!("|P_Init|  (concrete patches after synthesis): {}", report.p_init);
-    println!("|P_Final| (after concolic exploration):       {}", report.p_final);
+    println!(
+        "|P_Init|  (concrete patches after synthesis): {}",
+        report.p_init
+    );
+    println!(
+        "|P_Final| (after concolic exploration):       {}",
+        report.p_final
+    );
     println!("reduction ratio:    {:.0}%", report.reduction_ratio());
     println!("paths explored φ_E: {}", report.paths_explored);
     println!("paths skipped  φ_S: {}", report.paths_skipped);

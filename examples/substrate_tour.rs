@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Parameter regions ----------------------------------------------
     let a = pool.var("a", Sort::Int);
     let region = Region::full(vec![a], -10, 10);
-    println!("T_ρ = {}  covers {} concrete patches", region.display(&pool), region.volume());
+    println!(
+        "T_ρ = {}  covers {} concrete patches",
+        region.display(&pool),
+        region.volume()
+    );
     let parts = region.split_at(&[5]);
     let refined = Region::union(vec![a], parts).merged();
     println!(
@@ -71,12 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut input = Model::new();
     input.set(x, 7i64);
     input.set(y, 2i64);
-    let run = ConcolicExecutor::new().execute(&mut pool, &program, &input, Some(&HolePatch { theta, params }));
+    let run = ConcolicExecutor::new().execute(
+        &mut pool,
+        &program,
+        &input,
+        Some(&HolePatch { theta, params }),
+    );
     println!("\nconcolic run on x=7, y=2 with patch x >= a (a := 4):");
     println!("  hit_patch = {}, hit_bug = {}", run.hit_patch, run.hit_bug);
     for step in &run.path {
         println!(
-        "  path step{}: {}",
+            "  path step{}: {}",
             if step.from_patch() { " (ψ_ρ)" } else { "" },
             pool.display(step.constraint)
         );

@@ -9,6 +9,20 @@ cd "$(dirname "$0")/.."
 echo "==> offline build (no registry, no network)"
 cargo build --offline --workspace
 
+if command -v rustfmt >/dev/null 2>&1; then
+  echo "==> formatting (cargo fmt --check)"
+  cargo fmt --all -- --check
+else
+  echo "==> formatting: rustfmt not installed, skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+  echo "==> lints (cargo clippy -D warnings)"
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "==> lints: clippy not installed, skipping"
+fi
+
 echo "==> tier-1: release build"
 cargo build --release
 

@@ -105,7 +105,11 @@ struct Opts<'a> {
 }
 
 impl<'a> Opts<'a> {
-    fn parse(args: &'a [String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Self, String> {
+    fn parse(
+        args: &'a [String],
+        value_flags: &[&str],
+        bool_flags: &[&str],
+    ) -> Result<Self, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut i = 0;
@@ -253,7 +257,11 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
         Some(input) => {
             let mut kvs: Vec<String> = input.iter().map(|(k, v)| format!("{k}={v}")).collect();
             kvs.sort();
-            println!("failing input found after {} execs: {}", r.execs, kvs.join(","));
+            println!(
+                "failing input found after {} execs: {}",
+                r.execs,
+                kvs.join(",")
+            );
             println!("failure: {:?}", r.failure.unwrap());
         }
         None => {
@@ -317,7 +325,11 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let consts: Vec<i64> = match opts.value("consts") {
         Some(v) => v
             .split(',')
-            .map(|s| s.trim().parse().map_err(|_| format!("invalid constant `{s}`")))
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("invalid constant `{s}`"))
+            })
             .collect::<Result<_, _>>()?,
         None => Vec::new(),
     };
@@ -354,14 +366,8 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             .collect(),
         ..SynthConfig::default()
     };
-    let mut problem = RepairProblem::new(
-        program.name.clone(),
-        program,
-        components,
-        synth,
-        failing,
-    )
-    .with_passing_inputs(passing);
+    let mut problem = RepairProblem::new(program.name.clone(), program, components, synth, failing)
+        .with_passing_inputs(passing);
     if let Some(dev) = opts.value("dev") {
         problem = problem.with_developer_patch(dev);
     }
@@ -419,7 +425,10 @@ fn print_report(report: &cpr_core::RepairReport, top: usize) {
     println!("wall time:        {} ms", report.wall_millis);
     println!("\ntop {} patches:", top.min(report.ranked.len()));
     for p in report.ranked.iter().take(top) {
-        println!("  score {:>5}  [{} concrete]  {}", p.score, p.concrete, p.display);
+        println!(
+            "  score {:>5}  [{} concrete]  {}",
+            p.score, p.concrete, p.display
+        );
     }
 }
 
@@ -444,7 +453,10 @@ fn cmd_subjects(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let filter = opts.value("benchmark").map(str::to_lowercase);
-    println!("{:<4} {:<12} {:<38} dev patch", "id", "benchmark", "subject");
+    println!(
+        "{:<4} {:<12} {:<38} dev patch",
+        "id", "benchmark", "subject"
+    );
     for s in &subjects {
         let bench = format!("{}", s.benchmark).to_lowercase();
         if let Some(f) = &filter {
@@ -466,10 +478,7 @@ mod tests {
     }
 
     fn write_demo() -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "cpr_cli_demo_{}.cpr",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("cpr_cli_demo_{}.cpr", std::process::id()));
         std::fs::write(
             &path,
             "program demo {
@@ -522,8 +531,21 @@ mod tests {
         run(&args(&["run", p, "-i", "x=4", "--patch", "x == 0"])).unwrap();
         run(&args(&["fuzz", p, "--max-execs", "5000"])).unwrap();
         run(&args(&[
-            "repair", p, "--failing", "x=0", "--consts", "0", "--dev", "x == 0", "--iters",
-            "4", "--ms", "2000", "--top", "2", "--emit",
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--consts",
+            "0",
+            "--dev",
+            "x == 0",
+            "--iters",
+            "4",
+            "--ms",
+            "2000",
+            "--top",
+            "2",
+            "--emit",
         ]))
         .unwrap();
         // Validation errors surface.

@@ -141,7 +141,8 @@ fn captured_sigma_matches_concrete_verdict() {
                 let holds = run.inputs.eval_bool(&sess.pool, sigma);
                 let violated = matches!(run.outcome, Outcome::SpecViolated { .. });
                 assert_eq!(
-                    holds, !violated,
+                    holds,
+                    !violated,
                     "{}: σ/verdict mismatch on {input:?}",
                     s.name()
                 );

@@ -1,7 +1,9 @@
-//! Parallel reduce must not change results: a full `repair()` run produces
-//! a bit-identical [`RepairReport`] at every thread count. This is the
-//! end-to-end guarantee behind `RepairConfig::threads` — wall-clock is the
-//! only observable difference.
+//! Parallel phases must not change results: a full `repair()` run produces
+//! a bit-identical [`RepairReport`] at every thread count — this covers both
+//! the patch-space reduction walk and the generational-search expansion
+//! phase (prefix flips + path-reduction feasibility probes + the UNSAT-prefix
+//! store). This is the end-to-end guarantee behind `RepairConfig::threads` —
+//! wall-clock is the only observable difference.
 
 use cpr_core::{repair, RepairConfig, RepairReport};
 use cpr_subjects::all_subjects;
@@ -69,4 +71,50 @@ fn repair_is_bit_identical_across_thread_counts() {
         checked += 1;
     }
     assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
+fn repair_with_coverage_is_bit_identical_across_thread_counts() {
+    // Coverage tracking adds model-counting work after the exploration
+    // loop; it must be just as thread-count independent as the rest of the
+    // report, and disabling the UNSAT-prefix store must not break that.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("at least one supported subject");
+    let problem = subject.problem();
+    let run = |threads: usize, unsat_prefix_capacity: usize| {
+        let mut config = RepairConfig::quick();
+        config.max_iterations = 12;
+        config.track_coverage = true;
+        config.threads = threads;
+        config.unsat_prefix_capacity = unsat_prefix_capacity;
+        report_key(&repair(&problem, &config))
+    };
+    let serial = run(1, 512);
+    for threads in [2, 8] {
+        let parallel = run(threads, 512);
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: coverage-tracked report differs between 1 and {threads} threads",
+            subject.name()
+        );
+    }
+    // The store is a pure accelerator: with it disabled the verdicts (and
+    // hence the whole report, minus query counts) must be unchanged.
+    let no_store = run(1, 0);
+    let strip_queries = |key: &str| {
+        key.split_whitespace()
+            .filter(|f| !f.starts_with("queries="))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    assert_eq!(
+        strip_queries(&serial),
+        strip_queries(&no_store),
+        "{}: UNSAT-prefix store changed observable results",
+        subject.name()
+    );
 }

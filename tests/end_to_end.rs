@@ -74,7 +74,11 @@ fn anytime_history_never_grows_across_benchmarks() {
 fn path_reduction_skips_infeasible_prefixes_somewhere() {
     // At least one subject exhibits φ_S > 0 under a modest budget — the
     // path-reduction mechanism is observable end to end.
-    let candidates = ["Bugzilla 26545", "CVE-2016-10094", "array-examples/standard_run"];
+    let candidates = [
+        "Bugzilla 26545",
+        "CVE-2016-10094",
+        "array-examples/standard_run",
+    ];
     let mut skipped = 0;
     for bug in candidates {
         let s = subject(bug);
@@ -92,9 +96,17 @@ fn cegis_overfits_where_cpr_ranks_the_developer_patch() {
     let cp = repair(&s.problem(), &cfg);
     // CEGIS terminates with some plausible patch but not the developer one.
     assert!(cg.final_patch.is_some());
-    assert!(!cg.correct, "CEGIS unexpectedly correct: {:?}", cg.final_patch);
+    assert!(
+        !cg.correct,
+        "CEGIS unexpectedly correct: {:?}",
+        cg.final_patch
+    );
     // CPR keeps the developer patch highly ranked.
-    assert!(cp.dev_rank.map(|k| k <= 5).unwrap_or(false), "{:?}", cp.dev_rank);
+    assert!(
+        cp.dev_rank.map(|k| k <= 5).unwrap_or(false),
+        "{:?}",
+        cp.dev_rank
+    );
     // And reduces at least as much of the patch space.
     assert!(cp.reduction_ratio() >= cg.reduction_ratio());
 }
@@ -102,7 +114,11 @@ fn cegis_overfits_where_cpr_ranks_the_developer_patch() {
 #[test]
 fn every_supported_benchmark_family_is_covered() {
     let subjects = all_subjects();
-    for family in [Benchmark::ExtractFix, Benchmark::ManyBugs, Benchmark::SvComp] {
+    for family in [
+        Benchmark::ExtractFix,
+        Benchmark::ManyBugs,
+        Benchmark::SvComp,
+    ] {
         assert!(subjects.iter().any(|s| s.benchmark == family));
     }
 }

@@ -16,9 +16,7 @@ use std::collections::HashMap;
 
 use cpr_concolic::ConcolicExecutor;
 use cpr_fuzz::rng::XorShiftRng;
-use cpr_lang::{
-    ast::Span, check, parse, pretty, BinOp, Expr, Interp, Program, Stmt, Type,
-};
+use cpr_lang::{ast::Span, check, parse, pretty, BinOp, Expr, Interp, Program, Stmt, Type};
 use cpr_smt::{Model, Sort, TermPool};
 
 #[derive(Debug, Clone)]
@@ -138,8 +136,8 @@ impl Builder {
             ),
             ExprRecipe::Const(c) => Expr::Int(*c, Span::default()),
             ExprRecipe::Bin(op, a, b) => {
-                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem]
-                    [*op as usize % 5];
+                let op =
+                    [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Rem][*op as usize % 5];
                 Expr::Binary(
                     op,
                     Box::new(self.expr(a)),
@@ -152,8 +150,14 @@ impl Builder {
 
     fn cond(&self, r: &CondRecipe) -> Expr {
         let CondRecipe::Cmp(op, a, b) = r;
-        let op = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge]
-            [*op as usize % 6];
+        let op = [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ][*op as usize % 6];
         Expr::Binary(
             op,
             Box::new(self.expr(a)),
@@ -276,11 +280,12 @@ fn interpreter_and_concolic_agree_on_random_programs() {
             let var = pool.var(name, Sort::Int);
             model.set(var, *v);
         }
-        let run = ConcolicExecutor::with_budgets(20_000, 512)
-            .execute(&mut pool, &program, &model, None);
+        let run =
+            ConcolicExecutor::with_budgets(20_000, 512).execute(&mut pool, &program, &model, None);
 
         assert_eq!(
-            &run.outcome, &concrete.outcome,
+            &run.outcome,
+            &concrete.outcome,
             "case {case}: outcome mismatch\n{}",
             pretty(&program)
         );
@@ -295,7 +300,10 @@ fn interpreter_and_concolic_agree_on_random_programs() {
             );
         }
     }
-    assert!(exercised >= 100, "only {exercised}/160 generated programs checked");
+    assert!(
+        exercised >= 100,
+        "only {exercised}/160 generated programs checked"
+    );
 }
 
 #[test]
@@ -319,5 +327,8 @@ fn pretty_print_roundtrips_random_programs() {
         assert_eq!(pretty(&reparsed), printed, "case {case}");
         assert!(check(&reparsed).is_ok(), "case {case}");
     }
-    assert!(exercised >= 100, "only {exercised}/160 generated programs checked");
+    assert!(
+        exercised >= 100,
+        "only {exercised}/160 generated programs checked"
+    );
 }

@@ -1,0 +1,156 @@
+//! Seeded property tests for the generational-search building blocks:
+//! [`prefix_flips`] ordering, [`score_candidate`] bounds, and the
+//! provided-tests-first priority invariant of [`InputQueue`].
+//!
+//! Randomness comes from [`cpr_fuzz::rng::XorShiftRng`] with fixed seeds, so
+//! every run checks the same cases — failures are reproducible from the
+//! reported seed alone.
+
+use cpr_concolic::{
+    prefix_flips, score_candidate, CandidateInput, ConcolicResult, InputQueue, PathStep,
+};
+use cpr_fuzz::rng::XorShiftRng;
+use cpr_lang::Outcome;
+use cpr_smt::{Model, Sort, TermPool};
+
+/// Builds a random path: random comparison constraints over a small variable
+/// set, with each step independently marked as a patch-hole step.
+fn random_path(rng: &mut XorShiftRng, pool: &mut TermPool, len: usize) -> Vec<PathStep> {
+    (0..len)
+        .map(|_| {
+            let name = ["x", "y", "z"][rng.gen_index(3)];
+            let v = pool.named_var(name, Sort::Int);
+            let c = rng.gen_range_i64(-20, 20);
+            let c = pool.int(c);
+            let constraint = match rng.gen_index(4) {
+                0 => pool.lt(v, c),
+                1 => pool.le(v, c),
+                2 => pool.gt(v, c),
+                _ => pool.eq(v, c),
+            };
+            PathStep {
+                constraint,
+                patch_obs: rng.gen_bool().then_some((0, rng.gen_bool())),
+            }
+        })
+        .collect()
+}
+
+fn random_result(rng: &mut XorShiftRng, path: Vec<PathStep>) -> ConcolicResult {
+    ConcolicResult {
+        path,
+        sigma: None,
+        hit_patch: rng.gen_bool(),
+        hit_bug: rng.gen_bool(),
+        outcome: Outcome::Returned(0),
+        inputs: Model::new(),
+        steps: 0,
+        observations: Vec::new(),
+        asserts: Vec::new(),
+    }
+}
+
+#[test]
+fn prefix_flips_are_deepest_first_exact_prefixes_with_one_negation() {
+    for seed in 0..64u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let mut pool = TermPool::new();
+        let len = 1 + rng.gen_index(12);
+        let path = random_path(&mut rng, &mut pool, len);
+        let flips = prefix_flips(&mut pool, &path);
+
+        assert_eq!(flips.len(), len, "seed {seed}: one flip per step");
+        for (k, flip) in flips.iter().enumerate() {
+            // Deepest-first enumeration.
+            let i = len - 1 - k;
+            assert_eq!(flip.flipped_index, i, "seed {seed}: flip order");
+            // Exactly the first `i` constraints verbatim...
+            assert_eq!(flip.constraints.len(), i + 1, "seed {seed}");
+            for (j, &c) in flip.constraints[..i].iter().enumerate() {
+                assert_eq!(c, path[j].constraint, "seed {seed}: prefix step {j}");
+            }
+            // ...followed by exactly one negation, of the flipped step.
+            let negated = pool.not(path[i].constraint);
+            assert_eq!(
+                *flip.constraints.last().unwrap(),
+                negated,
+                "seed {seed}: last constraint must be the flipped branch"
+            );
+            assert_eq!(
+                flip.flipped_patch_branch,
+                path[i].from_patch(),
+                "seed {seed}: patch-branch flag"
+            );
+        }
+    }
+}
+
+#[test]
+fn score_candidate_never_reaches_provided_test_priority() {
+    // Provided tests enter the queue with scores `100 - i`; the repair loop
+    // classifies anything below 50 as a generated input. The generator-side
+    // scoring must therefore stay strictly below 50 no matter the run.
+    for seed in 0..64u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let mut pool = TermPool::new();
+        let len = 1 + rng.gen_index(40);
+        let path = random_path(&mut rng, &mut pool, len);
+        let parent = random_result(&mut rng, path);
+        for flip in prefix_flips(&mut pool, &parent.path) {
+            let score = score_candidate(&parent, &flip);
+            assert!(
+                (0..50).contains(&score),
+                "seed {seed}: generated score {score} collides with provided-test range"
+            );
+        }
+    }
+}
+
+#[test]
+fn input_queue_pops_all_provided_tests_before_any_generated_input() {
+    for seed in 0..32u64 {
+        let mut rng = XorShiftRng::seed_from_u64(seed);
+        let mut pool = TermPool::new();
+        let mut queue = InputQueue::new();
+
+        // Provided tests, scored exactly as `repair()` seeds them.
+        let provided = 1 + rng.gen_index(8);
+        for i in 0..provided {
+            queue.push(CandidateInput {
+                model: Model::new(),
+                score: 100 - i as i64,
+                flipped_index: i,
+            });
+        }
+        // Generated inputs, scored by `score_candidate` on random runs.
+        let mut generated = 0usize;
+        for _ in 0..(1 + rng.gen_index(6)) {
+            let len = 1 + rng.gen_index(10);
+            let path = random_path(&mut rng, &mut pool, len);
+            let parent = random_result(&mut rng, path);
+            for flip in prefix_flips(&mut pool, &parent.path) {
+                queue.push(CandidateInput {
+                    model: Model::new(),
+                    score: score_candidate(&parent, &flip),
+                    flipped_index: flip.flipped_index,
+                });
+                generated += 1;
+            }
+        }
+
+        assert_eq!(queue.len(), provided + generated);
+        let mut seen_generated = false;
+        let mut popped = 0usize;
+        while let Some(c) = queue.pop() {
+            let is_generated = c.score < 50;
+            assert!(
+                is_generated || !seen_generated,
+                "seed {seed}: provided test (score {}) popped after a generated input",
+                c.score
+            );
+            seen_generated |= is_generated;
+            popped += 1;
+        }
+        assert_eq!(popped, provided + generated, "seed {seed}");
+    }
+}

@@ -10,7 +10,10 @@ use cpr_smt::{Model, TermPool};
 const SAMPLES: &[(&str, &str)] = &[
     ("safe_div", include_str!("../programs/safe_div.cpr")),
     ("rgb2ycbcr", include_str!("../programs/rgb2ycbcr.cpr")),
-    ("records_lookup", include_str!("../programs/records_lookup.cpr")),
+    (
+        "records_lookup",
+        include_str!("../programs/records_lookup.cpr"),
+    ),
     ("summation", include_str!("../programs/summation.cpr")),
 ];
 
@@ -26,10 +29,20 @@ fn samples_parse_and_type_check() {
 #[test]
 fn documented_fixes_repair_the_documented_failures() {
     // (sample, failing input, buggy baseline, documented fix)
-    type Case = (&'static str, &'static [(&'static str, i64)], &'static str, &'static str);
+    type Case = (
+        &'static str,
+        &'static [(&'static str, i64)],
+        &'static str,
+        &'static str,
+    );
     let cases: &[Case] = &[
         ("safe_div", &[("x", 0)], "false", "x == 0"),
-        ("rgb2ycbcr", &[("x", 7), ("y", 0)], "false", "x == 0 || y == 0"),
+        (
+            "rgb2ycbcr",
+            &[("x", 7), ("y", 0)],
+            "false",
+            "x == 0 || y == 0",
+        ),
         (
             "records_lookup",
             &[("idx", -128), ("len", 1)],
