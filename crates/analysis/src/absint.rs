@@ -1,0 +1,782 @@
+//! Interval abstract interpretation of subject programs.
+//!
+//! The abstract domain is [`cpr_smt::interval::Interval`] — the same domain
+//! the branch-and-prune solver contracts over — lifted to program states:
+//! scalars map to an interval, booleans to a three-valued [`AbsBool`], and
+//! arrays to a single element-summary interval (arrays start zeroed, and
+//! element writes *hull* the written value into the summary, so the summary
+//! always over-approximates every element).
+//!
+//! The interpreter is a standard AST-directed forward analysis with branch
+//! refinement (conditions contract variable intervals on each arm, mirroring
+//! the solver's HC4 contractors) and loop widening: loops run a few exact
+//! rounds, then bounds that still move are widened to the domain's clamping
+//! bounds and the loop is re-run to a fixpoint.
+//!
+//! Everything here **over-approximates** reachability: a condition is only
+//! reported [`AbsBool::True`]/[`AbsBool::False`] when every concrete
+//! execution agrees, and `bug_reached == false` implies no concrete run can
+//! reach the bug location. That is the soundness direction `cpr-lint` needs
+//! for its `constant-condition` and `unreachable-bug` diagnostics.
+
+use std::collections::BTreeMap;
+
+use cpr_lang::{BinOp, Builtin, Expr, Program, Span, Stmt, Type, UnOp};
+use cpr_smt::interval::Interval;
+
+/// Three-valued abstract boolean (Kleene logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsBool {
+    /// Definitely true in every concrete execution reaching this point.
+    True,
+    /// Definitely false in every concrete execution reaching this point.
+    False,
+    /// May be either.
+    Unknown,
+}
+
+impl AbsBool {
+    /// Abstracts a concrete boolean.
+    pub fn from_bool(b: bool) -> AbsBool {
+        if b {
+            AbsBool::True
+        } else {
+            AbsBool::False
+        }
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: AbsBool) -> AbsBool {
+        match (self, other) {
+            (AbsBool::False, _) | (_, AbsBool::False) => AbsBool::False,
+            (AbsBool::True, AbsBool::True) => AbsBool::True,
+            _ => AbsBool::Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: AbsBool) -> AbsBool {
+        match (self, other) {
+            (AbsBool::True, _) | (_, AbsBool::True) => AbsBool::True,
+            (AbsBool::False, AbsBool::False) => AbsBool::False,
+            _ => AbsBool::Unknown,
+        }
+    }
+
+    /// Least upper bound: equal verdicts stay, different ones go unknown.
+    pub fn join(self, other: AbsBool) -> AbsBool {
+        if self == other {
+            self
+        } else {
+            AbsBool::Unknown
+        }
+    }
+}
+
+/// Kleene negation.
+impl std::ops::Not for AbsBool {
+    type Output = AbsBool;
+
+    fn not(self) -> AbsBool {
+        match self {
+            AbsBool::True => AbsBool::False,
+            AbsBool::False => AbsBool::True,
+            AbsBool::Unknown => AbsBool::Unknown,
+        }
+    }
+}
+
+/// An abstract value: scalar interval, three-valued boolean, or array
+/// element summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Integer scalar.
+    Int(Interval),
+    /// Boolean scalar.
+    Bool(AbsBool),
+    /// Array: one interval over-approximating every element.
+    Array(Interval),
+}
+
+impl AbsVal {
+    fn join(self, other: AbsVal) -> AbsVal {
+        match (self, other) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(a.hull(b)),
+            (AbsVal::Bool(a), AbsVal::Bool(b)) => AbsVal::Bool(a.join(b)),
+            (AbsVal::Array(a), AbsVal::Array(b)) => AbsVal::Array(a.hull(b)),
+            // Type confusion cannot happen post-`check`; stay sound anyway.
+            _ => AbsVal::Int(Interval::TOP),
+        }
+    }
+
+    fn widen(self, next: AbsVal) -> AbsVal {
+        match (self, next) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(widen_interval(a, b)),
+            (AbsVal::Array(a), AbsVal::Array(b)) => AbsVal::Array(widen_interval(a, b)),
+            (a, b) => a.join(b),
+        }
+    }
+}
+
+fn widen_interval(cur: Interval, next: Interval) -> Interval {
+    let lo = if next.lo() < cur.lo() {
+        Interval::MIN_BOUND
+    } else {
+        cur.lo()
+    };
+    let hi = if next.hi() > cur.hi() {
+        Interval::MAX_BOUND
+    } else {
+        cur.hi()
+    };
+    Interval::of(lo, hi)
+}
+
+/// An abstract program state: every visible variable's abstract value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    env: BTreeMap<String, AbsVal>,
+}
+
+impl AbsState {
+    /// Looks a variable up (TOP integer when absent, which cannot happen on
+    /// type-checked programs).
+    pub fn get(&self, name: &str) -> AbsVal {
+        self.env
+            .get(name)
+            .copied()
+            .unwrap_or(AbsVal::Int(Interval::TOP))
+    }
+
+    fn set(&mut self, name: &str, v: AbsVal) {
+        self.env.insert(name.to_owned(), v);
+    }
+
+    fn join(&self, other: &AbsState) -> AbsState {
+        let mut env = self.env.clone();
+        for (k, v) in &other.env {
+            let merged = match env.get(k) {
+                Some(cur) => cur.join(*v),
+                None => *v,
+            };
+            env.insert(k.clone(), merged);
+        }
+        AbsState { env }
+    }
+
+    fn widen(&self, next: &AbsState) -> AbsState {
+        let mut env = self.env.clone();
+        for (k, v) in &next.env {
+            let merged = match env.get(k) {
+                Some(cur) => cur.widen(*v),
+                None => *v,
+            };
+            env.insert(k.clone(), merged);
+        }
+        AbsState { env }
+    }
+}
+
+fn join_opt(a: Option<AbsState>, b: Option<AbsState>) -> Option<AbsState> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.join(&b)),
+        (Some(a), None) => Some(a),
+        (None, b) => b,
+    }
+}
+
+/// Result of abstractly interpreting a program.
+#[derive(Debug, Clone)]
+pub struct AbsSummary {
+    /// Joined verdict of every *visited* `if`/`while` condition, keyed and
+    /// ordered by source span. Conditions in code the analysis never reaches
+    /// do not appear.
+    pub cond_verdicts: BTreeMap<(usize, usize), AbsBool>,
+    /// Whether any abstract execution reaches the bug location. `false` is a
+    /// proof that no concrete execution reaches it.
+    pub bug_reached: bool,
+    /// Joined verdict of the bug specification over all visits (when
+    /// reached).
+    pub bug_spec: Option<AbsBool>,
+    /// Abstract state joined over every path reaching the bug location.
+    pub bug_state: Option<AbsState>,
+}
+
+/// Maximum loop-analysis rounds; widening kicks in well before this.
+const MAX_LOOP_ROUNDS: usize = 16;
+/// Exact rounds before bounds that still move are widened.
+const WIDEN_AFTER: usize = 3;
+
+struct AbsInterp {
+    cond_verdicts: BTreeMap<(usize, usize), AbsBool>,
+    bug_reached: bool,
+    bug_spec: Option<AbsBool>,
+    bug_state: Option<AbsState>,
+}
+
+/// Abstractly interprets `program` from its declared input ranges.
+pub fn analyze(program: &Program) -> AbsSummary {
+    let mut interp = AbsInterp {
+        cond_verdicts: BTreeMap::new(),
+        bug_reached: false,
+        bug_spec: None,
+        bug_state: None,
+    };
+    let mut env = BTreeMap::new();
+    for input in &program.inputs {
+        env.insert(
+            input.name.clone(),
+            AbsVal::Int(Interval::of(input.lo, input.hi)),
+        );
+    }
+    let state = AbsState { env };
+    interp.exec_block(&program.body, Some(state));
+    AbsSummary {
+        cond_verdicts: interp.cond_verdicts,
+        bug_reached: interp.bug_reached,
+        bug_spec: interp.bug_spec,
+        bug_state: interp.bug_state,
+    }
+}
+
+impl AbsInterp {
+    fn record(&mut self, span: Span, verdict: AbsBool) {
+        let key = (span.start, span.end);
+        let joined = match self.cond_verdicts.get(&key) {
+            Some(prev) => prev.join(verdict),
+            None => verdict,
+        };
+        self.cond_verdicts.insert(key, joined);
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], mut state: Option<AbsState>) -> Option<AbsState> {
+        for stmt in stmts {
+            let s = state?;
+            state = self.exec_stmt(stmt, s);
+        }
+        state
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, mut state: AbsState) -> Option<AbsState> {
+        match stmt {
+            Stmt::Decl { name, ty, init, .. } => {
+                let v = match (ty, init) {
+                    (Type::IntArray(_), _) => AbsVal::Array(Interval::point(0)),
+                    (_, Some(e)) => eval(&state, e),
+                    (Type::Int, None) => AbsVal::Int(Interval::point(0)),
+                    (Type::Bool, None) => AbsVal::Bool(AbsBool::False),
+                };
+                state.set(name, v);
+                Some(state)
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = eval(&state, value);
+                state.set(name, v);
+                Some(state)
+            }
+            Stmt::AssignIndex {
+                name, index, value, ..
+            } => {
+                // Weak update on the element summary; the index is evaluated
+                // only for its (ignored) crash potential — out-of-bounds
+                // paths stop, and keeping them is the over-approximation.
+                let _ = eval(&state, index);
+                let v = match eval(&state, value) {
+                    AbsVal::Int(i) => i,
+                    _ => Interval::TOP,
+                };
+                let summary = match state.get(name) {
+                    AbsVal::Array(s) => s.hull(v),
+                    _ => Interval::TOP,
+                };
+                state.set(name, AbsVal::Array(summary));
+                Some(state)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let verdict = eval_bool(&state, cond);
+                self.record(cond.span(), verdict);
+                let then_in = if verdict == AbsBool::False {
+                    None
+                } else {
+                    refine(state.clone(), cond, true)
+                };
+                let else_in = if verdict == AbsBool::True {
+                    None
+                } else {
+                    refine(state.clone(), cond, false)
+                };
+                let then_out = then_in.and_then(|s| self.exec_block(then_body, Some(s)));
+                let else_out = else_in.and_then(|s| self.exec_block(else_body, Some(s)));
+                join_opt(then_out, else_out)
+            }
+            Stmt::While { cond, body, .. } => {
+                let mut cur = state;
+                let mut exits: Option<AbsState> = None;
+                for round in 0..MAX_LOOP_ROUNDS {
+                    let verdict = eval_bool(&cur, cond);
+                    self.record(cond.span(), verdict);
+                    exits = join_opt(exits, refine(cur.clone(), cond, false));
+                    if verdict == AbsBool::False {
+                        return exits;
+                    }
+                    let body_in = match refine(cur.clone(), cond, true) {
+                        Some(s) => s,
+                        None => return exits,
+                    };
+                    let body_out = match self.exec_block(body, Some(body_in)) {
+                        Some(s) => s,
+                        // Every iteration path returns/stops: the loop never
+                        // falls through on its own.
+                        None => return exits,
+                    };
+                    let next = cur.join(&body_out);
+                    if next == cur {
+                        return exits;
+                    }
+                    cur = if round >= WIDEN_AFTER {
+                        cur.widen(&next)
+                    } else {
+                        next
+                    };
+                }
+                // Widening guarantees convergence long before the round
+                // budget; fall back to the sound exit join regardless.
+                join_opt(exits, refine(cur, cond, false))
+            }
+            Stmt::Return { value, .. } => {
+                let _ = eval(&state, value);
+                None
+            }
+            Stmt::Assert { cond, .. } | Stmt::Assume { cond, .. } => {
+                // Paths where the condition fails stop here; the fallthrough
+                // state satisfies it.
+                refine(state, cond, true)
+            }
+            Stmt::Bug { spec, .. } => {
+                self.bug_reached = true;
+                let verdict = eval_bool(&state, spec);
+                self.bug_spec = Some(match self.bug_spec {
+                    Some(prev) => prev.join(verdict),
+                    None => verdict,
+                });
+                self.bug_state = join_opt(self.bug_state.take(), Some(state.clone()));
+                // Violating the spec is the observable failure and stops the
+                // program; the fallthrough state satisfies σ.
+                refine(state, spec, true)
+            }
+        }
+    }
+}
+
+/// Evaluates an expression in an abstract state.
+pub fn eval(state: &AbsState, e: &Expr) -> AbsVal {
+    match e {
+        Expr::Int(v, _) => AbsVal::Int(Interval::point(*v)),
+        Expr::Bool(b, _) => AbsVal::Bool(AbsBool::from_bool(*b)),
+        Expr::Var(name, _) => state.get(name),
+        Expr::Index(name, idx, _) => {
+            let _ = eval(state, idx);
+            match state.get(name) {
+                AbsVal::Array(summary) => AbsVal::Int(summary),
+                _ => AbsVal::Int(Interval::TOP),
+            }
+        }
+        Expr::Unary(UnOp::Neg, inner, _) => AbsVal::Int(as_interval(eval(state, inner)).neg()),
+        Expr::Unary(UnOp::Not, inner, _) => AbsVal::Bool(!as_bool(eval(state, inner))),
+        Expr::Binary(op, a, b, _) => {
+            if op.is_logical() {
+                let (a, b) = (as_bool(eval(state, a)), as_bool(eval(state, b)));
+                AbsVal::Bool(match op {
+                    BinOp::And => a.and(b),
+                    _ => a.or(b),
+                })
+            } else if op.is_comparison() {
+                let (a, b) = (as_interval(eval(state, a)), as_interval(eval(state, b)));
+                AbsVal::Bool(compare(*op, a, b))
+            } else {
+                let (a, b) = (as_interval(eval(state, a)), as_interval(eval(state, b)));
+                AbsVal::Int(match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    // Total variants over-approximate the crashing cases.
+                    BinOp::Div => a.div_total(b),
+                    _ => a.rem_total(b),
+                })
+            }
+        }
+        Expr::Call(builtin, args, _) => {
+            let vals: Vec<Interval> = args.iter().map(|a| as_interval(eval(state, a))).collect();
+            AbsVal::Int(match builtin {
+                Builtin::Min => Interval::of(
+                    vals[0].lo().min(vals[1].lo()),
+                    vals[0].hi().min(vals[1].hi()),
+                ),
+                Builtin::Max => Interval::of(
+                    vals[0].lo().max(vals[1].lo()),
+                    vals[0].hi().max(vals[1].hi()),
+                ),
+                Builtin::Abs => abs_interval(vals[0]),
+                Builtin::Roundup => Interval::TOP,
+            })
+        }
+        // User functions are pure but unbounded (recursion); stay TOP.
+        Expr::UserCall(_, args, _) => {
+            for a in args {
+                let _ = eval(state, a);
+            }
+            AbsVal::Int(Interval::TOP)
+        }
+        Expr::Hole(kind, _, _) => match kind {
+            cpr_lang::HoleKind::Cond => AbsVal::Bool(AbsBool::Unknown),
+            cpr_lang::HoleKind::IntExpr => AbsVal::Int(Interval::TOP),
+        },
+    }
+}
+
+/// Evaluates a boolean expression to its three-valued verdict.
+pub fn eval_bool(state: &AbsState, e: &Expr) -> AbsBool {
+    as_bool(eval(state, e))
+}
+
+fn as_interval(v: AbsVal) -> Interval {
+    match v {
+        AbsVal::Int(i) | AbsVal::Array(i) => i,
+        AbsVal::Bool(_) => Interval::of(0, 1),
+    }
+}
+
+fn as_bool(v: AbsVal) -> AbsBool {
+    match v {
+        AbsVal::Bool(b) => b,
+        _ => AbsBool::Unknown,
+    }
+}
+
+fn abs_interval(a: Interval) -> Interval {
+    if a.lo() >= 0 {
+        a
+    } else if a.hi() <= 0 {
+        a.neg()
+    } else {
+        Interval::of(0, a.neg().hi().max(a.hi()))
+    }
+}
+
+fn compare(op: BinOp, a: Interval, b: Interval) -> AbsBool {
+    match op {
+        BinOp::Lt => {
+            if a.hi() < b.lo() {
+                AbsBool::True
+            } else if a.lo() >= b.hi() {
+                AbsBool::False
+            } else {
+                AbsBool::Unknown
+            }
+        }
+        BinOp::Le => {
+            if a.hi() <= b.lo() {
+                AbsBool::True
+            } else if a.lo() > b.hi() {
+                AbsBool::False
+            } else {
+                AbsBool::Unknown
+            }
+        }
+        BinOp::Gt => compare(BinOp::Lt, b, a),
+        BinOp::Ge => compare(BinOp::Le, b, a),
+        BinOp::Eq => {
+            if a.is_point() && b.is_point() && a.lo() == b.lo() {
+                AbsBool::True
+            } else if a.intersect(b).is_none() {
+                AbsBool::False
+            } else {
+                AbsBool::Unknown
+            }
+        }
+        BinOp::Ne => !compare(BinOp::Eq, a, b),
+        _ => AbsBool::Unknown,
+    }
+}
+
+/// Negates a comparison operator (for refining under a false polarity).
+fn negate_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        other => other,
+    }
+}
+
+/// Contracts `state` under the assumption that `cond` evaluates to
+/// `polarity`. Returns `None` when the assumption is infeasible — the same
+/// role the solver's HC4 contractors play, specialised to `var ⋈ expr`
+/// patterns. Refinement never *loses* states: the result always contains
+/// every concrete state of the input that satisfies the assumption.
+pub fn refine(state: AbsState, cond: &Expr, polarity: bool) -> Option<AbsState> {
+    match cond {
+        Expr::Bool(b, _) => (*b == polarity).then_some(state),
+        Expr::Var(name, _) => {
+            let want = AbsBool::from_bool(polarity);
+            match state.get(name) {
+                AbsVal::Bool(cur) if cur == !want => None,
+                AbsVal::Bool(_) => {
+                    let mut s = state;
+                    s.set(name, AbsVal::Bool(want));
+                    Some(s)
+                }
+                _ => Some(state),
+            }
+        }
+        Expr::Unary(UnOp::Not, inner, _) => refine(state, inner, !polarity),
+        Expr::Binary(BinOp::And, a, b, _) if polarity => {
+            refine(state, a, true).and_then(|s| refine(s, b, true))
+        }
+        Expr::Binary(BinOp::Or, a, b, _) if !polarity => {
+            refine(state, a, false).and_then(|s| refine(s, b, false))
+        }
+        Expr::Binary(op, a, b, _) if op.is_comparison() => {
+            let op = if polarity { *op } else { negate_cmp(*op) };
+            let av = as_interval(eval(&state, a));
+            let bv = as_interval(eval(&state, b));
+            // Verdict check first: a definitely-contradicted comparison
+            // makes the branch infeasible even when neither side is a
+            // variable we can contract.
+            if compare(op, av, bv) == AbsBool::False {
+                return None;
+            }
+            let mut s = state;
+            if let Expr::Var(name, _) = &**a {
+                if matches!(s.get(name), AbsVal::Int(_)) {
+                    let contracted = contract(op, av, bv, true)?;
+                    s.set(name, AbsVal::Int(contracted));
+                }
+            }
+            if let Expr::Var(name, _) = &**b {
+                if matches!(s.get(name), AbsVal::Int(_)) {
+                    let contracted = contract(op, bv, av, false)?;
+                    s.set(name, AbsVal::Int(contracted));
+                }
+            }
+            Some(s)
+        }
+        _ => match eval_bool(&state, cond) {
+            v if v == AbsBool::from_bool(!polarity) => None,
+            _ => Some(state),
+        },
+    }
+}
+
+/// Contracts `this` under `this ⋈ other` (`lhs == true`) or
+/// `other ⋈ this` (`lhs == false`).
+fn contract(op: BinOp, this: Interval, other: Interval, lhs: bool) -> Option<Interval> {
+    let op = if lhs {
+        op
+    } else {
+        // Flip sides: `other ⋈ this` becomes `this ⋈' other`.
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other_op => other_op,
+        }
+    };
+    match op {
+        BinOp::Lt => this.below_strict(other),
+        BinOp::Le => this.below(other),
+        BinOp::Gt => this.above_strict(other),
+        BinOp::Ge => this.above(other),
+        BinOp::Eq => this.intersect(other),
+        BinOp::Ne => {
+            if other.is_point() {
+                this.remove_endpoint(other.lo())
+            } else {
+                Some(this)
+            }
+        }
+        _ => Some(this),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_lang::{check, parse};
+
+    fn summary(src: &str) -> AbsSummary {
+        let program = parse(src).unwrap();
+        check(&program).unwrap();
+        analyze(&program)
+    }
+
+    fn verdicts(s: &AbsSummary) -> Vec<AbsBool> {
+        s.cond_verdicts.values().copied().collect()
+    }
+
+    #[test]
+    fn constant_conditions_get_definite_verdicts() {
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               if (x > 100) { return 1; }
+               if (x >= 0) { return 2; }
+               return 3;
+             }",
+        );
+        assert_eq!(verdicts(&s), vec![AbsBool::False, AbsBool::True]);
+    }
+
+    #[test]
+    fn data_dependent_conditions_stay_unknown() {
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               if (x > 2) { return 1; }
+               return 0;
+             }",
+        );
+        assert_eq!(verdicts(&s), vec![AbsBool::Unknown]);
+    }
+
+    #[test]
+    fn branch_refinement_narrows_variables() {
+        let s = summary(
+            "program p {
+               input x in [0, 10];
+               if (x > 5) {
+                 if (x > 3) { return 1; }
+               }
+               return 0;
+             }",
+        );
+        // Inside `x > 5`, the inner `x > 3` is definitely true (verdicts
+        // are ordered by source span: outer first).
+        assert_eq!(verdicts(&s), vec![AbsBool::Unknown, AbsBool::True]);
+    }
+
+    #[test]
+    fn loops_widen_instead_of_diverging() {
+        let s = summary(
+            "program p {
+               input n in [0, 8];
+               var i: int = 0;
+               var sum: int = 0;
+               while (i < n) { sum = sum + i; i = i + 1; }
+               bug overflow requires (sum >= 0);
+               return sum;
+             }",
+        );
+        // The loop condition is data-dependent; the bug is reached and its
+        // spec cannot be decided after widening.
+        assert_eq!(verdicts(&s), vec![AbsBool::Unknown]);
+        assert!(s.bug_reached);
+    }
+
+    #[test]
+    fn bug_behind_infeasible_guard_is_unreached() {
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               if (x < 0 - 200) { bug neg requires (x > 0); }
+               return x;
+             }",
+        );
+        assert!(!s.bug_reached);
+        assert_eq!(s.bug_spec, None);
+        assert_eq!(verdicts(&s), vec![AbsBool::False]);
+    }
+
+    #[test]
+    fn bug_spec_verdict_uses_the_path_refined_state() {
+        let s = summary(
+            "program p {
+               input x in [-10, 10];
+               if (x > 0) { bug pos requires (x >= 1); }
+               return x;
+             }",
+        );
+        assert!(s.bug_reached);
+        assert_eq!(s.bug_spec, Some(AbsBool::True));
+    }
+
+    #[test]
+    fn arrays_are_summarised_and_stay_zero_inclusive() {
+        let s = summary(
+            "program p {
+               input x in [3, 7];
+               var a: int[4];
+               a[0] = x;
+               bug range requires (a[1] >= 0);
+               return a[0];
+             }",
+        );
+        // The summary is {0} ∪ [3,7]: the spec `a[1] >= 0` is definitely
+        // true (all elements non-negative).
+        assert_eq!(s.bug_spec, Some(AbsBool::True));
+    }
+
+    #[test]
+    fn holes_are_opaque() {
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               if (__patch_cond__(x)) { return 1; }
+               bug b requires (x >= 0);
+               return 0;
+             }",
+        );
+        assert_eq!(verdicts(&s), vec![AbsBool::Unknown]);
+        assert!(s.bug_reached);
+    }
+
+    #[test]
+    fn assume_and_assert_refine_the_fallthrough_state() {
+        let s = summary(
+            "program p {
+               input x in [-10, 10];
+               assume(x > 0);
+               if (x >= 1) { return 1; }
+               return 0;
+             }",
+        );
+        assert_eq!(verdicts(&s), vec![AbsBool::True]);
+    }
+
+    #[test]
+    fn infinite_loop_condition_is_reported_constant() {
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               var i: int = 0;
+               while (x >= 0) { i = i + 1; }
+               return i;
+             }",
+        );
+        assert!(verdicts(&s).contains(&AbsBool::True));
+    }
+
+    #[test]
+    fn division_is_total_in_the_abstract() {
+        // `x / y` with y possibly zero must not crash the analysis.
+        let s = summary(
+            "program p {
+               input x in [0, 5];
+               input y in [0, 5];
+               bug d requires (y != 0);
+               return x / y;
+             }",
+        );
+        assert!(s.bug_reached);
+        assert_eq!(s.bug_spec, Some(AbsBool::Unknown));
+    }
+}

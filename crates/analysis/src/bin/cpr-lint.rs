@@ -1,0 +1,45 @@
+//! `cpr-lint` — static diagnostics for `.cpr` subject programs.
+//!
+//! Usage: `cpr-lint <file.cpr>...`
+//!
+//! Prints one JSON object per diagnostic on stdout:
+//!
+//! ```json
+//! {"file":"programs/x.cpr","line":3,"col":5,"code":"dead-variable","message":"..."}
+//! ```
+//!
+//! Exit status: 0 when every file lints clean, 1 when any diagnostic was
+//! reported, 2 on usage or I/O errors. A per-run summary goes to stderr so
+//! stdout stays purely machine-readable.
+
+use std::process::ExitCode;
+
+use cpr_analysis::lint::lint_source;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: cpr-lint <file.cpr>...");
+        return ExitCode::from(2);
+    }
+    let mut total = 0usize;
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cpr-lint: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for diag in lint_source(&src) {
+            println!("{}", diag.to_json(file, &src));
+            total += 1;
+        }
+    }
+    eprintln!("cpr-lint: {total} diagnostic(s) in {} file(s)", files.len());
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,433 @@
+//! Control-flow graph construction and reachability over `cpr-lang` ASTs.
+//!
+//! The CFG covers the **main body** of a program. User-defined functions are
+//! pure expression-level helpers (no holes, bug markers, or effects on main
+//! state), so calls to them behave like opaque expressions and the functions
+//! themselves contribute no control flow of their own.
+//!
+//! The graph is statement-granular: every statement becomes one node, plus a
+//! synthetic [`NodeKind::Entry`] and [`NodeKind::Exit`]. `if` statements
+//! become a branch node with edges into both arm blocks; `while` statements
+//! become a loop-head node with a back edge from the body and an exit edge to
+//! the continuation. Statements that can never gain an incoming edge (for
+//! example, code after a `return` in the same block) stay disconnected and
+//! are reported as unreachable by [`Cfg::reachable`].
+
+use cpr_lang::{Expr, Program, Span, Stmt};
+
+/// Index of a node inside a [`Cfg`].
+pub type NodeId = usize;
+
+/// What a CFG node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic entry node (always id 0).
+    Entry,
+    /// Synthetic exit node (always id 1).
+    Exit,
+    /// A `var` declaration.
+    Decl,
+    /// A scalar assignment.
+    Assign,
+    /// An array-element assignment.
+    AssignIndex,
+    /// The condition of an `if`.
+    Branch,
+    /// The condition of a `while` (loop head).
+    LoopHead,
+    /// A `return`.
+    Return,
+    /// An `assert`.
+    Assert,
+    /// An `assume`.
+    Assume,
+    /// The `bug <name> requires (σ)` location.
+    Bug,
+}
+
+/// One node of the control-flow graph.
+#[derive(Debug, Clone)]
+pub struct CfgNode {
+    /// What the node represents.
+    pub kind: NodeKind,
+    /// Source span of the underlying statement (empty for entry/exit).
+    pub span: Span,
+    /// Variables written by the node. Array-element writes list the array
+    /// (a *weak* update: the node both uses and defines it).
+    pub defs: Vec<String>,
+    /// Variables read by the node, including array names in reads/writes and
+    /// the argument list of a patch hole.
+    pub uses: Vec<String>,
+    /// Whether the statement contains the patch hole.
+    pub has_hole: bool,
+    /// Successor edges.
+    pub succs: Vec<NodeId>,
+    /// Predecessor edges (mirror of `succs`).
+    pub preds: Vec<NodeId>,
+}
+
+impl CfgNode {
+    fn new(kind: NodeKind, span: Span) -> CfgNode {
+        CfgNode {
+            kind,
+            span,
+            defs: Vec::new(),
+            uses: Vec::new(),
+            has_hole: false,
+            succs: Vec::new(),
+            preds: Vec::new(),
+        }
+    }
+}
+
+/// A statement-granular control-flow graph of a program's main body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    nodes: Vec<CfgNode>,
+    bug: Option<NodeId>,
+    hole: Option<NodeId>,
+}
+
+/// Collects the variable names an expression reads into `out` (array names
+/// of element reads and the visible-variable list of a patch hole included).
+pub fn expr_uses(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Int(..) | Expr::Bool(..) => {}
+        Expr::Var(name, _) => out.push(name.clone()),
+        Expr::Index(name, idx, _) => {
+            out.push(name.clone());
+            expr_uses(idx, out);
+        }
+        Expr::Unary(_, inner, _) => expr_uses(inner, out),
+        Expr::Binary(_, a, b, _) => {
+            expr_uses(a, out);
+            expr_uses(b, out);
+        }
+        Expr::Call(_, args, _) | Expr::UserCall(_, args, _) => {
+            for a in args {
+                expr_uses(a, out);
+            }
+        }
+        Expr::Hole(_, args, _) => out.extend(args.iter().cloned()),
+    }
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`'s main body.
+    pub fn build(program: &Program) -> Cfg {
+        let mut cfg = Cfg {
+            nodes: vec![
+                CfgNode::new(NodeKind::Entry, Span::default()),
+                CfgNode::new(NodeKind::Exit, Span::default()),
+            ],
+            bug: None,
+            hole: None,
+        };
+        let open = cfg.lower_block(&program.body, vec![ENTRY]);
+        // Falling off the end of the program is a normal exit.
+        for p in open {
+            cfg.edge(p, EXIT);
+        }
+        cfg
+    }
+
+    /// The synthetic entry node id.
+    pub fn entry(&self) -> NodeId {
+        ENTRY
+    }
+
+    /// The synthetic exit node id.
+    pub fn exit(&self) -> NodeId {
+        EXIT
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[CfgNode] {
+        &self.nodes
+    }
+
+    /// The node of the (first) `bug` statement, if any.
+    pub fn bug_node(&self) -> Option<NodeId> {
+        self.bug
+    }
+
+    /// The node of the statement containing the patch hole, if any.
+    pub fn hole_node(&self) -> Option<NodeId> {
+        self.hole
+    }
+
+    /// Per-node reachability from the entry node.
+    pub fn reachable(&self) -> Vec<bool> {
+        self.reachable_from(ENTRY)
+    }
+
+    /// Per-node reachability from an arbitrary node.
+    pub fn reachable_from(&self, from: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut work = vec![from];
+        seen[from] = true;
+        while let Some(n) = work.pop() {
+            for &s in &self.nodes[n].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    work.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `to` is reachable from `from` along CFG edges.
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        self.reachable_from(from)[to]
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId) {
+        if !self.nodes[from].succs.contains(&to) {
+            self.nodes[from].succs.push(to);
+            self.nodes[to].preds.push(from);
+        }
+    }
+
+    fn push(&mut self, kind: NodeKind, span: Span, preds: &[NodeId]) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(CfgNode::new(kind, span));
+        for &p in preds {
+            self.edge(p, id);
+        }
+        id
+    }
+
+    /// Lowers a block given the open ends of its predecessors; returns the
+    /// open ends falling through to whatever follows the block.
+    fn lower_block(&mut self, stmts: &[Stmt], mut open: Vec<NodeId>) -> Vec<NodeId> {
+        for stmt in stmts {
+            open = self.lower_stmt(stmt, open);
+        }
+        open
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, open: Vec<NodeId>) -> Vec<NodeId> {
+        match stmt {
+            Stmt::Decl {
+                name, init, span, ..
+            } => {
+                let id = self.push(NodeKind::Decl, *span, &open);
+                self.nodes[id].defs.push(name.clone());
+                if let Some(e) = init {
+                    expr_uses(e, &mut self.nodes[id].uses);
+                    self.nodes[id].has_hole = e.contains_hole();
+                }
+                self.note_hole(id);
+                vec![id]
+            }
+            Stmt::Assign { name, value, span } => {
+                let id = self.push(NodeKind::Assign, *span, &open);
+                self.nodes[id].defs.push(name.clone());
+                expr_uses(value, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = value.contains_hole();
+                self.note_hole(id);
+                vec![id]
+            }
+            Stmt::AssignIndex {
+                name,
+                index,
+                value,
+                span,
+            } => {
+                let id = self.push(NodeKind::AssignIndex, *span, &open);
+                // A weak update: the array is both used and defined.
+                self.nodes[id].defs.push(name.clone());
+                self.nodes[id].uses.push(name.clone());
+                expr_uses(index, &mut self.nodes[id].uses);
+                expr_uses(value, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = index.contains_hole() || value.contains_hole();
+                self.note_hole(id);
+                vec![id]
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
+                let id = self.push(NodeKind::Branch, *span, &open);
+                expr_uses(cond, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = cond.contains_hole();
+                self.note_hole(id);
+                let mut out = self.lower_block(then_body, vec![id]);
+                if else_body.is_empty() {
+                    out.push(id);
+                } else {
+                    out.extend(self.lower_block(else_body, vec![id]));
+                }
+                out
+            }
+            Stmt::While { cond, body, span } => {
+                let id = self.push(NodeKind::LoopHead, *span, &open);
+                expr_uses(cond, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = cond.contains_hole();
+                self.note_hole(id);
+                let back = self.lower_block(body, vec![id]);
+                for p in back {
+                    self.edge(p, id);
+                }
+                vec![id]
+            }
+            Stmt::Return { value, span } => {
+                let id = self.push(NodeKind::Return, *span, &open);
+                expr_uses(value, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = value.contains_hole();
+                self.note_hole(id);
+                self.edge(id, EXIT);
+                Vec::new()
+            }
+            Stmt::Assert { cond, span } => {
+                let id = self.push(NodeKind::Assert, *span, &open);
+                expr_uses(cond, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = cond.contains_hole();
+                self.note_hole(id);
+                // A failing assert stops the program.
+                self.edge(id, EXIT);
+                vec![id]
+            }
+            Stmt::Assume { cond, span } => {
+                let id = self.push(NodeKind::Assume, *span, &open);
+                expr_uses(cond, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = cond.contains_hole();
+                self.note_hole(id);
+                // A failing assume silently stops the path.
+                self.edge(id, EXIT);
+                vec![id]
+            }
+            Stmt::Bug { spec, span, .. } => {
+                let id = self.push(NodeKind::Bug, *span, &open);
+                expr_uses(spec, &mut self.nodes[id].uses);
+                self.nodes[id].has_hole = spec.contains_hole();
+                self.note_hole(id);
+                if self.bug.is_none() {
+                    self.bug = Some(id);
+                }
+                // A violated spec stops the program.
+                self.edge(id, EXIT);
+                vec![id]
+            }
+        }
+    }
+
+    fn note_hole(&mut self, id: NodeId) {
+        if self.hole.is_none() && self.nodes[id].has_hole {
+            self.hole = Some(id);
+        }
+    }
+}
+
+const ENTRY: NodeId = 0;
+const EXIT: NodeId = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_lang::{check, parse};
+
+    fn cfg_of(src: &str) -> Cfg {
+        let program = parse(src).unwrap();
+        check(&program).unwrap();
+        Cfg::build(&program)
+    }
+
+    #[test]
+    fn straight_line_chains_entry_to_exit() {
+        let cfg = cfg_of("program p { var x: int = 1; x = x + 1; return x; }");
+        assert_eq!(cfg.nodes().len(), 5);
+        assert!(cfg.reachable().iter().all(|&r| r));
+        assert!(cfg.reaches(cfg.entry(), cfg.exit()));
+    }
+
+    #[test]
+    fn code_after_return_is_unreachable() {
+        let cfg = cfg_of("program p { return 1; var x: int = 2; return x; }");
+        let reach = cfg.reachable();
+        let dead: Vec<_> = cfg
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !reach[*i])
+            .map(|(_, n)| n.kind)
+            .collect();
+        assert_eq!(dead, vec![NodeKind::Decl, NodeKind::Return]);
+    }
+
+    #[test]
+    fn branches_rejoin_and_loops_have_back_edges() {
+        let cfg = cfg_of(
+            "program p {
+               input x in [0, 8];
+               var s: int = 0;
+               var i: int = 0;
+               while (i < x) { s = s + i; i = i + 1; }
+               if (s > 3) { s = 3; } else { s = 0 - s; }
+               return s;
+             }",
+        );
+        assert!(cfg.reachable().iter().all(|&r| r));
+        let loop_head = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::LoopHead)
+            .unwrap();
+        // The last body statement loops back to the head.
+        assert!(cfg.nodes()[loop_head]
+            .preds
+            .iter()
+            .any(|&p| cfg.nodes()[p].kind == NodeKind::Assign));
+        let branch = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Branch)
+            .unwrap();
+        assert_eq!(cfg.nodes()[branch].succs.len(), 2);
+    }
+
+    #[test]
+    fn bug_and_hole_nodes_are_found_with_defs_and_uses() {
+        let cfg = cfg_of(
+            "program p {
+               input x in [-10, 10];
+               var y: int = 0;
+               if (__patch_cond__(x)) { return 0; }
+               y = x * 2;
+               bug div_by_zero requires (y != 0);
+               return 100 / y;
+             }",
+        );
+        let hole = cfg.hole_node().unwrap();
+        assert_eq!(cfg.nodes()[hole].kind, NodeKind::Branch);
+        assert_eq!(cfg.nodes()[hole].uses, vec!["x".to_owned()]);
+        let bug = cfg.bug_node().unwrap();
+        assert_eq!(cfg.nodes()[bug].kind, NodeKind::Bug);
+        assert_eq!(cfg.nodes()[bug].uses, vec!["y".to_owned()]);
+        assert!(cfg.reaches(hole, bug));
+        let assign = cfg
+            .nodes()
+            .iter()
+            .find(|n| n.kind == NodeKind::Assign)
+            .unwrap();
+        assert_eq!(assign.defs, vec!["y".to_owned()]);
+        assert_eq!(assign.uses, vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn bug_guarded_by_a_branch_is_still_cfg_reachable() {
+        // CFG reachability is control-flow only; value-based unreachability
+        // is the abstract interpreter's job.
+        let cfg = cfg_of(
+            "program p {
+               input x in [0, 5];
+               if (x > 100) { bug never requires (x < 0); }
+               return x;
+             }",
+        );
+        assert!(cfg.reachable()[cfg.bug_node().unwrap()]);
+    }
+}

@@ -1,0 +1,177 @@
+//! Def-use chains and backward liveness over a [`Cfg`], plus the
+//! dead-variable query used by `cpr-lint`.
+//!
+//! Liveness is the textbook backward may-analysis:
+//!
+//! ```text
+//! live_out(n) = ⋃ live_in(s)  for s ∈ succs(n)
+//! live_in(n)  = uses(n) ∪ (live_out(n) ∖ defs(n))
+//! ```
+//!
+//! iterated to a fixpoint. Array-element writes are weak updates (the array
+//! appears in both `defs` and `uses`), so an array is never killed by a
+//! partial write — the sound direction for a may-analysis.
+
+use std::collections::BTreeSet;
+
+use cpr_lang::{Program, Span, Stmt};
+
+use crate::cfg::Cfg;
+
+/// Per-node live-variable sets, indexed by [`crate::cfg::NodeId`].
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Variables live on entry to each node.
+    pub live_in: Vec<BTreeSet<String>>,
+    /// Variables live on exit from each node.
+    pub live_out: Vec<BTreeSet<String>>,
+}
+
+/// Computes backward liveness over `cfg` to a fixpoint.
+pub fn liveness(cfg: &Cfg) -> Liveness {
+    let n = cfg.nodes().len();
+    let mut live_in: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut live_out: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Reverse order converges quickly on mostly-forward CFGs.
+        for id in (0..n).rev() {
+            let node = &cfg.nodes()[id];
+            let mut out = BTreeSet::new();
+            for &s in &node.succs {
+                out.extend(live_in[s].iter().cloned());
+            }
+            let mut inn: BTreeSet<String> = node.uses.iter().cloned().collect();
+            for v in &out {
+                if !node.defs.contains(v) {
+                    inn.insert(v.clone());
+                }
+            }
+            if out != live_out[id] || inn != live_in[id] {
+                live_out[id] = out;
+                live_in[id] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Declared-but-never-read variables of the main body, in declaration order.
+///
+/// A variable counts as *read* if its name occurs in any use position
+/// anywhere in the program body — conditions, indices, hole argument lists,
+/// and array reads included. Writing to a variable does not keep it alive.
+/// This is deliberately coarser than per-node liveness (which would also
+/// flag dead *stores* to otherwise-used variables) so that the lint never
+/// fires on the common declare-then-branch-assign idiom.
+pub fn dead_variables(program: &Program) -> Vec<(String, Span)> {
+    let mut declared: Vec<(String, Span)> = Vec::new();
+    collect_decls(&program.body, &mut declared);
+    let cfg = Cfg::build(program);
+    let used: BTreeSet<&String> = cfg.nodes().iter().flat_map(|n| n.uses.iter()).collect();
+    declared.retain(|(name, _)| !used.contains(name));
+    declared
+}
+
+fn collect_decls(stmts: &[Stmt], out: &mut Vec<(String, Span)>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Decl { name, span, .. } => out.push((name.clone(), *span)),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_decls(then_body, out);
+                collect_decls(else_body, out);
+            }
+            Stmt::While { body, .. } => collect_decls(body, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_lang::{check, parse};
+
+    fn program(src: &str) -> Program {
+        let p = parse(src).unwrap();
+        check(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn liveness_flows_backward_through_branches_and_loops() {
+        let p = program(
+            "program p {
+               input x in [0, 8];
+               var s: int = 0;
+               var i: int = 0;
+               while (i < x) { s = s + i; i = i + 1; }
+               return s;
+             }",
+        );
+        let cfg = Cfg::build(&p);
+        let live = liveness(&cfg);
+        // At the loop head, everything the loop and the return read is live.
+        let head = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == crate::cfg::NodeKind::LoopHead)
+            .unwrap();
+        for v in ["x", "s", "i"] {
+            assert!(live.live_in[head].contains(v), "{v} should be live");
+        }
+        // Nothing is live once the program has exited.
+        assert!(live.live_out[cfg.exit()].is_empty());
+    }
+
+    #[test]
+    fn defs_kill_liveness_above_them() {
+        let p = program("program p { input x in [0, 4]; var y: int = x; return y; }");
+        let cfg = Cfg::build(&p);
+        let live = liveness(&cfg);
+        let decl = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.defs.contains(&"y".to_owned()))
+            .unwrap();
+        assert!(live.live_out[decl].contains("y"));
+        assert!(!live.live_in[decl].contains("y"));
+        assert!(live.live_in[decl].contains("x"));
+    }
+
+    #[test]
+    fn dead_variables_are_declared_but_never_read() {
+        let p = program(
+            "program p {
+               input x in [0, 4];
+               var unused: int = 7;
+               var written: int = 0;
+               written = x;
+               var read: int = 1;
+               return x + read;
+             }",
+        );
+        let dead = dead_variables(&p);
+        let names: Vec<&str> = dead.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["unused", "written"]);
+    }
+
+    #[test]
+    fn hole_arguments_count_as_reads() {
+        let p = program(
+            "program p {
+               input x in [0, 4];
+               var y: int = 2;
+               if (__patch_cond__(x, y)) { return 0; }
+               return x;
+             }",
+        );
+        assert!(dead_variables(&p).is_empty());
+    }
+}

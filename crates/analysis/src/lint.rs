@@ -1,0 +1,273 @@
+//! The diagnostics pass behind the `cpr-lint` binary.
+//!
+//! Combines the front end (parse + type check) with the CFG, dataflow, and
+//! abstract-interpretation analyses into a list of [`Diagnostic`]s with
+//! machine-readable JSON rendering. Shipped subjects under `programs/` must
+//! lint clean; the diagnostics exist to catch authoring mistakes in new
+//! subjects before a repair run spends solver time on them.
+//!
+//! Diagnostic codes:
+//!
+//! * `parse-error` — the source does not lex/parse.
+//! * `undefined-variable` — a name is used but never declared (from the
+//!   type checker).
+//! * `type-error` — any other type-check failure (mismatched types,
+//!   re-declarations, bad hole arguments, …).
+//! * `unreachable-code` — a statement no control-flow path can reach.
+//! * `unreachable-bug` — the `bug` location is provably never executed
+//!   (control-flow *or* value-based: a constant-false guard counts).
+//! * `dead-variable` — a declared variable that is never read.
+//! * `constant-condition` — an `if`/`while` condition that is the same on
+//!   every visit (always true or always false).
+
+use cpr_lang::{check, parse, LangError, Program, Span};
+
+use crate::absint::{analyze, AbsBool};
+use crate::cfg::{Cfg, NodeKind};
+use crate::dataflow::dead_variables;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (kebab-case).
+    pub code: &'static str,
+    /// Source span the finding points at.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as one line of JSON, with `line`/`col`
+    /// computed from `src` (1-based).
+    pub fn to_json(&self, file: &str, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        format!(
+            "{{\"file\":\"{}\",\"line\":{line},\"col\":{col},\"code\":\"{}\",\"message\":\"{}\"}}",
+            escape(file),
+            escape(self.code),
+            escape(&self.message)
+        )
+    }
+}
+
+/// 1-based line/column of a byte offset in `src`.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in src.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints source text: front-end errors become single diagnostics; programs
+/// that pass `check` get the full static-analysis pass.
+pub fn lint_source(src: &str) -> Vec<Diagnostic> {
+    let program = match parse(src) {
+        Ok(p) => p,
+        Err(e) => return vec![front_end_diag(&e)],
+    };
+    if let Err(e) = check(&program) {
+        return vec![front_end_diag(&e)];
+    }
+    lint_program(&program)
+}
+
+fn front_end_diag(e: &LangError) -> Diagnostic {
+    let (code, message) = match e {
+        LangError::Lex { message, .. } | LangError::Parse { message, .. } => {
+            ("parse-error", message.clone())
+        }
+        LangError::Type { message, .. } => {
+            if message.contains("undeclared") {
+                ("undefined-variable", message.clone())
+            } else {
+                ("type-error", message.clone())
+            }
+        }
+    };
+    Diagnostic {
+        code,
+        span: e.span(),
+        message,
+    }
+}
+
+/// Lints a parsed, type-checked program.
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cfg = Cfg::build(program);
+    let reach = cfg.reachable();
+    let mut bug_unreachable = false;
+
+    for (id, node) in cfg.nodes().iter().enumerate() {
+        if reach[id] || matches!(node.kind, NodeKind::Entry | NodeKind::Exit) {
+            continue;
+        }
+        if node.kind == NodeKind::Bug {
+            bug_unreachable = true;
+        } else {
+            out.push(Diagnostic {
+                code: "unreachable-code",
+                span: node.span,
+                message: "statement is unreachable".to_owned(),
+            });
+        }
+    }
+
+    for (name, span) in dead_variables(program) {
+        out.push(Diagnostic {
+            code: "dead-variable",
+            span,
+            message: format!("variable `{name}` is declared but never read"),
+        });
+    }
+
+    let summary = analyze(program);
+    for (&(start, end), &verdict) in &summary.cond_verdicts {
+        let value = match verdict {
+            AbsBool::True => "true",
+            AbsBool::False => "false",
+            AbsBool::Unknown => continue,
+        };
+        out.push(Diagnostic {
+            code: "constant-condition",
+            span: Span::new(start, end),
+            message: format!("condition is always {value}"),
+        });
+    }
+
+    if program.bug().is_some() && (bug_unreachable || !summary.bug_reached) {
+        let span = cfg
+            .bug_node()
+            .map(|id| cfg.nodes()[id].span)
+            .unwrap_or_default();
+        out.push(Diagnostic {
+            code: "unreachable-bug",
+            span,
+            message: "bug location is unreachable: the defect can never be observed".to_owned(),
+        });
+    }
+
+    out.sort_by_key(|d| (d.span.start, d.span.end, d.code));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_source(src).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        assert!(codes(
+            "program p {
+               input x in [-10, 10];
+               if (__patch_cond__(x)) { return 0; }
+               bug div_by_zero requires (x != 0);
+               return 100 / x;
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn undefined_variable_is_flagged() {
+        assert_eq!(
+            codes("program p { return zz; }"),
+            vec!["undefined-variable"]
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_flagged() {
+        assert_eq!(
+            codes("program p { var b: bool = true; return b + 1; }"),
+            vec!["type-error"]
+        );
+    }
+
+    #[test]
+    fn parse_error_is_flagged() {
+        assert_eq!(codes("program p { retur 1; }"), vec!["parse-error"]);
+    }
+
+    #[test]
+    fn dead_code_and_dead_variables_are_flagged() {
+        let diags = lint_source(
+            "program p {
+               input x in [0, 5];
+               var unused: int = 3;
+               return x;
+               x = 7;
+             }",
+        );
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["dead-variable", "unreachable-code"]);
+    }
+
+    #[test]
+    fn constant_false_guard_hides_the_bug() {
+        let diags = lint_source(
+            "program p {
+               input x in [0, 5];
+               if (x < 0 - 200) { bug neg requires (x > 0); }
+               return x;
+             }",
+        );
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["constant-condition", "unreachable-bug"]);
+    }
+
+    #[test]
+    fn cfg_unreachable_bug_is_flagged_once() {
+        let diags = lint_source(
+            "program p {
+               input x in [0, 5];
+               return x;
+               bug late requires (x > 0);
+             }",
+        );
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["unreachable-bug"]);
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let src = "program p { return zz; }";
+        let diags = lint_source(src);
+        let json = diags[0].to_json("x.cpr", src);
+        assert_eq!(
+            json,
+            "{\"file\":\"x.cpr\",\"line\":1,\"col\":20,\"code\":\"undefined-variable\",\
+             \"message\":\"undeclared variable `zz`\"}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! `cpr-lint` corpus tests: every seeded known-bad program under
+//! `tests/corpus/` is flagged with the expected diagnostic, and every
+//! shipped subject under `programs/` lints clean.
+
+use std::path::{Path, PathBuf};
+
+use cpr_analysis::lint::lint_source;
+
+fn corpus(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn codes(src: &str) -> Vec<&'static str> {
+    lint_source(src).into_iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn undefined_variable_program_is_flagged() {
+    assert_eq!(codes(&corpus("undefined_var.cpr")), ["undefined-variable"]);
+}
+
+#[test]
+fn bug_after_return_is_flagged_unreachable() {
+    assert_eq!(codes(&corpus("unreachable_bug.cpr")), ["unreachable-bug"]);
+}
+
+#[test]
+fn constant_false_guard_is_flagged_with_its_hidden_bug() {
+    assert_eq!(
+        codes(&corpus("constant_guard.cpr")),
+        ["constant-condition", "unreachable-bug"]
+    );
+}
+
+#[test]
+fn dead_variable_program_is_flagged() {
+    assert_eq!(codes(&corpus("dead_var.cpr")), ["dead-variable"]);
+}
+
+#[test]
+fn corpus_diagnostics_are_machine_readable_json() {
+    let src = corpus("undefined_var.cpr");
+    for diag in lint_source(&src) {
+        let json = diag.to_json("undefined_var.cpr", &src);
+        // Hand-rolled check: balanced object with the expected keys.
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in [
+            "\"file\":",
+            "\"line\":",
+            "\"col\":",
+            "\"code\":",
+            "\"message\":",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
+    }
+}
+
+#[test]
+fn shipped_subjects_lint_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../programs");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cpr"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no shipped subjects found");
+    for file in files {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let diags = lint_source(&src);
+        assert!(
+            diags.is_empty(),
+            "{} should lint clean, got {diags:?}",
+            file.display()
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Static-screening benchmark: `reduce` (Algorithm 2) over a 500-patch
+//! pool with [`RepairConfig::static_screening`] off vs on.
+//!
+//! The pool mixes the synthesized candidates for the subject with two
+//! hand-built families:
+//!
+//! * a *hard* nonlinear family whose refinement queries genuinely need the
+//!   solver's branch-and-prune search, and
+//! * an *out-of-range guard* family `x <= a + K` with `K` far above the
+//!   input domain: the executed partition re-targets each entry to
+//!   `¬θ = x > a + K`, which root-level interval contraction refutes
+//!   without a search — the screening layer's bread and butter.
+//!
+//! Because the screen substitutes verdicts one-for-one, every screened
+//! query is exactly one the unscreened configuration issues: the benchmark
+//! asserts `issued_on + screened_on == issued_off` per reduce call, on top
+//! of bit-identical pools, regions, and scores.
+//!
+//! Writes `BENCH_screen.json` into the current directory (the repo root
+//! when run via `cargo run -p cpr-bench --bin bench_screen`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cpr_concolic::{ConcolicExecutor, ConcolicResult, HolePatch};
+use cpr_core::{
+    build_patch_pool, reduce, test_input, PoolEntry, ReduceStats, RepairConfig, RepairProblem,
+    Session,
+};
+use cpr_lang::{check, parse};
+use cpr_smt::{Model, Region, Sort};
+use cpr_synth::{AbstractPatch, ComponentSet, SynthConfig};
+
+const SRC: &str = "program bench_screen {
+    input x in [-100000, 100000];
+    input y in [-100000, 100000];
+    input z in [-100000, 100000];
+    if (__patch_cond__(x, y, z)) { return 1; }
+    var w: int = 0;
+    if (x > 0) { w = 1; } else { w = 2; }
+    if (y > 0) { w = w + 10; }
+    bug nonlinear_identity requires (x * y != z * z + 1);
+    return w;
+  }";
+
+/// Hard-family cap: beyond this the pool is padded with screenable guards.
+const HARD_POOL: usize = 150;
+const POOL: usize = 500;
+
+/// The benchmark pool: synthesized candidates, then the nonlinear family
+/// up to [`HARD_POOL`], then out-of-range guards up to [`POOL`].
+fn build_pool(
+    sess: &mut Session,
+    problem: &RepairProblem,
+    config: &RepairConfig,
+) -> Vec<PoolEntry> {
+    let (mut entries, _) = build_patch_pool(sess, problem, config);
+    let x = sess.pool.named_var("x", Sort::Int);
+    let y = sess.pool.named_var("y", Sort::Int);
+    let z = sess.pool.named_var("z", Sort::Int);
+    let a_var = sess.pool.find_var("a").expect("synth param a");
+    let a = sess.pool.var_term(a_var);
+    let mut next_id = entries.iter().map(|e| e.patch.id).max().unwrap_or(0) + 1;
+    let mut push = |entries: &mut Vec<PoolEntry>, theta| {
+        entries.push(PoolEntry::new(AbstractPatch::new(
+            next_id,
+            theta,
+            vec![a_var],
+            Region::full(vec![a_var], -10, 10),
+        )));
+        next_id += 1;
+    };
+    // Nonlinear survivors `x*y + c == z*z + (a + c)` (surviving at a = 1):
+    // refinement narrows their regions with genuinely hard queries.
+    let mut c = 0i64;
+    while entries.len() < HARD_POOL {
+        let k = sess.pool.int(c);
+        let xy = sess.pool.mul(x, y);
+        let xyc = sess.pool.add(xy, k);
+        let zz = sess.pool.mul(z, z);
+        let ac = sess.pool.add(a, k);
+        let rhs = sess.pool.add(zz, ac);
+        let t = sess.pool.eq(xyc, rhs);
+        push(&mut entries, t);
+        c += 1;
+    }
+    // Out-of-range guards `x <= a + K_j`, `K_j` past the input domain. The
+    // partition was executed with the guard false, so every re-targeted φ
+    // starts with `x > a + K_j` — infeasible by plain interval evaluation
+    // (x ≤ 100000 < a + K_j), which the static screen refutes at the root.
+    // Distinct constants keep the terms (and their cache keys) distinct.
+    let mut j = 0i64;
+    while entries.len() < POOL {
+        let k = sess.pool.int(200_050 + j);
+        let ak = sess.pool.add(a, k);
+        let t = sess.pool.le(x, ak);
+        push(&mut entries, t);
+        j += 1;
+    }
+    entries
+}
+
+fn runs_for(sess: &mut Session, problem: &RepairProblem) -> Vec<ConcolicResult> {
+    let theta_exec = sess.pool.ff();
+    let patch = HolePatch {
+        theta: theta_exec,
+        params: Model::new(),
+    };
+    let exec = ConcolicExecutor::new();
+    // One run per partition of the (x > 0) x (y > 0) branching; two of the
+    // four violate the specification (x*y == z*z + 1).
+    [(1, 1, 0), (7, -2, 3), (-4, 5, 2), (-1, -1, 0)]
+        .iter()
+        .map(|&(xv, yv, zv)| {
+            let mut input = Model::new();
+            input.set(sess.pool.find_var("x").unwrap(), xv);
+            input.set(sess.pool.find_var("y").unwrap(), yv);
+            input.set(sess.pool.find_var("z").unwrap(), zv);
+            exec.execute(&mut sess.pool, &problem.program, &input, Some(&patch))
+        })
+        .collect()
+}
+
+struct Outcome {
+    label: String,
+    threads: usize,
+    screening: bool,
+    millis: f64,
+    stats: Vec<ReduceStats>,
+    pool_after: usize,
+    queries: u64,
+    screened: u64,
+    snapshot: String,
+}
+
+/// The screening-independent slice of [`ReduceStats`]: everything but the
+/// query counters, which are exactly what screening is allowed to move.
+fn outcome_fields(stats: &[ReduceStats]) -> Vec<(usize, usize, usize)> {
+    stats
+        .iter()
+        .map(|s| (s.refined, s.removed, s.feasible))
+        .collect()
+}
+
+fn run_config(label: &str, screening: bool, threads: usize, rounds: usize) -> Outcome {
+    let program = parse(SRC).unwrap();
+    check(&program).unwrap();
+    let problem = RepairProblem::new(
+        "bench_screen",
+        program,
+        ComponentSet::new()
+            .with_all_comparisons()
+            .with_logic()
+            .with_variables(["x", "y", "z"]),
+        SynthConfig::default(),
+        vec![test_input(&[("x", 7), ("y", 0)])],
+    );
+    let mut config = RepairConfig::quick();
+    config.threads = threads;
+    config.static_screening = screening;
+    // Bound the per-query search: the nonlinear spec makes single queries
+    // arbitrarily hard for branch-and-prune, and a budget-capped verdict
+    // (`Unknown`) is still deterministic and cacheable.
+    config.solver.max_nodes = 4_000;
+    // Bound the refinement depth per entry visit: the benchmark measures
+    // the walk's query stream, not counterexample-splitting depth, and the
+    // budget (like every config knob) applies identically to both the
+    // screened and the unscreened configuration.
+    config.max_refine_calls = 8;
+
+    let mut sess = Session::new(&problem, &config);
+    let mut entries = build_pool(&mut sess, &problem, &config);
+    let pool_size = entries.len();
+    assert!(pool_size >= POOL, "pool too small: {pool_size}");
+    let runs = runs_for(&mut sess, &problem);
+
+    let mut stats = Vec::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for run in &runs {
+            stats.push(reduce(&mut sess, &mut entries, run, &config));
+        }
+    }
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let queries: u64 = stats.iter().map(|s| s.solver_calls).sum();
+    let screened: u64 = stats.iter().map(|s| s.screened).sum();
+    let mut snapshot = String::new();
+    for e in &entries {
+        let _ = writeln!(
+            snapshot,
+            "{} {:?} {} {} {}",
+            e.patch.id,
+            e.patch.constraint,
+            e.score.feasible,
+            e.score.bug_hits,
+            e.score.deletion_evidence
+        );
+    }
+    eprintln!(
+        "[bench_screen] {label}: pool {pool_size} -> {}, {} reduce calls, {:.0} ms, \
+         {queries} queries issued, {screened} screened",
+        entries.len(),
+        stats.len(),
+        millis,
+    );
+    Outcome {
+        label: label.to_owned(),
+        threads,
+        screening,
+        millis,
+        stats,
+        pool_after: entries.len(),
+        queries,
+        screened,
+        snapshot,
+    }
+}
+
+fn main() {
+    let rounds: usize = std::env::var("CPR_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let par_threads = cpus.max(4);
+
+    let off = run_config("screen-off", false, 1, rounds);
+    let on = run_config("screen-on", true, 1, rounds);
+    let on_par = run_config("screen-on-parallel", true, par_threads, rounds);
+
+    // Identical outcomes: same pools, same regions, same scores, same
+    // reduction decisions — screening only moves the query counters.
+    for other in [&on, &on_par] {
+        assert_eq!(
+            outcome_fields(&off.stats),
+            outcome_fields(&other.stats),
+            "reduction outcomes diverged in {}",
+            other.label
+        );
+        assert_eq!(
+            off.snapshot, other.snapshot,
+            "pool diverged in {}",
+            other.label
+        );
+    }
+    assert_eq!(off.screened, 0, "screening counter moved while off");
+    // Verdict replacement is one-for-one: every screened query is exactly
+    // one the unscreened configuration issued.
+    for (o, s) in off.stats.iter().zip(&on.stats) {
+        assert_eq!(
+            s.solver_calls + s.screened,
+            o.solver_calls,
+            "screened + issued must equal the unscreened query count"
+        );
+    }
+
+    let avoided_ratio = on.screened as f64 / off.queries.max(1) as f64;
+    assert!(
+        avoided_ratio >= 0.20,
+        "screening should avoid >= 20% of reduce-phase queries, got {:.1}% \
+         ({} of {})",
+        avoided_ratio * 100.0,
+        on.screened,
+        off.queries
+    );
+
+    let speedup = off.millis / on.millis;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"screen\",");
+    let _ = writeln!(json, "  \"pool_size\": {},", POOL.max(off.pool_after));
+    let _ = writeln!(json, "  \"pool_after\": {},", off.pool_after);
+    let _ = writeln!(json, "  \"reduce_calls\": {},", off.stats.len());
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"identical_outcomes\": true,");
+    let _ = writeln!(json, "  \"configs\": [");
+    let outs = [&off, &on, &on_par];
+    for (i, o) in outs.iter().enumerate() {
+        let comma = if i + 1 < outs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"threads\": {}, \"static_screening\": {}, \
+             \"millis\": {:.1}, \"queries_issued\": {}, \"queries_screened\": {}}}{comma}",
+            o.label, o.threads, o.screening, o.millis, o.queries, o.screened
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"queries_unscreened\": {},", off.queries);
+    let _ = writeln!(json, "  \"queries_screened\": {},", on.screened);
+    let _ = writeln!(json, "  \"avoided_ratio\": {avoided_ratio:.4},");
+    let _ = writeln!(json, "  \"speedup_screen_on_vs_off\": {speedup:.2}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_screen.json", &json).expect("write BENCH_screen.json");
+    println!("{json}");
+    println!(
+        "reduce phase: {:.1}% of {} solver queries screened out \
+         ({:.1} ms -> {:.1} ms, {speedup:.2}x serial)",
+        avoided_ratio * 100.0,
+        off.queries,
+        off.millis,
+        on.millis
+    );
+}

@@ -76,6 +76,10 @@ pub struct ExpandStats {
     /// Probe queries answered by re-evaluating the parent run's model
     /// (extended with the probe patch's representative parameters).
     pub model_reuse_hits: u64,
+    /// Queries (skeletons and probes) refuted by the static screening
+    /// layer ([`cpr_analysis::statically_unsat`]) before the UNSAT-prefix
+    /// store or the solver was consulted.
+    pub static_refutations: u64,
 }
 
 /// Result of one expansion batch, merged in flip order.
@@ -123,6 +127,7 @@ struct FlipOutcome {
     learned: Vec<CanonicalQuery>,
     base_unsat_skips: u64,
     model_reuse_hits: u64,
+    static_refutations: u64,
 }
 
 /// Expands one explored path: enumerates prefix flips, probes their
@@ -240,6 +245,7 @@ pub fn expand(
     let threads = config.threads.clamp(1, n);
     let base_terms = sess.pool.len();
     let counter = AtomicUsize::new(0);
+    let screening = config.static_screening;
     let pool = &sess.pool;
     let domains = &sess.domains;
     let store = &sess.unsat_prefixes;
@@ -264,6 +270,7 @@ pub fn expand(
                             store,
                             &tasks[i],
                             reuse_models,
+                            screening,
                         );
                         done.push((i, outcome));
                     }
@@ -305,6 +312,7 @@ pub fn expand(
         }
         stats.base_unsat_skips += outcome.base_unsat_skips;
         stats.model_reuse_hits += outcome.model_reuse_hits;
+        stats.static_refutations += outcome.static_refutations;
     }
     stats.candidates = result.candidates.len();
     stats.paths_skipped = result.paths_skipped;
@@ -323,16 +331,28 @@ fn process_flip(
     store: &cpr_smt::UnsatPrefixStore,
     task: &FlipTask,
     reuse_models: &[Option<Model>],
+    screening: bool,
 ) -> FlipOutcome {
     let mut out = FlipOutcome::default();
     // Stage A: the patch-independent skeleton. UNSAT here refutes every
     // probe query (each is a superset), producing the same skip decision
     // with one query instead of `max_feasibility_probes` — and the learned
     // skeleton keeps subsuming re-targeted probes in later iterations.
+    //
+    // The static screen runs first: a root-refuted query yields the exact
+    // `Unsat` verdict the store or the search would produce, without
+    // consulting either. The canonical key is still learned, so the store
+    // contents — and with them every later verdict — match an unscreened
+    // run bit for bit.
     if let Some(skeleton) = &task.skeleton {
-        if solver
-            .check_prefixed(pool, skeleton, domains, store)
-            .is_unsat()
+        let refuted = screening && cpr_analysis::statically_unsat(solver, pool, skeleton, domains);
+        if refuted {
+            out.static_refutations += 1;
+        }
+        if refuted
+            || solver
+                .check_prefixed(pool, skeleton, domains, store)
+                .is_unsat()
         {
             if let Some(key) = solver.canonical_query(pool, skeleton, domains) {
                 out.learned.push(key);
@@ -353,7 +373,13 @@ fn process_flip(
                 break;
             }
         }
-        match solver.check_prefixed(pool, query, domains, store) {
+        let verdict = if screening && cpr_analysis::statically_unsat(solver, pool, query, domains) {
+            out.static_refutations += 1;
+            SatResult::Unsat
+        } else {
+            solver.check_prefixed(pool, query, domains, store)
+        };
+        match verdict {
             SatResult::Sat(model) => {
                 // Keep parameter values in the model: the repair loop uses
                 // them as the representative so the intended path is

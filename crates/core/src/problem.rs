@@ -213,6 +213,15 @@ pub struct RepairConfig {
     /// extension of it is refuted by a subset check instead of a solver
     /// search. `0` disables the store.
     pub unsat_prefix_capacity: usize,
+    /// Run the `cpr-analysis` static screening layer in front of the
+    /// solver: refute reduce/expand queries by root-level interval
+    /// contraction, and reject concrete candidates alpha-equivalent to the
+    /// buggy expression before validation spends refinement queries on
+    /// them. Screening is an under-approximation of solver refutation, so
+    /// the final [`crate::RepairReport`] is bit-identical with it on or
+    /// off (modulo query counts); turning it off is only useful to measure
+    /// its effect.
+    pub static_screening: bool,
 }
 
 impl Default for RepairConfig {
@@ -237,6 +246,7 @@ impl Default for RepairConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             unsat_prefix_capacity: 512,
+            static_screening: true,
         }
     }
 }

@@ -116,4 +116,51 @@ mod tests {
         let order = rank_order(&pool, &[e1, e2]);
         assert_eq!(order, vec![0, 1]);
     }
+
+    /// Tie-break determinism: patches with equal score *and* equal template
+    /// size rank in stable id order, however the entries are arranged.
+    /// `rank_order` feeds both patch selection and the expansion probe
+    /// sequence, so a scheduling-dependent tie-break here would leak
+    /// nondeterminism into every phase downstream.
+    #[test]
+    fn equal_score_equal_size_ties_break_by_id() {
+        let mut pool = TermPool::new();
+        let x = pool.named_var("x", Sort::Int);
+        let a_var = pool.var("a", Sort::Int);
+        let a = pool.var_term(a_var);
+
+        // Four templates of identical tree size (3 nodes), identical
+        // (default) scores, with ids deliberately out of slot order.
+        let templates = [pool.ge(x, a), pool.lt(x, a), pool.eq(x, a), pool.ne(x, a)];
+        for t in &templates {
+            assert_eq!(pool.tree_size(*t), pool.tree_size(templates[0]));
+        }
+        let ids = [7usize, 2, 9, 4];
+        let entries: Vec<PoolEntry> = ids
+            .iter()
+            .zip(&templates)
+            .map(|(&id, &theta)| {
+                PoolEntry::new(AbstractPatch::new(
+                    id,
+                    theta,
+                    vec![a_var],
+                    Region::full(vec![a_var], -10, 10),
+                ))
+            })
+            .collect();
+
+        let order = rank_order(&pool, &entries);
+        let ranked_ids: Vec<usize> = order.iter().map(|&i| entries[i].patch.id).collect();
+        assert_eq!(ranked_ids, vec![2, 4, 7, 9], "ties must break by id");
+
+        // The order is a pure function of the entry set: any permutation of
+        // the input slots ranks the same ids in the same sequence.
+        for rotation in 1..entries.len() {
+            let mut rotated = entries.clone();
+            rotated.rotate_left(rotation);
+            let order = rank_order(&pool, &rotated);
+            let ids: Vec<usize> = order.iter().map(|&i| rotated[i].patch.id).collect();
+            assert_eq!(ids, ranked_ids, "rotation {rotation} changed the order");
+        }
+    }
 }

@@ -52,6 +52,10 @@ pub struct ReduceStats {
     pub feasible: usize,
     /// Solver calls spent.
     pub solver_calls: u64,
+    /// Queries answered by the static screening layer
+    /// ([`cpr_analysis::statically_unsat`]) instead of a solver search.
+    /// Counted on top of `solver_calls`, which only counts issued queries.
+    pub screened: u64,
 }
 
 /// Per-entry result of the parallel pool walk. Deliberately free of
@@ -62,6 +66,7 @@ struct EntryOutcome {
     refined_shrunk: bool,
     new_patch: Option<AbstractPatch>,
     deletion: bool,
+    screened: u64,
 }
 
 /// Algorithm 2: reduces the patch pool against one explored partition.
@@ -156,6 +161,7 @@ pub fn reduce(
     }
     for (entry, outcome) in entries.iter_mut().zip(outcomes) {
         let outcome = outcome.expect("every entry is processed exactly once");
+        stats.screened += outcome.screened;
         if !outcome.feasible {
             // Unsat/Unknown π: cannot reason about ρ here; ranking unchanged.
             continue;
@@ -187,6 +193,28 @@ pub fn reduce(
     stats
 }
 
+/// A solver check behind the static screening layer. With
+/// [`RepairConfig::static_screening`] on, a query refuted by root-level
+/// interval contraction is answered `Unsat` without a search — and without
+/// touching the solver's cache or statistics. The screen is an
+/// under-approximation of [`Solver::check`], so the verdict (and everything
+/// downstream of it) is identical either way; only the issued-query count
+/// and `screened` differ.
+fn check_screened(
+    pool: &TermPool,
+    solver: &mut Solver,
+    domains: &Domains,
+    query: &[TermId],
+    screening: bool,
+    screened: &mut u64,
+) -> SatResult {
+    if screening && cpr_analysis::statically_unsat(solver, pool, query, domains) {
+        *screened += 1;
+        return SatResult::Unsat;
+    }
+    solver.check(pool, query, domains)
+}
+
 /// One entry of the pool walk, on worker-owned state.
 #[allow(clippy::too_many_arguments)]
 fn process_entry(
@@ -206,11 +234,21 @@ fn process_entry(
         refined_shrunk: false,
         new_patch: None,
         deletion: false,
+        screened: 0,
     };
     // π ← φ(X) ∧ ψ_ρ(X, A) ∧ T_ρ(A)
     let mut pi = phi.to_vec();
     pi.push(t_term);
-    if !solver.check(pool, &pi, domains).is_sat() {
+    if !check_screened(
+        pool,
+        solver,
+        domains,
+        &pi,
+        config.static_screening,
+        &mut outcome.screened,
+    )
+    .is_sat()
+    {
         return outcome;
     }
     outcome.feasible = true;
@@ -226,6 +264,7 @@ fn process_entry(
                 sigma,
                 0,
                 &mut 0,
+                &mut outcome.screened,
                 config,
             );
             if refined.volume() < patch.constraint.volume() {
@@ -236,7 +275,16 @@ fn process_entry(
         }
     }
     if !patch.is_exhausted() && config.deletion_check {
-        outcome.deletion = deletion_like(pool, solver, domains, &patch, run, phi, config);
+        outcome.deletion = deletion_like(
+            pool,
+            solver,
+            domains,
+            &patch,
+            run,
+            phi,
+            &mut outcome.screened,
+            config,
+        );
     }
     outcome
 }
@@ -259,6 +307,7 @@ fn oriented_patch_step(run: &ConcolicResult, phi: &[TermId]) -> Option<TermId> {
 /// suggests: the *proportion* of partition inputs redirected by the patch
 /// is computed by exact branch-and-count (under the patch's representative
 /// parameters), and redirection above `deletion_ratio` counts as evidence.
+#[allow(clippy::too_many_arguments)]
 fn deletion_like(
     pool: &mut TermPool,
     solver: &mut Solver,
@@ -266,6 +315,7 @@ fn deletion_like(
     patch: &AbstractPatch,
     run: &ConcolicResult,
     phi: &[TermId],
+    screened: &mut u64,
     config: &RepairConfig,
 ) -> bool {
     // Collect the partition without the patch branch itself.
@@ -316,7 +366,10 @@ fn deletion_like(
     let not_psi = pool.not(psi);
     let mut q = base.clone();
     q.push(not_psi);
-    matches!(solver.check(pool, &q, domains), SatResult::Unsat)
+    matches!(
+        check_screened(pool, solver, domains, &q, config.static_screening, screened),
+        SatResult::Unsat
+    )
 }
 
 /// Algorithm 3: refines the parameter constraint `T_ρ` (given as a
@@ -342,6 +395,7 @@ pub fn refine_patch(
         sigma,
         depth,
         calls,
+        &mut 0,
         config,
     )
 }
@@ -358,6 +412,7 @@ fn refine_patch_impl(
     sigma: TermId,
     depth: u32,
     calls: &mut u32,
+    screened: &mut u64,
     config: &RepairConfig,
 ) -> Region {
     if depth >= config.max_refine_depth || *calls >= config.max_refine_calls {
@@ -365,20 +420,23 @@ fn refine_patch_impl(
         // timeout in the original tool).
         return region.clone();
     }
+    let screening = config.static_screening;
     let region_term = region.to_term(pool);
     let not_sigma = pool.not(sigma);
 
     // ω_pass1 ← φ(X) ∧ σ(X)
+    // The refinement budget `calls` counts screened queries too, so the
+    // screen can never buy a deeper recursion than the solver would.
     *calls += 1;
     let mut pass1 = phi.to_vec();
     pass1.push(sigma);
-    if solver.check(pool, &pass1, domains).is_sat() {
+    if check_screened(pool, solver, domains, &pass1, screening, screened).is_sat() {
         // ω_pass2 ← φ ∧ ψ_ρ ∧ T_ρ ∧ σ
         *calls += 1;
         let mut pass2 = phi.to_vec();
         pass2.push(region_term);
         pass2.push(sigma);
-        if solver.check(pool, &pass2, domains).is_unsat() {
+        if check_screened(pool, solver, domains, &pass2, screening, screened).is_unsat() {
             // No parameter value in T_ρ can make the spec pass: discard.
             return Region::empty(region.params().to_vec());
         }
@@ -389,7 +447,7 @@ fn refine_patch_impl(
     let mut fail = phi.to_vec();
     fail.push(region_term);
     fail.push(not_sigma);
-    match solver.check(pool, &fail, domains) {
+    match check_screened(pool, solver, domains, &fail, screening, screened) {
         SatResult::Sat(model) => {
             // Extract the counterexample parameter point m_A.
             let point: Vec<i64> = region
@@ -413,7 +471,7 @@ fn refine_patch_impl(
                 let r_term = r.to_term(pool);
                 let mut pi = phi.to_vec();
                 pi.push(r_term);
-                match solver.check(pool, &pi, domains) {
+                match check_screened(pool, solver, domains, &pi, screening, screened) {
                     SatResult::Sat(_) | SatResult::Unknown => {
                         let refined = refine_patch_impl(
                             pool,
@@ -424,6 +482,7 @@ fn refine_patch_impl(
                             sigma,
                             depth + 1,
                             calls,
+                            screened,
                             config,
                         );
                         if !refined.is_empty() {

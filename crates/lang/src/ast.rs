@@ -245,6 +245,32 @@ impl Expr {
         }
     }
 
+    /// A copy of the expression with every span reset to
+    /// [`Span::default`], for span-insensitive structural comparison
+    /// (e.g. the `parse(pretty(ast)) == ast` round-trip property).
+    pub fn strip_spans(&self) -> Expr {
+        let s = Span::default();
+        match self {
+            Expr::Int(v, _) => Expr::Int(*v, s),
+            Expr::Bool(b, _) => Expr::Bool(*b, s),
+            Expr::Var(name, _) => Expr::Var(name.clone(), s),
+            Expr::Index(name, idx, _) => Expr::Index(name.clone(), Box::new(idx.strip_spans()), s),
+            Expr::Unary(op, e, _) => Expr::Unary(*op, Box::new(e.strip_spans()), s),
+            Expr::Binary(op, a, b, _) => {
+                Expr::Binary(*op, Box::new(a.strip_spans()), Box::new(b.strip_spans()), s)
+            }
+            Expr::Call(f, args, _) => {
+                Expr::Call(*f, args.iter().map(Expr::strip_spans).collect(), s)
+            }
+            Expr::UserCall(name, args, _) => Expr::UserCall(
+                name.clone(),
+                args.iter().map(Expr::strip_spans).collect(),
+                s,
+            ),
+            Expr::Hole(kind, args, _) => Expr::Hole(*kind, args.clone(), s),
+        }
+    }
+
     /// Whether the expression contains a patch hole.
     pub fn contains_hole(&self) -> bool {
         match self {
@@ -349,6 +375,69 @@ pub enum Stmt {
 }
 
 impl Stmt {
+    /// A copy of the statement with every span (including in nested
+    /// expressions and blocks) reset to [`Span::default`].
+    pub fn strip_spans(&self) -> Stmt {
+        fn block(stmts: &[Stmt]) -> Vec<Stmt> {
+            stmts.iter().map(Stmt::strip_spans).collect()
+        }
+        let s = Span::default();
+        match self {
+            Stmt::Decl { name, ty, init, .. } => Stmt::Decl {
+                name: name.clone(),
+                ty: *ty,
+                init: init.as_ref().map(Expr::strip_spans),
+                span: s,
+            },
+            Stmt::Assign { name, value, .. } => Stmt::Assign {
+                name: name.clone(),
+                value: value.strip_spans(),
+                span: s,
+            },
+            Stmt::AssignIndex {
+                name, index, value, ..
+            } => Stmt::AssignIndex {
+                name: name.clone(),
+                index: index.strip_spans(),
+                value: value.strip_spans(),
+                span: s,
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => Stmt::If {
+                cond: cond.strip_spans(),
+                then_body: block(then_body),
+                else_body: block(else_body),
+                span: s,
+            },
+            Stmt::While { cond, body, .. } => Stmt::While {
+                cond: cond.strip_spans(),
+                body: block(body),
+                span: s,
+            },
+            Stmt::Return { value, .. } => Stmt::Return {
+                value: value.strip_spans(),
+                span: s,
+            },
+            Stmt::Assert { cond, .. } => Stmt::Assert {
+                cond: cond.strip_spans(),
+                span: s,
+            },
+            Stmt::Assume { cond, .. } => Stmt::Assume {
+                cond: cond.strip_spans(),
+                span: s,
+            },
+            Stmt::Bug { name, spec, .. } => Stmt::Bug {
+                name: name.clone(),
+                spec: spec.strip_spans(),
+                span: s,
+            },
+        }
+    }
+
     /// The source span of the statement.
     pub fn span(&self) -> Span {
         match self {
@@ -407,6 +496,35 @@ pub struct Program {
 }
 
 impl Program {
+    /// A copy of the program with every span reset to [`Span::default`],
+    /// so two parses of equivalent source compare equal structurally.
+    pub fn strip_spans(&self) -> Program {
+        Program {
+            name: self.name.clone(),
+            functions: self
+                .functions
+                .iter()
+                .map(|f| FunDecl {
+                    name: f.name.clone(),
+                    params: f.params.clone(),
+                    body: f.body.iter().map(Stmt::strip_spans).collect(),
+                    span: Span::default(),
+                })
+                .collect(),
+            inputs: self
+                .inputs
+                .iter()
+                .map(|i| InputDecl {
+                    name: i.name.clone(),
+                    lo: i.lo,
+                    hi: i.hi,
+                    span: Span::default(),
+                })
+                .collect(),
+            body: self.body.iter().map(Stmt::strip_spans).collect(),
+        }
+    }
+
     /// Finds the (first) patch hole: its kind and visible variables.
     pub fn hole(&self) -> Option<(HoleKind, Vec<String>)> {
         fn in_expr(e: &Expr) -> Option<(HoleKind, Vec<String>)> {

@@ -498,6 +498,12 @@ impl Parser {
                 self.advance();
                 let e = self.unary_expr()?;
                 let span = start.merge(e.span());
+                // Fold negated literals so the pretty-printer's `-5`
+                // re-parses to the `Expr::Int` it came from rather than a
+                // `Neg` node.
+                if let Expr::Int(v, _) = e {
+                    return Ok(Expr::Int(v.wrapping_neg(), span));
+                }
                 Ok(Expr::Unary(UnOp::Neg, Box::new(e), span))
             }
             Tok::Bang => {

@@ -120,13 +120,10 @@ fn pretty_stmt(stmt: &Stmt, level: usize, out: &mut String) {
 /// operation (unambiguous, re-parseable).
 pub fn pretty_expr(e: &Expr) -> String {
     match e {
-        Expr::Int(v, _) => {
-            if *v < 0 {
-                format!("(0 - {})", -v)
-            } else {
-                v.to_string()
-            }
-        }
+        // Negative literals print as `-5`; the parser folds a unary minus
+        // on a literal back into `Expr::Int`, so the round-trip preserves
+        // the AST exactly.
+        Expr::Int(v, _) => v.to_string(),
         Expr::Bool(b, _) => b.to_string(),
         Expr::Var(name, _) => name.clone(),
         Expr::Index(name, idx, _) => format!("{name}[{}]", pretty_expr(idx)),

@@ -484,4 +484,98 @@ mod tests {
         let m = i.midpoint();
         assert!(i.contains(m));
     }
+
+    #[test]
+    fn strict_contractors_saturate_at_the_clamping_bounds() {
+        // `below_strict` against an interval whose hi is already MIN_BOUND:
+        // hi - 1 saturates in i64 and `new` clamps it back to MIN_BOUND, so
+        // the result is the point [MIN_BOUND, MIN_BOUND] rather than empty.
+        // MIN_BOUND acts as -∞, so this looseness is sound: values at the
+        // clamp bound stand for "anything at or beyond it".
+        let min_pt = Interval::point(Interval::MIN_BOUND);
+        assert_eq!(Interval::TOP.below_strict(min_pt), Some(min_pt));
+        // Symmetric at the top end for `above_strict`.
+        let max_pt = Interval::point(Interval::MAX_BOUND);
+        assert_eq!(Interval::TOP.above_strict(max_pt), Some(max_pt));
+        // One step inside the bound the strict contractors are exact again.
+        let above_min = Interval::point(Interval::MIN_BOUND + 1);
+        assert_eq!(Interval::TOP.below_strict(above_min), Some(min_pt));
+        let below_max = Interval::point(Interval::MAX_BOUND - 1);
+        assert_eq!(Interval::TOP.above_strict(below_max), Some(max_pt));
+        // And they produce empty when the receiver lies entirely outside
+        // the (clamped) strict half-space.
+        assert_eq!(above_min.below_strict(min_pt), None);
+        assert_eq!(below_max.above_strict(max_pt), None);
+    }
+
+    #[test]
+    fn saturating_mul_and_div_at_the_bounds() {
+        let max_pt = Interval::point(Interval::MAX_BOUND);
+        let min_pt = Interval::point(Interval::MIN_BOUND);
+        // MAX * MAX clamps to MAX; MIN * MAX clamps to MIN.
+        assert_eq!(max_pt.mul(max_pt), max_pt);
+        assert_eq!(min_pt.mul(max_pt), min_pt);
+        // Mixed-sign square interval clamps on both ends.
+        let wide = Interval::of(Interval::MIN_BOUND, Interval::MAX_BOUND);
+        assert_eq!(wide.mul(wide), wide);
+        // Division at the extremes stays inside the bounds (wrapping_div in
+        // div_by_samesign can never overflow because MIN_BOUND is -(1<<62),
+        // not i64::MIN).
+        let d = min_pt.div_total(Interval::point(-1));
+        assert!(d.contains(Interval::MAX_BOUND));
+        assert!(d.hi() <= Interval::MAX_BOUND && d.lo() >= Interval::MIN_BOUND);
+        // x / 0 is total (defined as 0), so dividing by the zero point keeps
+        // 0 in the enclosure instead of producing an empty result.
+        assert!(wide.div_total(Interval::point(0)).contains(0));
+    }
+
+    #[test]
+    fn back_mul_empty_results_at_the_bounds() {
+        // z = x * y with z strictly positive and y = 0 admits no x at all:
+        // the backward contractor must report empty (None), including when z
+        // sits at the clamping bound.
+        let z = Interval::point(Interval::MAX_BOUND);
+        let y = Interval::point(0);
+        assert_eq!(Interval::back_mul(z, y, Interval::TOP), None);
+        // Nonzero z with a sign-straddling y keeps only consistent x halves;
+        // an x domain living entirely where no quotient exists goes empty.
+        let z = Interval::point(8);
+        let y = Interval::of(2, 4);
+        let x = Interval::of(-100, -1); // 8 / [2,4] is positive
+        assert_eq!(Interval::back_mul(z, y, x), None);
+        // The same contraction at the bound: z = MAX with tiny positive y
+        // forces x up to the clamp region, never empty for TOP x.
+        let z = Interval::point(Interval::MAX_BOUND);
+        let y = Interval::point(1);
+        let back = Interval::back_mul(z, y, Interval::TOP).unwrap();
+        assert!(back.contains(Interval::MAX_BOUND));
+    }
+
+    #[test]
+    fn rem_total_at_clamping_boundaries() {
+        let wide = Interval::of(Interval::MIN_BOUND, Interval::MAX_BOUND);
+        // Point-exact remainder at the bounds (total: x rem 0 = 0).
+        let r = Interval::point(Interval::MAX_BOUND).rem_total(Interval::point(0));
+        assert_eq!(r, Interval::point(0));
+        // Wide dividend: the remainder magnitude is bounded by |b| - 1 and
+        // never escapes the clamp range.
+        let r = wide.rem_total(Interval::point(7));
+        assert!(r.lo() >= -6 && r.hi() <= 6);
+        // Remainder by a wide divisor is bounded by the dividend magnitude.
+        let r = Interval::of(0, 5).rem_total(wide);
+        assert!(r.lo() >= -5 && r.hi() <= 5);
+    }
+
+    #[test]
+    fn remove_endpoint_at_the_bounds() {
+        let min_pt = Interval::point(Interval::MIN_BOUND);
+        assert_eq!(min_pt.remove_endpoint(Interval::MIN_BOUND), None);
+        let max_pt = Interval::point(Interval::MAX_BOUND);
+        assert_eq!(max_pt.remove_endpoint(Interval::MAX_BOUND), None);
+        let all = Interval::of(Interval::MIN_BOUND, Interval::MAX_BOUND);
+        let trimmed = all.remove_endpoint(Interval::MIN_BOUND).unwrap();
+        assert_eq!(trimmed.lo(), Interval::MIN_BOUND + 1);
+        let trimmed = all.remove_endpoint(Interval::MAX_BOUND).unwrap();
+        assert_eq!(trimmed.hi(), Interval::MAX_BOUND - 1);
+    }
 }

@@ -51,7 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod interval;
+pub mod interval;
 mod model;
 mod parse;
 mod region;

@@ -438,6 +438,72 @@ impl Solver {
         ))
     }
 
+    /// Sound *static* refutation of a conjunction: runs exactly the
+    /// pre-search fast paths of [`Solver::check`] (constant `false`,
+    /// complementary literal pair) plus the root search node's contraction
+    /// fixpoint and forward enclosure — and nothing else. No branching, no
+    /// statistics, no cache, no store, no interning.
+    ///
+    /// **Guarantee:** `refute_root(..) == true` implies that
+    /// [`Solver::check`] on the same `(constraints, domains)` returns
+    /// [`SatResult::Unsat`]. This holds by construction: `check`'s search
+    /// performs this very pass at its root before any branching, and both
+    /// passes iterate the identical canonical (sorted, deduplicated)
+    /// constraint order, so the bounded contraction trace is the same.
+    /// `false` carries no information.
+    ///
+    /// This is the primitive behind the static patch-screening layer
+    /// (`cpr-analysis`): a caller may substitute an `Unsat` verdict for a
+    /// query it would otherwise send to `check`, saving the search without
+    /// ever changing an answer.
+    pub fn refute_root(&self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> bool {
+        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
+        for &c in constraints {
+            match pool.data(c) {
+                TermData::BoolConst(true) => {}
+                TermData::BoolConst(false) => return true,
+                _ => live.push(c),
+            }
+        }
+        for (i, &a) in live.iter().enumerate() {
+            for &b in &live[i + 1..] {
+                if pool.complementary(a, b) {
+                    return true;
+                }
+            }
+        }
+        // With a zero node budget, `check` answers `Unknown` before ever
+        // reaching the root contraction pass; mirror that so the guarantee
+        // stays exact.
+        if self.config.max_nodes == 0 {
+            return false;
+        }
+        live.sort_unstable();
+        live.dedup();
+        let mut vars: Vec<VarId> = Vec::new();
+        for &c in &live {
+            for v in pool.vars_of(c) {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
+        for _ in 0..self.config.max_contraction_rounds {
+            vbox.clear_changed();
+            for &c in &live {
+                if contract_bool(pool, c, true, &mut vbox).is_err() {
+                    return true;
+                }
+            }
+            if !vbox.take_changed() {
+                break;
+            }
+        }
+        live.iter()
+            .any(|&c| enclose_bool(pool, c, &vbox) == Bool3::False)
+    }
+
     fn check_with_store(
         &mut self,
         pool: &TermPool,
@@ -1256,6 +1322,98 @@ mod tests {
         let mut d = Domains::new();
         d.bound(xv, -1000, 1000);
         assert!(s.check(&p, &[c1, c2], &d).is_unsat());
+    }
+
+    #[test]
+    fn refute_root_catches_static_contradictions() {
+        let (mut p, s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let mut d = Domains::new();
+        d.bound(xv, -1000, 1000);
+        // Constant false.
+        let f = p.ff();
+        assert!(s.refute_root(&p, &[f], &d));
+        // Complementary pair (literal negation).
+        let g = p.gt(x, five);
+        let ng = p.not(g);
+        assert!(s.refute_root(&p, &[g, ng], &d));
+        // Contraction-refutable: x < 5 ∧ x > 5.
+        let l = p.lt(x, five);
+        assert!(s.refute_root(&p, &[l, g], &d));
+        // Domain-refutable: x > 1000 with x ∈ [-1000, 1000].
+        let k = p.int(1000);
+        let over = p.gt(x, k);
+        assert!(s.refute_root(&p, &[over], &d));
+        // A satisfiable query is never refuted.
+        assert!(!s.refute_root(&p, &[g], &d));
+        assert!(!s.refute_root(&p, &[], &d));
+    }
+
+    #[test]
+    fn refute_root_implies_check_unsat() {
+        // The screening guarantee, exercised over a mixed batch including
+        // queries the root pass cannot decide (nonlinear, needs branching):
+        // whenever refute_root fires, check agrees with Unsat; refute_root
+        // spends no queries and no nodes.
+        let (mut p, mut s) = setup();
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let mut d = Domains::new();
+        d.bound(xv, -50, 50);
+        d.bound(yv, -50, 50);
+        let c0 = p.int(0);
+        let c5 = p.int(5);
+        let c100 = p.int(100);
+        let xy = p.mul(x, y);
+        let queries: Vec<Vec<TermId>> = vec![
+            vec![p.eq(xy, c5)],                // sat (1*5)
+            vec![p.gt(x, c100)],               // unsat by domain
+            vec![p.lt(x, c0), p.gt(x, c0)],    // unsat by contraction
+            vec![p.eq(xy, c100), p.eq(x, c0)], // unsat, needs propagation
+            vec![p.ge(x, c0), p.le(x, c100)],  // sat
+        ];
+        let mut fired = 0;
+        for q in &queries {
+            if s.refute_root(&p, q, &d) {
+                fired += 1;
+                assert!(s.check(&p, q, &d).is_unsat(), "screen disagreed on {q:?}");
+            }
+        }
+        assert!(fired >= 2, "screen never fired on the refutable queries");
+        // refute_root itself never touched the statistics.
+        let fresh = Solver::new(SolverConfig::default());
+        fresh.refute_root(&p, &queries[1], &d);
+        assert_eq!(fresh.stats().queries, 0);
+        assert_eq!(fresh.stats().nodes, 0);
+    }
+
+    #[test]
+    fn refute_root_respects_zero_node_budget() {
+        // With max_nodes == 0 `check` returns Unknown before the root pass;
+        // refute_root must not claim Unsat for queries beyond the pre-search
+        // fast paths (which `check` still answers).
+        let mut p = TermPool::new();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let five = p.int(5);
+        let l = p.lt(x, five);
+        let g = p.gt(x, five);
+        let mut d = Domains::new();
+        d.bound(xv, -1000, 1000);
+        let s = Solver::new(SolverConfig {
+            max_nodes: 0,
+            ..SolverConfig::default()
+        });
+        assert!(!s.refute_root(&p, &[l, g], &d));
+        // The fast paths still fire (check answers those without a search).
+        let f = p.ff();
+        assert!(s.refute_root(&p, &[f], &d));
+        let ng = p.not(g);
+        assert!(s.refute_root(&p, &[g, ng], &d));
     }
 
     #[test]

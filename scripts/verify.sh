@@ -29,4 +29,7 @@ cargo build --release
 echo "==> tier-1: tests"
 cargo test -q
 
+echo "==> static lint of shipped subjects (cpr-lint, zero diagnostics expected)"
+cargo run --release -q -p cpr-analysis --bin cpr-lint programs/*.cpr
+
 echo "verify: OK"

@@ -23,7 +23,7 @@ fn report_key(r: &RepairReport) -> String {
     format!(
         "subject={} p_init={} p_final={} abs_init={} abs_final={} explored={} skipped={} \
          iters={} inputs={} patch_hit={:.6} bug_hit={:.6} dev_rank={:?} history={:?} \
-         coverage={:?} queries={} top={:?} ranked=[{}]",
+         coverage={:?} queries={} screened={} top={:?} ranked=[{}]",
         r.subject,
         r.p_init,
         r.p_final,
@@ -39,9 +39,20 @@ fn report_key(r: &RepairReport) -> String {
         r.history,
         r.input_coverage,
         r.solver_queries,
+        r.queries_screened,
         r.top_patched_source,
         ranked.join("; ")
     )
+}
+
+/// Drops the query-count fields — the only report fields a pure
+/// accelerator (the UNSAT-prefix store, the static screening layer) is
+/// allowed to move.
+fn strip_queries(key: &str) -> String {
+    key.split_whitespace()
+        .filter(|f| !f.starts_with("queries=") && !f.starts_with("screened="))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[test]
@@ -105,16 +116,48 @@ fn repair_with_coverage_is_bit_identical_across_thread_counts() {
     // The store is a pure accelerator: with it disabled the verdicts (and
     // hence the whole report, minus query counts) must be unchanged.
     let no_store = run(1, 0);
-    let strip_queries = |key: &str| {
-        key.split_whitespace()
-            .filter(|f| !f.starts_with("queries="))
-            .collect::<Vec<_>>()
-            .join(" ")
-    };
     assert_eq!(
         strip_queries(&serial),
         strip_queries(&no_store),
         "{}: UNSAT-prefix store changed observable results",
         subject.name()
     );
+}
+
+#[test]
+fn static_screening_never_changes_the_repair_report() {
+    // The `cpr-analysis` screening layer (root interval refutations in
+    // reduce/expand, alpha-equivalence candidate rejection in pool
+    // construction) is an under-approximation of solver refutation:
+    // substituting its verdict for a solver call must leave every report
+    // field untouched except the query counts — same patches, same
+    // ranking, same history — at any thread count.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let run = |threads: usize, screening: bool| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            config.static_screening = screening;
+            repair(&problem, &config)
+        };
+        for threads in [1, 4] {
+            let on = run(threads, true);
+            let off = run(threads, false);
+            assert_eq!(
+                strip_queries(&report_key(&on)),
+                strip_queries(&report_key(&off)),
+                "{name}: static screening changed the report at {threads} threads"
+            );
+            assert_eq!(
+                off.queries_screened, 0,
+                "{name}: screening counter moved while screening was off"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
 }

@@ -307,6 +307,75 @@ fn interpreter_and_concolic_agree_on_random_programs() {
 }
 
 #[test]
+fn pretty_print_roundtrips_shipped_subjects() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cpr"))
+        .collect();
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no shipped subjects in {}",
+        dir.display()
+    );
+    for file in files {
+        let src = std::fs::read_to_string(&file).unwrap();
+        let program = parse(&src).unwrap();
+        let printed = pretty(&program);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!(
+                "{}: pretty output failed to reparse: {}\n{printed}",
+                file.display(),
+                e.render(&printed)
+            )
+        });
+        assert_eq!(
+            reparsed.strip_spans(),
+            program.strip_spans(),
+            "{}: AST changed across pretty/parse",
+            file.display()
+        );
+        assert!(check(&reparsed).is_ok(), "{}", file.display());
+    }
+}
+
+#[test]
+fn negative_literals_roundtrip_exactly() {
+    // Regression for the pretty-printer emitting `(0 - 5)` for `-5`, which
+    // reparsed to a structurally different (if semantically equal) AST.
+    let program = Program {
+        name: "neg".into(),
+        functions: Vec::new(),
+        inputs: vec![cpr_lang::InputDecl {
+            name: "x".into(),
+            lo: -8,
+            hi: 8,
+            span: Span::default(),
+        }],
+        body: vec![Stmt::Return {
+            value: Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Var("x".into(), Span::default())),
+                Box::new(Expr::Int(-5, Span::default())),
+                Span::default(),
+            ),
+            span: Span::default(),
+        }],
+    };
+    let printed = pretty(&program);
+    let reparsed = parse(&printed).unwrap();
+    assert_eq!(reparsed.strip_spans(), program.strip_spans(), "{printed}");
+    // A unary minus over a non-literal still parses as negation, and a
+    // doubly negated literal folds twice.
+    let e = cpr_lang::parse_expr("-(x)").unwrap();
+    assert!(matches!(e, Expr::Unary(cpr_lang::UnOp::Neg, ..)));
+    let e = cpr_lang::parse_expr("- - 5").unwrap();
+    assert!(matches!(e, Expr::Int(5, _)));
+}
+
+#[test]
 fn pretty_print_roundtrips_random_programs() {
     let mut exercised = 0u32;
     for case in 0..160u64 {
@@ -324,6 +393,13 @@ fn pretty_print_roundtrips_random_programs() {
                 printed
             )
         });
+        // Full structural round-trip, not just print-stability: negative
+        // literals in particular used to reparse as `0 - n` subtractions.
+        assert_eq!(
+            reparsed.strip_spans(),
+            program.strip_spans(),
+            "case {case}: AST changed across pretty/parse\n{printed}"
+        );
         assert_eq!(pretty(&reparsed), printed, "case {case}");
         assert!(check(&reparsed).is_ok(), "case {case}");
     }
