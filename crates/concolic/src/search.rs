@@ -78,6 +78,14 @@ impl SeenPrefixes {
     pub fn is_empty(&self) -> bool {
         self.seen.is_empty()
     }
+
+    /// Iterates over the recorded prefixes in unspecified order. The set's
+    /// semantics are order-independent (pure membership), so a snapshot may
+    /// sort these for stable bytes and rebuild via [`SeenPrefixes::insert`]
+    /// without changing any future query.
+    pub fn iter(&self) -> impl Iterator<Item = &[TermId]> + '_ {
+        self.seen.iter().map(|b| &**b)
+    }
 }
 
 /// A generated input waiting to be explored, with its priority score.
@@ -164,6 +172,28 @@ impl InputQueue {
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The queue's candidates in *internal heap-array order* — the order a
+    /// snapshot must record. [`CandidateInput`]'s ordering ignores `model`,
+    /// so candidates tying on `(score, flipped_index)` pop in whatever
+    /// order the heap's internal array holds them; restoring from any other
+    /// order (sorted, say) could swap the models of tied candidates and
+    /// change the rest of the run.
+    pub fn snapshot_order(&self) -> impl Iterator<Item = &CandidateInput> + '_ {
+        self.heap.iter()
+    }
+
+    /// Rebuilds a queue from candidates recorded by
+    /// [`InputQueue::snapshot_order`]. `BinaryHeap::from` heapifies the
+    /// vector in place; on input that is already a valid heap layout (which
+    /// a snapshot of a live heap always is), sift-down moves nothing, so
+    /// the internal array — and with it the pop order of tied candidates —
+    /// is restored exactly.
+    pub fn from_snapshot(candidates: Vec<CandidateInput>) -> Self {
+        InputQueue {
+            heap: BinaryHeap::from(candidates),
+        }
     }
 }
 
@@ -287,6 +317,56 @@ mod tests {
         // Ties break on the flip index (deeper first), deterministically.
         let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|c| c.flipped_index)).collect();
         assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn queue_snapshot_preserves_pop_order_of_ties() {
+        // Candidates that tie on (score, flipped_index) but carry different
+        // models: `Ord` cannot see the models, so only restoring the exact
+        // internal array order keeps the pop sequence — models included —
+        // identical.
+        let mut pool = TermPool::new();
+        let v = pool.var("x", Sort::Int);
+        let mk = |val: i64, score: i64, idx: usize| {
+            let mut m = Model::new();
+            m.set(v, val);
+            CandidateInput {
+                model: m,
+                score,
+                flipped_index: idx,
+            }
+        };
+        let mut q = InputQueue::new();
+        for (val, score, idx) in [
+            (10, 7, 2),
+            (20, 7, 2),
+            (30, 7, 2),
+            (40, 9, 0),
+            (50, 7, 2),
+            (60, 1, 5),
+        ] {
+            q.push(mk(val, score, idx));
+        }
+        // Snapshot in internal order, restore, and interleave further
+        // pushes with pops on both queues: the sequences must agree on
+        // every field, including the model.
+        let saved: Vec<CandidateInput> = q.snapshot_order().cloned().collect();
+        let mut restored = InputQueue::from_snapshot(saved);
+        assert_eq!(restored.len(), q.len());
+        let drain = |q: &mut InputQueue| -> Vec<(Option<i64>, i64, usize)> {
+            let mut out = Vec::new();
+            for round in 0..3 {
+                if let Some(c) = q.pop() {
+                    out.push((c.model.int(v), c.score, c.flipped_index));
+                }
+                q.push(mk(100 + round, 7, 2));
+            }
+            while let Some(c) = q.pop() {
+                out.push((c.model.int(v), c.score, c.flipped_index));
+            }
+            out
+        };
+        assert_eq!(drain(&mut q), drain(&mut restored));
     }
 
     #[test]

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod apply;
+pub mod driver;
 pub mod expand;
 mod lower;
 mod problem;
@@ -62,6 +63,10 @@ mod session;
 mod synthesize;
 
 pub use apply::{apply_patch, term_to_expr};
+pub use driver::{
+    subject_digest, RepairDriver, SnapshotError, StepStatus, StopReason, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+};
 pub use expand::{expand, ExpandOutcome, ExpandStats};
 pub use lower::{lower_expr, lower_expr_src, LowerError};
 pub use problem::{test_input, RepairConfig, RepairProblem, TestInput};

@@ -1,0 +1,122 @@
+//! A small blocking client for the JSON-lines protocol (used by the `cpr
+//! submit` / `cpr jobs` subcommands, the smoke tests and the benchmark).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::json::{self, Json};
+use crate::protocol::{JobSpec, Request};
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("connect: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads one response. Protocol-level failures
+    /// (`"ok": false`) become `Err` with the server's message.
+    pub fn request(&mut self, req: &Request) -> Result<Json, String> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| format!("receive: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".into());
+        }
+        let v = json::parse(response.trim()).map_err(|e| format!("bad response: {e}"))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified server error")
+                .to_owned()),
+            None => Err("response missing \"ok\"".into()),
+        }
+    }
+
+    /// Submits a job; returns its id.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, String> {
+        let v = self.request(&Request::Submit(spec))?;
+        v.get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "submit response missing job id".into())
+    }
+
+    /// One job's status object.
+    pub fn status(&mut self, job: u64) -> Result<Json, String> {
+        self.request(&Request::Status(Some(job)))
+    }
+
+    /// Every job's status objects.
+    pub fn jobs(&mut self) -> Result<Vec<Json>, String> {
+        let v = self.request(&Request::Status(None))?;
+        match v.get("jobs") {
+            Some(Json::Arr(items)) => Ok(items.clone()),
+            _ => Err("status response missing jobs".into()),
+        }
+    }
+
+    /// Cancels a job.
+    pub fn cancel(&mut self, job: u64) -> Result<Json, String> {
+        self.request(&Request::Cancel(job))
+    }
+
+    /// Pauses a job.
+    pub fn pause(&mut self, job: u64) -> Result<Json, String> {
+        self.request(&Request::Pause(job))
+    }
+
+    /// Resumes a paused or canceled job.
+    pub fn resume(&mut self, job: u64) -> Result<Json, String> {
+        self.request(&Request::Resume(job))
+    }
+
+    /// The final report of a completed job.
+    pub fn report(&mut self, job: u64) -> Result<Json, String> {
+        let v = self.request(&Request::Report(job))?;
+        v.get("report")
+            .cloned()
+            .ok_or_else(|| "report response missing report".into())
+    }
+
+    /// Asks the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.request(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Polls `status` until the job's state leaves `queued`/`running` or
+    /// the timeout elapses; returns the last status seen.
+    pub fn wait_terminal(&mut self, job: u64, timeout: Duration) -> Result<Json, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job)?;
+            match status.get("state").and_then(Json::as_str) {
+                Some("queued") | Some("running") => {}
+                _ => return Ok(status),
+            }
+            if Instant::now() >= deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}

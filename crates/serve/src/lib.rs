@@ -1,0 +1,42 @@
+//! Repair-as-a-service for the CPR reproduction.
+//!
+//! The paper's repair loop is *anytime* (§1: "the longer it is run, the
+//! greater is the coverage of the input space") — which makes it a natural
+//! long-running service. This crate turns [`cpr_core::RepairDriver`]'s
+//! step/snapshot/resume state machine into exactly that:
+//!
+//! * [`protocol`] — a versioned JSON-lines protocol (`submit`, `status`,
+//!   `cancel`, `pause`, `resume`, `report`, `shutdown`) with a
+//!   dependency-free [`json`] value type underneath;
+//! * [`scheduler`] — a bounded worker pool driving jobs step-wise, with
+//!   per-job iteration / wall-clock budgets and cooperative cancellation;
+//! * [`store`] — a durable snapshot store (atomic write, one file per
+//!   job); a canceled or paused job — or a whole server restart — resumes
+//!   from its latest checkpoint *bit-identically*, the same guarantee the
+//!   determinism suite proves for thread counts;
+//! * [`server`] / [`client`] — thread-per-connection TCP (plus a stdio
+//!   mode) and a small blocking client.
+//!
+//! The `cpr serve`, `cpr submit` and `cpr jobs` subcommands wrap these;
+//! `bench_serve` measures the service against direct [`cpr_core::repair`]
+//! calls and asserts report equality.
+//!
+//! Everything is std-only: no async runtime, no serde — a deliberate
+//! match for the repository's zero-dependency build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use json::Json;
+pub use protocol::{report_fingerprint, report_to_json, JobSpec, Request, PROTOCOL_VERSION};
+pub use scheduler::{job_config, job_problem, JobState, JobStatus, Scheduler};
+pub use server::{handle_line, serve_lines, serve_tcp, ServerHandle};
+pub use store::SnapshotStore;

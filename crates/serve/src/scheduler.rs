@@ -1,0 +1,591 @@
+//! The bounded worker-pool scheduler.
+//!
+//! Jobs are repair runs over registry subjects, driven step-wise through
+//! [`RepairDriver`] so the pool can checkpoint, pause, cancel and resume
+//! them at step granularity. A fixed number of worker threads drain one
+//! FIFO queue; everything shared sits behind one mutex + condvar pair
+//! (workers sleep on the condvar, and every terminal state transition
+//! notifies it, which is also what [`Scheduler::wait`] listens to).
+//!
+//! Control is cooperative: `cancel` and `pause` set a flag that the
+//! running worker observes between driver steps, writes a durable snapshot
+//! through the [`SnapshotStore`], and parks the job — so a canceled or
+//! paused job can always be resumed later, bit-identically (the snapshot
+//! differential test in `tests/determinism.rs` is the proof obligation).
+//! Per-job budgets ride on [`RepairConfig`]: iteration and wall-clock
+//! limits end a run through the driver's own [`StopReason`], producing a
+//! normal report.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cpr_core::{RepairConfig, RepairDriver, RepairProblem, StepStatus};
+use cpr_subjects::all_subjects;
+
+use crate::json::Json;
+use crate::protocol::{report_to_json, JobSpec};
+use crate::store::SnapshotStore;
+
+/// Default checkpoint cadence (driver steps between durable snapshots)
+/// when a spec does not set one.
+pub const DEFAULT_CHECKPOINT_EVERY: usize = 8;
+
+/// The lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a worker.
+    Queued,
+    /// A worker is stepping it.
+    Running,
+    /// Suspended on request; a snapshot is stored.
+    Paused,
+    /// Stopped on request; a snapshot is stored if it had started.
+    Canceled,
+    /// Finished; the report is available.
+    Done,
+    /// The run could not proceed (bad subject, unreadable snapshot, ...).
+    Failed,
+}
+
+impl JobState {
+    /// The protocol name of the state.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Paused => "paused",
+            JobState::Canceled => "canceled",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job can never run again without a `resume`.
+    fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Paused | JobState::Canceled | JobState::Done | JobState::Failed
+        )
+    }
+}
+
+/// A point-in-time public view of a job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: u64,
+    /// Subject name from the spec.
+    pub subject: String,
+    /// Current state.
+    pub state: JobState,
+    /// Repair-loop iterations completed so far.
+    pub iterations: usize,
+    /// Why the run stopped, for done jobs (`StopReason::name()`).
+    pub stop_reason: Option<&'static str>,
+    /// Failure message, for failed jobs.
+    pub error: Option<String>,
+}
+
+impl JobStatus {
+    /// The status as protocol JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("job", Json::Int(self.id as i64)),
+            ("subject", Json::Str(self.subject.clone())),
+            ("state", Json::Str(self.state.name().to_owned())),
+            ("iterations", Json::Int(self.iterations as i64)),
+            (
+                "stop_reason",
+                self.stop_reason
+                    .map_or(Json::Null, |s| Json::Str(s.to_owned())),
+            ),
+            ("error", self.error.clone().map_or(Json::Null, Json::Str)),
+        ])
+    }
+}
+
+struct Job {
+    spec: JobSpec,
+    state: JobState,
+    iterations: usize,
+    stop_reason: Option<&'static str>,
+    report: Option<Json>,
+    error: Option<String>,
+    cancel_requested: bool,
+    pause_requested: bool,
+}
+
+struct State {
+    jobs: BTreeMap<u64, Job>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    shutting_down: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+    store: SnapshotStore,
+}
+
+/// The worker pool. Dropping it without calling [`Scheduler::shutdown`]
+/// detaches the workers; `shutdown` checkpoints running jobs and joins
+/// them.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Resolves a spec's subject against the registry.
+pub fn job_problem(spec: &JobSpec) -> Result<RepairProblem, String> {
+    let subjects = all_subjects();
+    let s = subjects
+        .iter()
+        .find(|s| s.name() == spec.subject || s.bug_id == spec.subject)
+        .ok_or_else(|| format!("unknown subject `{}`", spec.subject))?;
+    if s.not_supported {
+        return Err(format!(
+            "subject `{}` is marked N/A (unsupported)",
+            spec.subject
+        ));
+    }
+    Ok(s.problem())
+}
+
+/// The repair configuration a spec denotes: the quick profile plus the
+/// spec's budget and thread overrides. Centralized so a served job and a
+/// direct [`cpr_core::repair`] call on the same spec are guaranteed to
+/// agree (the benchmark and the smoke test compare them byte for byte).
+pub fn job_config(spec: &JobSpec) -> RepairConfig {
+    let mut config = RepairConfig::quick();
+    if let Some(n) = spec.max_iterations {
+        config.max_iterations = n;
+    }
+    if let Some(ms) = spec.time_budget_ms {
+        config.max_millis = Some(ms);
+    }
+    if let Some(t) = spec.threads {
+        config.threads = t;
+    }
+    config
+}
+
+impl Scheduler {
+    /// Starts `workers` worker threads over a snapshot store.
+    pub fn new(workers: usize, store: SnapshotStore) -> Scheduler {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                queue: VecDeque::new(),
+                next_id: 1,
+                shutting_down: false,
+            }),
+            cv: Condvar::new(),
+            store,
+        });
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Validates and enqueues a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
+        // Resolve the subject up front so a typo fails the submit, not the
+        // worker.
+        job_problem(&spec)?;
+        let mut st = self.inner.state.lock().unwrap();
+        if st.shutting_down {
+            return Err("server is shutting down".into());
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                spec,
+                state: JobState::Queued,
+                iterations: 0,
+                stop_reason: None,
+                report: None,
+                error: None,
+                cancel_requested: false,
+                pause_requested: false,
+            },
+        );
+        st.queue.push_back(id);
+        self.inner.cv.notify_all();
+        Ok(id)
+    }
+
+    /// The status of one job.
+    pub fn status(&self, id: u64) -> Result<JobStatus, String> {
+        let st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
+        Ok(status_of(id, job))
+    }
+
+    /// The status of every job, ascending by id.
+    pub fn status_all(&self) -> Vec<JobStatus> {
+        let st = self.inner.state.lock().unwrap();
+        st.jobs.iter().map(|(id, j)| status_of(*id, j)).collect()
+    }
+
+    /// Requests cancellation. Queued jobs cancel immediately; running jobs
+    /// checkpoint first, so they stay resumable.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
+        let mut st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Canceled;
+                let status = status_of(id, job);
+                st.queue.retain(|q| *q != id);
+                self.inner.cv.notify_all();
+                Ok(status)
+            }
+            JobState::Running => {
+                job.cancel_requested = true;
+                Ok(status_of(id, job))
+            }
+            JobState::Paused => {
+                // Already checkpointed; just reclassify.
+                job.state = JobState::Canceled;
+                self.inner.cv.notify_all();
+                Ok(status_of(id, job))
+            }
+            s => Err(format!("job {id} is {} and cannot be canceled", s.name())),
+        }
+    }
+
+    /// Requests suspension of a running or queued job.
+    pub fn pause(&self, id: u64) -> Result<JobStatus, String> {
+        let mut st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Paused;
+                let status = status_of(id, job);
+                st.queue.retain(|q| *q != id);
+                self.inner.cv.notify_all();
+                Ok(status)
+            }
+            JobState::Running => {
+                job.pause_requested = true;
+                Ok(status_of(id, job))
+            }
+            s => Err(format!("job {id} is {} and cannot be paused", s.name())),
+        }
+    }
+
+    /// Re-enqueues a paused or canceled job. It continues from its latest
+    /// durable snapshot (or from scratch if it never started).
+    pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.shutting_down {
+            return Err("server is shutting down".into());
+        }
+        let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
+        match job.state {
+            JobState::Paused | JobState::Canceled => {
+                job.state = JobState::Queued;
+                job.cancel_requested = false;
+                job.pause_requested = false;
+                let status = status_of(id, job);
+                st.queue.push_back(id);
+                self.inner.cv.notify_all();
+                Ok(status)
+            }
+            s => Err(format!("job {id} is {} and cannot be resumed", s.name())),
+        }
+    }
+
+    /// The final report of a completed job, as protocol JSON.
+    pub fn report(&self, id: u64) -> Result<Json, String> {
+        let st = self.inner.state.lock().unwrap();
+        let job = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
+        match (&job.report, job.state) {
+            (Some(r), _) => Ok(r.clone()),
+            (None, JobState::Failed) => Err(job
+                .error
+                .clone()
+                .unwrap_or_else(|| format!("job {id} failed"))),
+            (None, s) => Err(format!("job {id} is {}; no report yet", s.name())),
+        }
+    }
+
+    /// Blocks until the job reaches a terminal state (done, failed,
+    /// paused, canceled) or the timeout elapses; returns the final status
+    /// observed.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let Some(job) = st.jobs.get(&id) else {
+                return Err(format!("no job {id}"));
+            };
+            if job.state.is_terminal() {
+                return Ok(status_of(id, job));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(status_of(id, job));
+            }
+            let (guard, _) = self.inner.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    /// The snapshot store backing this scheduler.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.inner.store
+    }
+
+    /// Graceful shutdown: pause every running job (each checkpoints and
+    /// parks), drop the queue, and join the workers.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutting_down = true;
+            // Queued jobs park as paused — resumable by a future scheduler
+            // over the same store (they have no snapshot yet, so they
+            // would simply start fresh).
+            let queued: Vec<u64> = st.queue.drain(..).collect();
+            for id in queued {
+                if let Some(job) = st.jobs.get_mut(&id) {
+                    job.state = JobState::Paused;
+                }
+            }
+            for job in st.jobs.values_mut() {
+                if job.state == JobState::Running {
+                    job.pause_requested = true;
+                }
+            }
+            self.inner.cv.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn status_of(id: u64, job: &Job) -> JobStatus {
+    JobStatus {
+        id,
+        subject: job.spec.subject.clone(),
+        state: job.state,
+        iterations: job.iterations,
+        stop_reason: job.stop_reason,
+        error: job.error.clone(),
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, spec) = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    break (id, job.spec.clone());
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = inner.cv.wait(st).unwrap();
+            }
+        };
+        run_job(inner, id, &spec);
+    }
+}
+
+/// Marks a job terminal under the lock and wakes waiters.
+fn finish_job(inner: &Inner, id: u64, f: impl FnOnce(&mut Job)) {
+    let mut st = inner.state.lock().unwrap();
+    if let Some(job) = st.jobs.get_mut(&id) {
+        f(job);
+        job.cancel_requested = false;
+        job.pause_requested = false;
+    }
+    inner.cv.notify_all();
+}
+
+fn run_job(inner: &Inner, id: u64, spec: &JobSpec) {
+    let fail = |msg: String| {
+        finish_job(inner, id, |job| {
+            job.state = JobState::Failed;
+            job.error = Some(msg);
+        });
+    };
+    let problem = match job_problem(spec) {
+        Ok(p) => p,
+        Err(e) => return fail(e),
+    };
+    let config = job_config(spec);
+    let checkpoint_every = spec
+        .checkpoint_every
+        .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
+        .max(1);
+
+    // Continue from the durable snapshot when one exists (a resumed or
+    // re-run job), else start fresh.
+    let mut driver = match inner.store.load(id) {
+        Ok(Some(bytes)) => match RepairDriver::resume(problem, config, &bytes) {
+            Ok(d) => d,
+            Err(e) => return fail(format!("snapshot for job {id} is unusable: {e}")),
+        },
+        Ok(None) => RepairDriver::new(problem, config),
+        Err(e) => return fail(format!("cannot read snapshot for job {id}: {e}")),
+    };
+
+    let mut steps = 0usize;
+    loop {
+        // Observe control flags between steps; park with a durable
+        // snapshot so the job stays resumable.
+        let (cancel, pause) = {
+            let st = inner.state.lock().unwrap();
+            match st.jobs.get(&id) {
+                Some(job) => (job.cancel_requested, job.pause_requested),
+                None => (true, false),
+            }
+        };
+        if cancel || pause {
+            if let Err(e) = inner.store.save(id, &driver.snapshot()) {
+                return fail(format!("cannot checkpoint job {id}: {e}"));
+            }
+            return finish_job(inner, id, |job| {
+                job.state = if cancel {
+                    JobState::Canceled
+                } else {
+                    JobState::Paused
+                };
+                job.iterations = driver.iterations();
+            });
+        }
+        if driver.step() != StepStatus::Running {
+            break;
+        }
+        steps += 1;
+        if steps.is_multiple_of(checkpoint_every) {
+            if let Err(e) = inner.store.save(id, &driver.snapshot()) {
+                return fail(format!("cannot checkpoint job {id}: {e}"));
+            }
+        }
+        {
+            let mut st = inner.state.lock().unwrap();
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.iterations = driver.iterations();
+            }
+        }
+    }
+
+    let stop = driver.stop_reason().map(|s| s.name());
+    let iterations = driver.iterations();
+    let report = report_to_json(&driver.finish());
+    // The job is complete; its checkpoint has served its purpose.
+    let _ = inner.store.remove(id);
+    finish_job(inner, id, |job| {
+        job.state = JobState::Done;
+        job.iterations = iterations;
+        job.stop_reason = stop;
+        job.report = Some(report);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("cpr_serve_sched_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    fn quick_spec(subject: &str) -> JobSpec {
+        let mut spec = JobSpec::new(subject);
+        spec.max_iterations = Some(6);
+        spec.checkpoint_every = Some(2);
+        spec
+    }
+
+    fn first_subject() -> String {
+        all_subjects()
+            .iter()
+            .find(|s| !s.not_supported)
+            .unwrap()
+            .name()
+    }
+
+    #[test]
+    fn submit_rejects_unknown_and_unsupported_subjects() {
+        let sched = Scheduler::new(1, temp_store("reject"));
+        assert!(sched.submit(JobSpec::new("no/such-subject")).is_err());
+        if let Some(s) = all_subjects().iter().find(|s| s.not_supported) {
+            assert!(sched.submit(JobSpec::new(s.name())).is_err());
+        }
+        assert!(sched.status(99).is_err());
+        assert!(sched.cancel(99).is_err());
+        assert!(sched.report(99).is_err());
+        sched.shutdown();
+    }
+
+    #[test]
+    fn job_runs_to_done_and_matches_direct_repair() {
+        let sched = Scheduler::new(2, temp_store("done"));
+        let spec = quick_spec(&first_subject());
+        let id = sched.submit(spec.clone()).unwrap();
+        let status = sched.wait(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(status.state, JobState::Done);
+        assert!(status.stop_reason.is_some());
+        let report = sched.report(id).unwrap();
+        let direct = report_to_json(&cpr_core::repair(
+            &job_problem(&spec).unwrap(),
+            &job_config(&spec),
+        ));
+        assert_eq!(
+            crate::protocol::report_fingerprint(&report),
+            crate::protocol::report_fingerprint(&direct),
+        );
+        // Done jobs keep no checkpoint.
+        assert_eq!(sched.store().load(id).unwrap(), None);
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn queued_jobs_cancel_pause_and_resume() {
+        // No free workers: the single worker is busy with the first job,
+        // so the rest stay queued and exercise the queued-state paths.
+        let sched = Scheduler::new(1, temp_store("queued"));
+        let subject = first_subject();
+        let busy = sched.submit(quick_spec(&subject)).unwrap();
+        let a = sched.submit(quick_spec(&subject)).unwrap();
+        let b = sched.submit(quick_spec(&subject)).unwrap();
+        let canceled = sched.cancel(a).unwrap();
+        assert_eq!(canceled.state, JobState::Canceled);
+        let paused = sched.pause(b).unwrap();
+        assert_eq!(paused.state, JobState::Paused);
+        assert!(sched.report(a).is_err());
+        // Both park states resume back into the queue and finish.
+        sched.resume(a).unwrap();
+        sched.resume(b).unwrap();
+        for id in [busy, a, b] {
+            let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+            assert_eq!(st.state, JobState::Done, "job {id}");
+        }
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+}

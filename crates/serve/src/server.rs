@@ -1,0 +1,245 @@
+//! The transport layer: a thread-per-connection TCP listener and a stdio
+//! loop, both speaking the JSON-lines protocol over a shared
+//! [`Scheduler`].
+//!
+//! The accept loop polls a non-blocking listener so a `shutdown` request
+//! (from any connection) can stop it promptly; connection readers use a
+//! short read timeout for the same reason. Shutting down checkpoints every
+//! running job through the scheduler before the server handle's `join`
+//! returns — the durable store is always left in a resumable state.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{error_response, ok_response, Request};
+use crate::scheduler::Scheduler;
+
+/// Dispatches one protocol line against the scheduler. Returns the
+/// response and whether the line was a (successful) shutdown request.
+pub fn handle_line(sched: &Scheduler, line: &str) -> (Json, bool) {
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(e) => return (error_response(&e), false),
+    };
+    let status_fields = |s: &crate::scheduler::JobStatus| match s.to_json() {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("status is an object"),
+    };
+    let with_status = |r: Result<crate::scheduler::JobStatus, String>| -> (Json, bool) {
+        match r {
+            Ok(s) => {
+                let extra: Vec<(String, Json)> = status_fields(&s);
+                let mut pairs = vec![
+                    ("v".to_owned(), Json::Int(crate::protocol::PROTOCOL_VERSION)),
+                    ("ok".to_owned(), Json::Bool(true)),
+                ];
+                pairs.extend(extra);
+                (Json::Obj(pairs), false)
+            }
+            Err(e) => (error_response(&e), false),
+        }
+    };
+    match req {
+        Request::Submit(spec) => match sched.submit(spec) {
+            Ok(id) => (ok_response(vec![("job", Json::Int(id as i64))]), false),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::Status(Some(id)) => with_status(sched.status(id)),
+        Request::Status(None) => {
+            let jobs = sched.status_all().iter().map(|s| s.to_json()).collect();
+            (ok_response(vec![("jobs", Json::Arr(jobs))]), false)
+        }
+        Request::Cancel(id) => with_status(sched.cancel(id)),
+        Request::Pause(id) => with_status(sched.pause(id)),
+        Request::Resume(id) => with_status(sched.resume(id)),
+        Request::Report(id) => match sched.report(id) {
+            Ok(report) => (
+                ok_response(vec![("job", Json::Int(id as i64)), ("report", report)]),
+                false,
+            ),
+            Err(e) => (error_response(&e), false),
+        },
+        Request::Shutdown => (ok_response(vec![]), true),
+    }
+}
+
+/// A running TCP server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler: Arc<Scheduler>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a stop without a client round trip (the programmatic
+    /// equivalent of a `shutdown` request).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the accept loop to exit, then shuts the scheduler down
+    /// (checkpointing running jobs).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.scheduler.shutdown();
+    }
+}
+
+/// Binds `addr` and serves connections until a `shutdown` request (or
+/// [`ServerHandle::stop`]). Each connection gets its own thread; requests
+/// within a connection are handled in order.
+pub fn serve_tcp(addr: impl ToSocketAddrs, scheduler: Scheduler) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let scheduler = Arc::new(scheduler);
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_sched = Arc::clone(&scheduler);
+    let accept_thread = std::thread::spawn(move || {
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let sched = Arc::clone(&accept_sched);
+                    let stop = Arc::clone(&accept_stop);
+                    std::thread::spawn(move || serve_connection(stream, &sched, &stop));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+        scheduler,
+    })
+}
+
+fn serve_connection(stream: TcpStream, sched: &Scheduler, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let (response, shutdown) = handle_line(sched, trimmed);
+                let mut out = response.to_line();
+                out.push('\n');
+                if writer.write_all(out.as_bytes()).is_err() {
+                    return;
+                }
+                if shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serves the protocol over arbitrary line streams (the `--stdio` mode of
+/// `cpr serve`): reads requests from `input` until EOF or a `shutdown`
+/// request, writing one response line each to `output`. Returns whether a
+/// shutdown was requested (as opposed to plain EOF).
+pub fn serve_lines(
+    scheduler: &Scheduler,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(scheduler, trimmed);
+        let mut out = response.to_line();
+        out.push('\n');
+        output.write_all(out.as_bytes())?;
+        output.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SnapshotStore;
+
+    fn temp_scheduler(tag: &str) -> Scheduler {
+        let dir =
+            std::env::temp_dir().join(format!("cpr_serve_server_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scheduler::new(1, SnapshotStore::open(dir).unwrap())
+    }
+
+    #[test]
+    fn handle_line_maps_protocol_errors_to_responses() {
+        let sched = temp_scheduler("errors");
+        for bad in ["nope", "{\"v\":1}", "{\"v\":9,\"cmd\":\"status\"}"] {
+            let (resp, shutdown) = handle_line(&sched, bad);
+            assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{bad}");
+            assert!(!shutdown);
+        }
+        let (resp, _) = handle_line(&sched, r#"{"v":1,"cmd":"report","job":42}"#);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn serve_lines_answers_status_and_stops_on_shutdown() {
+        let sched = temp_scheduler("stdio");
+        let input = "\n{\"v\":1,\"cmd\":\"status\"}\n{\"v\":1,\"cmd\":\"shutdown\"}\n\
+                     {\"v\":1,\"cmd\":\"status\"}\n";
+        let mut out = Vec::new();
+        let shutdown = serve_lines(&sched, input.as_bytes(), &mut out).unwrap();
+        assert!(shutdown);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        // Blank line skipped; the trailing status after shutdown is never
+        // read.
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"jobs\":[]"));
+        assert!(lines[1].contains("\"ok\":true"));
+        sched.shutdown();
+    }
+}

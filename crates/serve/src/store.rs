@@ -1,0 +1,126 @@
+//! The durable snapshot store: one file per job, written atomically.
+//!
+//! Snapshots are the byte strings produced by
+//! [`cpr_core::RepairDriver::snapshot`] — self-validating (magic, version,
+//! subject digest, checksum), so the store itself stays dumb: it moves
+//! bytes, and every integrity decision happens in
+//! [`cpr_core::RepairDriver::resume`]. Writes go through a temp file and a
+//! rename, so a crash mid-checkpoint leaves the previous snapshot intact
+//! rather than a torn file.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// A directory of `job-<id>.snap` files.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapshotStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SnapshotStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot file path for a job.
+    pub fn path(&self, job: u64) -> PathBuf {
+        self.dir.join(format!("job-{job}.snap"))
+    }
+
+    /// Durably replaces the snapshot for `job`: write to a temp file,
+    /// flush, rename over the final name.
+    pub fn save(&self, job: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("job-{job}.snap.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(job))
+    }
+
+    /// Loads the snapshot for `job`; `Ok(None)` when none exists.
+    pub fn load(&self, job: u64) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.path(job)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Deletes the snapshot for `job`, if any.
+    pub fn remove(&self, job: u64) -> io::Result<()> {
+        match fs::remove_file(self.path(job)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The job ids with a stored snapshot, ascending.
+    pub fn list(&self) -> io::Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("job-")
+                .and_then(|s| s.strip_suffix(".snap"))
+                .and_then(|s| s.parse().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> SnapshotStore {
+        let dir =
+            std::env::temp_dir().join(format!("cpr_serve_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SnapshotStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn save_load_overwrite_remove() {
+        let store = temp_store("basic");
+        assert_eq!(store.load(1).unwrap(), None);
+        store.save(1, b"one").unwrap();
+        store.save(2, b"two").unwrap();
+        assert_eq!(store.load(1).unwrap().as_deref(), Some(&b"one"[..]));
+        assert_eq!(store.list().unwrap(), vec![1, 2]);
+        // Overwrite is atomic-replace, not append.
+        store.save(1, b"replaced").unwrap();
+        assert_eq!(store.load(1).unwrap().as_deref(), Some(&b"replaced"[..]));
+        store.remove(1).unwrap();
+        store.remove(1).unwrap(); // idempotent
+        assert_eq!(store.load(1).unwrap(), None);
+        assert_eq!(store.list().unwrap(), vec![2]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stray_files_are_ignored_by_list() {
+        let store = temp_store("stray");
+        store.save(7, b"x").unwrap();
+        fs::write(store.dir().join("README"), b"not a snapshot").unwrap();
+        fs::write(store.dir().join("job-9.snap.tmp"), b"torn write").unwrap();
+        assert_eq!(store.list().unwrap(), vec![7]);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

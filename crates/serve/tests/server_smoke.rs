@@ -1,0 +1,137 @@
+//! End-to-end smoke test over a loopback TCP server: two concurrent jobs
+//! from two connections, status polling, one canceled mid-flight. The
+//! surviving job's report must match a direct `repair()` call byte for
+//! byte (minus wall clock); the canceled job must leave a durable,
+//! resumable snapshot — proven by resuming it through the server and
+//! checking *its* final report against direct `repair()` too.
+
+use std::time::Duration;
+
+use cpr_core::{RepairDriver, RepairReport};
+use cpr_serve::{
+    job_config, job_problem, report_fingerprint, report_to_json, Client, JobSpec, Json, Scheduler,
+    SnapshotStore,
+};
+use cpr_subjects::all_subjects;
+
+fn direct_fingerprint(spec: &JobSpec) -> String {
+    let report: RepairReport = cpr_core::repair(&job_problem(spec).unwrap(), &job_config(spec));
+    report_fingerprint(&report_to_json(&report))
+}
+
+fn state_of(status: &Json) -> String {
+    status
+        .get("state")
+        .and_then(Json::as_str)
+        .expect("status has a state")
+        .to_owned()
+}
+
+#[test]
+fn loopback_server_runs_cancels_and_resumes_jobs() {
+    let subjects = all_subjects();
+    let mut supported = subjects.iter().filter(|s| !s.not_supported);
+    let subject_a = supported.next().expect("a supported subject").name();
+    let subject_b = supported.next().expect("two supported subjects").name();
+
+    let store_dir = std::env::temp_dir().join(format!("cpr_serve_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).unwrap();
+    let store_probe = SnapshotStore::open(&store_dir).unwrap();
+
+    let handle = cpr_serve::serve_tcp("127.0.0.1:0", Scheduler::new(2, store)).unwrap();
+    let addr = handle.addr();
+
+    // Two clients on separate connections, one job each — both run
+    // concurrently on the two workers.
+    let mut client_a = Client::connect(addr).unwrap();
+    let mut client_b = Client::connect(addr).unwrap();
+
+    let mut spec_a = JobSpec::new(subject_a);
+    spec_a.max_iterations = Some(12);
+    spec_a.checkpoint_every = Some(3);
+    // The victim gets a budget large enough that it is still mid-flight
+    // when the cancel lands, and a per-step checkpoint cadence.
+    let mut spec_b = JobSpec::new(subject_b);
+    spec_b.max_iterations = Some(30);
+    spec_b.checkpoint_every = Some(1);
+
+    let job_a = client_a.submit(spec_a.clone()).unwrap();
+    let job_b = client_b.submit(spec_b.clone()).unwrap();
+    assert_ne!(job_a, job_b);
+
+    // Poll until the victim has made observable progress, then cancel it
+    // mid-flight.
+    let mut progressed = false;
+    for _ in 0..2400 {
+        let status = client_b.status(job_b).unwrap();
+        let iters = status.get("iterations").and_then(Json::as_i64).unwrap_or(0);
+        if state_of(&status) == "running" && iters >= 2 {
+            progressed = true;
+            break;
+        }
+        assert_ne!(
+            state_of(&status),
+            "done",
+            "victim finished before it could be canceled; raise its budget"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(progressed, "victim job never reached 2 iterations");
+    client_b.cancel(job_b).unwrap();
+    for _ in 0..2400 {
+        if state_of(&client_b.status(job_b).unwrap()) == "canceled" {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let canceled = client_b.status(job_b).unwrap();
+    assert_eq!(state_of(&canceled), "canceled");
+    // No report for a canceled job.
+    assert!(client_b.report(job_b).is_err());
+
+    // The survivor completes and matches a direct repair() run exactly.
+    let done = client_a
+        .wait_terminal(job_a, Duration::from_secs(300))
+        .unwrap();
+    assert_eq!(state_of(&done), "done");
+    assert_eq!(
+        done.get("stop_reason").and_then(Json::as_str),
+        Some("iteration_budget")
+    );
+    let report_a = client_a.report(job_a).unwrap();
+    assert_eq!(report_fingerprint(&report_a), direct_fingerprint(&spec_a));
+
+    // The canceled job left a durable snapshot that this build can load.
+    let snapshot = store_probe
+        .load(job_b)
+        .unwrap()
+        .expect("canceled job keeps a snapshot");
+    RepairDriver::resume(
+        job_problem(&spec_b).unwrap(),
+        job_config(&spec_b),
+        &snapshot,
+    )
+    .expect("canceled job's snapshot is resumable");
+
+    // And resuming it through the server finishes the run with the same
+    // report a cold direct run produces — cancellation lost nothing.
+    client_a.resume(job_b).unwrap();
+    let resumed = client_a
+        .wait_terminal(job_b, Duration::from_secs(600))
+        .unwrap();
+    assert_eq!(state_of(&resumed), "done");
+    let report_b = client_a.report(job_b).unwrap();
+    assert_eq!(report_fingerprint(&report_b), direct_fingerprint(&spec_b));
+
+    // The jobs listing shows both, and protocol errors are responses, not
+    // disconnects.
+    let jobs = client_a.jobs().unwrap();
+    assert_eq!(jobs.len(), 2);
+    assert!(client_a.report(999).is_err());
+    assert!(client_a.status(999).is_err());
+
+    client_a.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

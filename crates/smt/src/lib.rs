@@ -58,6 +58,7 @@ mod region;
 mod simplify;
 mod solver;
 mod term;
+pub mod wire;
 
 pub use interval::Interval;
 pub use model::{Model, Value};

@@ -227,6 +227,18 @@ impl UnsatPrefixStore {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Iterates over the stored queries in insertion (FIFO) order — the
+    /// order a snapshot must preserve so that eviction behaves identically
+    /// after a resume.
+    pub fn iter(&self) -> impl Iterator<Item = &CanonicalQuery> + '_ {
+        self.entries.iter()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 /// Subset test over sorted, deduplicated id slices (merge walk).
@@ -374,6 +386,17 @@ impl Solver {
     /// Resets accumulated statistics.
     pub fn reset_stats(&mut self) {
         self.stats = SolverStats::default();
+    }
+
+    /// Overwrites the accumulated statistics — used when resuming a
+    /// snapshotted repair run, whose report must carry the counters of the
+    /// whole run, not just the post-resume tail. The query cache is *not*
+    /// part of a snapshot (it is a warm-start optimization only): verdicts
+    /// are pure functions of canonical queries and `queries` counts every
+    /// check including cache hits, so a cold cache after restore changes
+    /// no report field.
+    pub fn restore_stats(&mut self, stats: SolverStats) {
+        self.stats = stats;
     }
 
     /// The solver configuration.

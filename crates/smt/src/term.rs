@@ -687,6 +687,214 @@ impl TermPool {
             TermData::Ite(c, a, b) => 1 + self.tree_size(c) + self.tree_size(a) + self.tree_size(b),
         }
     }
+
+    /// Whether `base` is a prefix of this pool: every variable and term of
+    /// `base` exists here at the same index with the same content. A pool
+    /// grown from `base` by interning always satisfies this, so a snapshot
+    /// resume can verify that restored `TermId`s/`VarId`s mean the same
+    /// thing they meant when the snapshot was written.
+    pub fn is_extension_of(&self, base: &TermPool) -> bool {
+        base.vars.len() <= self.vars.len()
+            && base.terms.len() <= self.terms.len()
+            && base
+                .vars
+                .iter()
+                .zip(&self.vars)
+                .all(|(a, b)| a.name == b.name && a.sort == b.sort)
+            && base.terms.iter().zip(&self.terms).all(|(a, b)| a == b)
+    }
+
+    /// Serializes the pool structurally: the variable table in declaration
+    /// order, then every term in creation order. Because `TermId`s are
+    /// creation-order indices and children always precede their parents,
+    /// this encoding is self-validating on read and byte-stable: encoding
+    /// the same pool twice produces identical bytes.
+    pub fn write_wire(&self, w: &mut crate::wire::ByteWriter) {
+        w.usize(self.vars.len());
+        for v in &self.vars {
+            w.str(&v.name);
+            w.u8(match v.sort {
+                Sort::Bool => 0,
+                Sort::Int => 1,
+            });
+        }
+        w.usize(self.terms.len());
+        for &t in &self.terms {
+            match t {
+                TermData::BoolConst(b) => {
+                    w.u8(0);
+                    w.bool(b);
+                }
+                TermData::IntConst(v) => {
+                    w.u8(1);
+                    w.i64(v);
+                }
+                TermData::Var(v) => {
+                    w.u8(2);
+                    w.u32(v.0);
+                }
+                TermData::Not(a) => {
+                    w.u8(3);
+                    w.u32(a.0);
+                }
+                TermData::And(a, b) => {
+                    w.u8(4);
+                    w.u32(a.0);
+                    w.u32(b.0);
+                }
+                TermData::Or(a, b) => {
+                    w.u8(5);
+                    w.u32(a.0);
+                    w.u32(b.0);
+                }
+                TermData::Cmp(op, a, b) => {
+                    w.u8(6);
+                    w.u8(cmp_op_tag(op));
+                    w.u32(a.0);
+                    w.u32(b.0);
+                }
+                TermData::Arith(op, a, b) => {
+                    w.u8(7);
+                    w.u8(arith_op_tag(op));
+                    w.u32(a.0);
+                    w.u32(b.0);
+                }
+                TermData::Neg(a) => {
+                    w.u8(8);
+                    w.u32(a.0);
+                }
+                TermData::Ite(c, a, b) => {
+                    w.u8(9);
+                    w.u32(c.0);
+                    w.u32(a.0);
+                    w.u32(b.0);
+                }
+            }
+        }
+    }
+
+    /// Deserializes a pool written by [`TermPool::write_wire`].
+    ///
+    /// Terms are pushed *raw* — deliberately bypassing the simplifying
+    /// constructors — so that `TermId`s in the restored pool coincide
+    /// exactly with the ids of the pool that was serialized. Every child
+    /// id is checked to precede its parent (acyclicity), every variable
+    /// reference is bounds-checked, and structurally duplicate entries are
+    /// rejected: a valid hash-consed pool never contains two.
+    pub fn read_wire(
+        r: &mut crate::wire::ByteReader<'_>,
+    ) -> Result<TermPool, crate::wire::WireError> {
+        use crate::wire::WireError;
+        let mut pool = TermPool::new();
+        let nvars = r.len("variable table")?;
+        for _ in 0..nvars {
+            let name = r.str("variable name")?;
+            let sort = match r.u8("variable sort")? {
+                0 => Sort::Bool,
+                1 => Sort::Int,
+                tag => return Err(WireError::BadTag { what: "sort", tag }),
+            };
+            if pool.var_names.contains_key(&name) {
+                return Err(WireError::Invariant {
+                    what: "duplicate variable name",
+                });
+            }
+            let id = VarId(pool.vars.len() as u32);
+            pool.var_names.insert(name.clone(), id);
+            pool.vars.push(VarInfo { name, sort });
+        }
+        let nterms = r.len("term table")?;
+        for i in 0..nterms {
+            let child = |r: &mut crate::wire::ByteReader<'_>| -> Result<TermId, WireError> {
+                crate::wire::read_term_id(r, i, "term child")
+            };
+            let data = match r.u8("term tag")? {
+                0 => TermData::BoolConst(r.bool("bool const")?),
+                1 => TermData::IntConst(r.i64("int const")?),
+                2 => TermData::Var(crate::wire::read_var_id(
+                    r,
+                    pool.vars.len(),
+                    "term variable",
+                )?),
+                3 => TermData::Not(child(r)?),
+                4 => TermData::And(child(r)?, child(r)?),
+                5 => TermData::Or(child(r)?, child(r)?),
+                6 => {
+                    let op = read_cmp_op(r)?;
+                    TermData::Cmp(op, child(r)?, child(r)?)
+                }
+                7 => {
+                    let op = read_arith_op(r)?;
+                    TermData::Arith(op, child(r)?, child(r)?)
+                }
+                8 => TermData::Neg(child(r)?),
+                9 => TermData::Ite(child(r)?, child(r)?, child(r)?),
+                tag => return Err(WireError::BadTag { what: "term", tag }),
+            };
+            let id = TermId(pool.terms.len() as u32);
+            if pool.dedup.insert(data, id).is_some() {
+                return Err(WireError::Invariant {
+                    what: "duplicate interned term",
+                });
+            }
+            pool.terms.push(data);
+        }
+        Ok(pool)
+    }
+}
+
+fn cmp_op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+fn read_cmp_op(r: &mut crate::wire::ByteReader<'_>) -> Result<CmpOp, crate::wire::WireError> {
+    Ok(match r.u8("cmp op")? {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        5 => CmpOp::Ge,
+        tag => {
+            return Err(crate::wire::WireError::BadTag {
+                what: "cmp op",
+                tag,
+            })
+        }
+    })
+}
+
+fn arith_op_tag(op: ArithOp) -> u8 {
+    match op {
+        ArithOp::Add => 0,
+        ArithOp::Sub => 1,
+        ArithOp::Mul => 2,
+        ArithOp::Div => 3,
+        ArithOp::Rem => 4,
+    }
+}
+
+fn read_arith_op(r: &mut crate::wire::ByteReader<'_>) -> Result<ArithOp, crate::wire::WireError> {
+    Ok(match r.u8("arith op")? {
+        0 => ArithOp::Add,
+        1 => ArithOp::Sub,
+        2 => ArithOp::Mul,
+        3 => ArithOp::Div,
+        4 => ArithOp::Rem,
+        tag => {
+            return Err(crate::wire::WireError::BadTag {
+                what: "arith op",
+                tag,
+            })
+        }
+    })
 }
 
 #[cfg(test)]
@@ -816,6 +1024,82 @@ mod tests {
         let m = p.mul(x, y);
         let e = p.ne(m, c);
         assert_eq!(p.tree_size(e), 5);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_ids_and_bytes() {
+        use crate::wire::{ByteReader, ByteWriter};
+        let mut p = TermPool::new();
+        let xv = p.var("x", Sort::Int);
+        let x = p.var_term(xv);
+        let b = p.named_var("flag", Sort::Bool);
+        let c = p.int(3);
+        let gt = p.gt(x, c);
+        let conj = p.and(gt, b);
+        let body = p.mul(x, c);
+        let ite = p.ite(conj, body, x);
+
+        let mut w = ByteWriter::new();
+        p.write_wire(&mut w);
+        let bytes = w.into_bytes();
+        let p2 = TermPool::read_wire(&mut ByteReader::new(&bytes)).unwrap();
+
+        // Same ids, same structure, same rendering.
+        assert_eq!(p2.len(), p.len());
+        assert_eq!(p2.var_count(), p.var_count());
+        assert_eq!(p2.data(ite), p.data(ite));
+        assert_eq!(p2.display(conj), p.display(conj));
+        assert_eq!(p2.find_var("x"), Some(xv));
+
+        // Re-encoding is byte-identical, and interning into the restored
+        // pool dedups against the restored table.
+        let mut w2 = ByteWriter::new();
+        p2.write_wire(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+        let mut p3 = p2.clone();
+        let c2 = p3.int(3);
+        assert_eq!(c2, c);
+    }
+
+    #[test]
+    fn wire_rejects_forward_child_and_bad_tags() {
+        use crate::wire::{ByteReader, ByteWriter, WireError};
+        // A Not term whose child id equals its own index (forward reference).
+        let mut w = ByteWriter::new();
+        w.usize(0); // no vars
+        w.usize(1); // one term
+        w.u8(3); // Not
+        w.u32(0); // child 0 — but this IS term 0
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            TermPool::read_wire(&mut ByteReader::new(&bytes)),
+            Err(WireError::IdOutOfRange { .. })
+        ));
+
+        // Unknown term tag.
+        let mut w = ByteWriter::new();
+        w.usize(0);
+        w.usize(1);
+        w.u8(0xEE);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            TermPool::read_wire(&mut ByteReader::new(&bytes)),
+            Err(WireError::BadTag { what: "term", .. })
+        ));
+
+        // Duplicate structural entry.
+        let mut w = ByteWriter::new();
+        w.usize(0);
+        w.usize(2);
+        w.u8(1);
+        w.i64(7);
+        w.u8(1);
+        w.i64(7);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            TermPool::read_wire(&mut ByteReader::new(&bytes)),
+            Err(WireError::Invariant { .. })
+        ));
     }
 
     #[test]

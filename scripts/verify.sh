@@ -32,4 +32,10 @@ cargo test -q
 echo "==> static lint of shipped subjects (cpr-lint, zero diagnostics expected)"
 cargo run --release -q -p cpr-analysis --bin cpr-lint programs/*.cpr
 
+echo "==> serve subsystem: loopback server smoke test"
+cargo test -q --release -p cpr-serve --test server_smoke
+
+echo "==> serve subsystem: bench_serve --check (report identity, no timings)"
+cargo run --release -q -p cpr-serve --bin bench_serve -- --check
+
 echo "verify: OK"

@@ -41,15 +41,40 @@ USAGE:
         --dev <expr>         developer patch, for rank reporting
         --baseline <expr>    original buggy expression
         --iters N            repair-loop budget (default 60)
+        --max-iterations N   same as --iters
         --ms N               wall-clock budget for exploration (default 10000)
+        --time-budget-ms N   same as --ms
         --top N              patches to print (default 10)
         --emit               print the repaired program (top patch applied)
+
+      Exhausting either budget is a normal stop: the anytime algorithm
+      reports the ranked pool it has at that point.
 
   cpr subjects [--benchmark extractfix|manybugs|svcomp] [--run <name>]
       List the benchmark registry, or repair one registry subject.
 
+  cpr serve [--addr host:port] [--workers N] [--state-dir DIR] [--stdio]
+      Start the repair job server (JSON-lines protocol, DESIGN.md §4.7).
+      Defaults: --addr 127.0.0.1:7411, --workers 4, --state-dir
+      .cpr-serve. With --stdio, serves one session on stdin/stdout
+      instead of TCP.
+
+  cpr submit <subject> [--addr host:port] [--max-iterations N]
+             [--time-budget-ms N] [--threads N] [--checkpoint-every N]
+             [--wait]
+      Submit a registry subject to a running server; prints the job id.
+      With --wait, polls until the job stops and prints its report.
+
+  cpr jobs [--addr host:port] [--job N] [--cancel N] [--pause N]
+           [--resume N] [--report N]
+      List server jobs, show one, or cancel / pause / resume one, or
+      fetch a finished job's report.
+
   cpr help
       Show this message.";
+
+/// Default server address for `serve`, `submit` and `jobs`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7411";
 
 /// Entry point: dispatches a full argument vector (without the program
 /// name) to the subcommands.
@@ -72,6 +97,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "fuzz" => cmd_fuzz(&args[1..]),
         "repair" => cmd_repair(&args[1..]),
         "subjects" => cmd_subjects(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "submit" => cmd_submit(&args[1..]),
+        "jobs" => cmd_jobs(&args[1..]),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -291,8 +319,20 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
         &[
-            "failing", "passing", "vars", "consts", "arith", "template", "range", "dev",
-            "baseline", "iters", "ms", "top",
+            "failing",
+            "passing",
+            "vars",
+            "consts",
+            "arith",
+            "template",
+            "range",
+            "dev",
+            "baseline",
+            "iters",
+            "max-iterations",
+            "ms",
+            "time-budget-ms",
+            "top",
         ],
         &["no-logic", "emit"],
     )?;
@@ -375,15 +415,20 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         problem = problem.with_baseline(b);
     }
 
+    // `--max-iterations` / `--time-budget-ms` are the service-style
+    // spellings of `--iters` / `--ms`; either works, the long spelling
+    // wins when both are given.
     let config = RepairConfig {
         max_iterations: opts
-            .value("iters")
-            .map(|v| v.parse().map_err(|_| "invalid --iters"))
+            .value("max-iterations")
+            .or_else(|| opts.value("iters"))
+            .map(|v| v.parse().map_err(|_| "invalid --iters/--max-iterations"))
             .transpose()?
             .unwrap_or(60),
         max_millis: Some(
-            opts.value("ms")
-                .map(|v| v.parse().map_err(|_| "invalid --ms"))
+            opts.value("time-budget-ms")
+                .or_else(|| opts.value("ms"))
+                .map(|v| v.parse().map_err(|_| "invalid --ms/--time-budget-ms"))
                 .transpose()?
                 .unwrap_or(10_000),
         ),
@@ -465,6 +510,142 @@ fn cmd_subjects(args: &[String]) -> Result<(), String> {
             }
         }
         println!("{:<4} {:<12} {:<38} {}", s.id, bench, s.name(), s.dev_patch);
+    }
+    Ok(())
+}
+
+fn parse_opt_num<T: std::str::FromStr>(opts: &Opts<'_>, name: &str) -> Result<Option<T>, String> {
+    opts.value(name)
+        .map(|v| v.parse().map_err(|_| format!("invalid --{name}")))
+        .transpose()
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["addr", "workers", "state-dir"], &["stdio"])?;
+    if !opts.positional.is_empty() {
+        return Err(
+            "usage: cpr serve [--addr host:port] [--workers N] [--state-dir DIR] [--stdio]".into(),
+        );
+    }
+    let workers: usize = parse_opt_num(&opts, "workers")?.unwrap_or(4);
+    let state_dir = opts.value("state-dir").unwrap_or(".cpr-serve");
+    let store = cpr_serve::SnapshotStore::open(state_dir)
+        .map_err(|e| format!("cannot open state dir {state_dir}: {e}"))?;
+    let scheduler = cpr_serve::Scheduler::new(workers, store);
+    if opts.has("stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        cpr_serve::serve_lines(&scheduler, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("stdio server: {e}"))?;
+        scheduler.shutdown();
+        return Ok(());
+    }
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
+    let handle =
+        cpr_serve::serve_tcp(addr, scheduler).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "cpr serve: listening on {} ({workers} workers, state in {state_dir})",
+        handle.addr()
+    );
+    handle.join();
+    println!("cpr serve: shut down");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "addr",
+            "max-iterations",
+            "time-budget-ms",
+            "threads",
+            "checkpoint-every",
+        ],
+        &["wait"],
+    )?;
+    let [subject] = opts.positional.as_slice() else {
+        return Err("usage: cpr submit <subject> [--addr host:port] [options]".into());
+    };
+    let spec = cpr_serve::JobSpec {
+        subject: (*subject).to_owned(),
+        max_iterations: parse_opt_num(&opts, "max-iterations")?,
+        time_budget_ms: parse_opt_num(&opts, "time-budget-ms")?,
+        threads: parse_opt_num(&opts, "threads")?,
+        checkpoint_every: parse_opt_num(&opts, "checkpoint-every")?,
+    };
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = cpr_serve::Client::connect(addr)?;
+    let job = client.submit(spec)?;
+    println!("job {job} submitted");
+    if opts.has("wait") {
+        let status = client.wait_terminal(job, std::time::Duration::from_secs(24 * 3600))?;
+        print_job_row(&status);
+        if status.get("state").and_then(cpr_serve::Json::as_str) == Some("done") {
+            println!("{}", client.report(job)?.to_line());
+        }
+    }
+    Ok(())
+}
+
+fn print_job_row(status: &cpr_serve::Json) {
+    use cpr_serve::Json;
+    let field = |k: &str| {
+        status
+            .get(k)
+            .map(|v| match v {
+                Json::Str(s) => s.clone(),
+                other => other.to_line(),
+            })
+            .unwrap_or_default()
+    };
+    println!(
+        "{:<5} {:<9} {:<38} iters={} stop={}",
+        field("job"),
+        field("state"),
+        field("subject"),
+        field("iterations"),
+        field("stop_reason"),
+    );
+}
+
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["addr", "job", "cancel", "pause", "resume", "report"],
+        &[],
+    )?;
+    if !opts.positional.is_empty() {
+        return Err("usage: cpr jobs [--addr host:port] [--job N | --cancel N | --pause N | --resume N | --report N]".into());
+    }
+    let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client = cpr_serve::Client::connect(addr)?;
+    if let Some(id) = parse_opt_num::<u64>(&opts, "report")? {
+        println!("{}", client.report(id)?.to_line());
+        return Ok(());
+    }
+    let acted = if let Some(id) = parse_opt_num::<u64>(&opts, "cancel")? {
+        Some(client.cancel(id)?)
+    } else if let Some(id) = parse_opt_num::<u64>(&opts, "pause")? {
+        Some(client.pause(id)?)
+    } else if let Some(id) = parse_opt_num::<u64>(&opts, "resume")? {
+        Some(client.resume(id)?)
+    } else if let Some(id) = parse_opt_num::<u64>(&opts, "job")? {
+        Some(client.status(id)?)
+    } else {
+        None
+    };
+    match acted {
+        Some(status) => print_job_row(&status),
+        None => {
+            let jobs = client.jobs()?;
+            if jobs.is_empty() {
+                println!("no jobs");
+            }
+            for j in jobs {
+                print_job_row(&j);
+            }
+        }
     }
     Ok(())
 }
@@ -566,5 +747,136 @@ mod tests {
     #[test]
     fn check_reports_missing_file() {
         assert!(run(&args(&["check", "/nonexistent/x.cpr"])).is_err());
+    }
+
+    #[test]
+    fn repair_budget_flags_exhaust_into_a_normal_report() {
+        // `--max-iterations` / `--time-budget-ms` are accepted, and
+        // exhausting the budgets is a normal stop — the subcommand
+        // succeeds and prints a report instead of erroring out.
+        let path = write_demo();
+        let p = path.to_str().unwrap();
+        run(&args(&[
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--consts",
+            "0",
+            "--max-iterations",
+            "1",
+            "--time-budget-ms",
+            "60000",
+        ]))
+        .unwrap();
+        // A zero time budget exhausts immediately; still a normal report.
+        run(&args(&[
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--consts",
+            "0",
+            "--time-budget-ms",
+            "0",
+        ]))
+        .unwrap();
+        // The long spellings win over the short ones when both appear.
+        run(&args(&[
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--consts",
+            "0",
+            "--iters",
+            "500000",
+            "--max-iterations",
+            "1",
+            "--ms",
+            "0",
+            "--time-budget-ms",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(run(&args(&[
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--max-iterations",
+            "abc"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn serve_submit_and_jobs_roundtrip_over_tcp() {
+        // A real `cpr serve` in a background thread, driven end-to-end
+        // through `cpr submit --wait` and `cpr jobs`.
+        let port = 41000 + (std::process::id() % 20000) as u16;
+        let addr = format!("127.0.0.1:{port}");
+        let state_dir = std::env::temp_dir().join(format!("cpr_cli_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let server = {
+            let serve_args = args(&[
+                "serve",
+                "--addr",
+                &addr,
+                "--workers",
+                "1",
+                "--state-dir",
+                state_dir.to_str().unwrap(),
+            ]);
+            std::thread::spawn(move || run(&serve_args))
+        };
+        // Wait for the listener.
+        let mut up = false;
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        assert!(up, "server did not come up on {addr}");
+
+        let subject = cpr_subjects::all_subjects()
+            .iter()
+            .find(|s| !s.not_supported)
+            .unwrap()
+            .name();
+        run(&args(&[
+            "submit",
+            &subject,
+            "--addr",
+            &addr,
+            "--max-iterations",
+            "4",
+            "--wait",
+        ]))
+        .unwrap();
+        run(&args(&["jobs", "--addr", &addr])).unwrap();
+        run(&args(&["jobs", "--addr", &addr, "--job", "1"])).unwrap();
+        run(&args(&["jobs", "--addr", &addr, "--report", "1"])).unwrap();
+        // Server-side errors surface as errors, not panics.
+        assert!(run(&args(&["jobs", "--addr", &addr, "--report", "99"])).is_err());
+        assert!(run(&args(&["submit", "no/such-subject", "--addr", &addr])).is_err());
+
+        let mut client = cpr_serve::Client::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&state_dir);
+    }
+
+    #[test]
+    fn submit_and_jobs_report_connection_errors() {
+        // Nothing listens on the discard port; the commands fail cleanly.
+        assert!(run(&args(&["submit", "x", "--addr", "127.0.0.1:9"])).is_err());
+        assert!(run(&args(&["jobs", "--addr", "127.0.0.1:9"])).is_err());
+        assert!(run(&args(&["submit"])).is_err());
+        assert!(run(&args(&["jobs", "extra"])).is_err());
+        assert!(run(&args(&["serve", "extra"])).is_err());
     }
 }

@@ -5,7 +5,7 @@
 //! store). This is the end-to-end guarantee behind `RepairConfig::threads` —
 //! wall-clock is the only observable difference.
 
-use cpr_core::{repair, RepairConfig, RepairReport};
+use cpr_core::{repair, RepairConfig, RepairDriver, RepairReport, StepStatus};
 use cpr_subjects::all_subjects;
 
 /// Everything in the report except the wall clock, as a comparable string.
@@ -122,6 +122,63 @@ fn repair_with_coverage_is_bit_identical_across_thread_counts() {
         "{}: UNSAT-prefix store changed observable results",
         subject.name()
     );
+}
+
+#[test]
+fn snapshot_resume_is_lossless() {
+    // The driver's snapshot/resume must be invisible to the algorithm:
+    // running to completion in one process is bit-identical to
+    // checkpointing every k steps through a full serialize → bytes →
+    // deserialize round trip and continuing in a fresh driver — at 1 and
+    // 4 threads, for every supported determinism subject. The solver
+    // query cache is deliberately NOT in the snapshot (warm-start only);
+    // this test is the proof that a cold cache after resume changes no
+    // report field, including the solver query counters.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let config_for = |threads: usize| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            config
+        };
+        for threads in [1, 4] {
+            let config = config_for(threads);
+            let straight = {
+                let mut d = RepairDriver::new(problem.clone(), config.clone());
+                while d.step() == StepStatus::Running {}
+                report_key(&d.finish())
+            };
+            for k in [1usize, 3] {
+                let mut d = RepairDriver::new(problem.clone(), config.clone());
+                let mut steps = 0usize;
+                while d.step() == StepStatus::Running {
+                    steps += 1;
+                    if steps.is_multiple_of(k) {
+                        let bytes = d.snapshot();
+                        d = RepairDriver::resume(problem.clone(), config.clone(), &bytes)
+                            .expect("snapshot taken by this build must resume");
+                    }
+                }
+                // One more checkpoint at the stopped state: finish() after
+                // resume must also be identical.
+                let bytes = d.snapshot();
+                let resumed = RepairDriver::resume(problem.clone(), config.clone(), &bytes)
+                    .expect("final snapshot must resume");
+                assert_eq!(
+                    straight,
+                    report_key(&resumed.finish()),
+                    "{name}: snapshot-every-{k}-steps at {threads} threads \
+                     changed the report"
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
 }
 
 #[test]
