@@ -567,19 +567,7 @@ impl RepairDriver {
         bytes: &[u8],
     ) -> Result<RepairDriver, SnapshotError> {
         let trunc = |_: WireError| SnapshotError::Truncated;
-        let mut r = ByteReader::new(bytes);
-        let magic = r.raw(4, "magic").map_err(trunc)?;
-        if magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::BadMagic);
-        }
-        let version = r.u32("version").map_err(trunc)?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion(version));
-        }
-        let digest = r.u64("subject digest").map_err(trunc)?;
-        if digest != subject_digest(&problem) {
-            return Err(SnapshotError::SubjectMismatch);
-        }
+        let mut r = check_snapshot_header(&problem, bytes)?;
         let plen = r.u64("payload length").map_err(trunc)? as usize;
         if r.remaining() < plen + 8 {
             return Err(SnapshotError::Truncated);
@@ -597,12 +585,16 @@ impl RepairDriver {
         let stats = wire::read_solver_stats(&mut p)?;
         let unsat_prefixes = wire::read_unsat_prefix_store(&mut p, terms)?;
 
-        let nentries = p.len("pool entries")?;
+        // Sequence counts feeding `Vec::with_capacity` are read through
+        // `seq_len` with each element's minimum encoded size, so a corrupt
+        // count fails as a typed error before it can demand an allocation
+        // larger than the payload itself.
+        let nentries = p.seq_len("pool entries", 48)?;
         let mut entries = Vec::with_capacity(nentries);
         for _ in 0..nentries {
             let id = p.len("patch id")?;
             let theta = wire::read_term_id(&mut p, terms, "patch theta")?;
-            let nparams = p.len("patch params")?;
+            let nparams = p.seq_len("patch params", 4)?;
             let mut params: Vec<VarId> = Vec::with_capacity(nparams);
             for _ in 0..nparams {
                 params.push(wire::read_var_id(&mut p, vars, "patch parameter")?);
@@ -624,7 +616,7 @@ impl RepairDriver {
             });
         }
 
-        let ncands = p.len("queue candidates")?;
+        let ncands = p.seq_len("queue candidates", 24)?;
         let mut candidates = Vec::with_capacity(ncands);
         for _ in 0..ncands {
             let model = wire::read_model(&mut p, vars)?;
@@ -639,10 +631,10 @@ impl RepairDriver {
         let queue = InputQueue::from_snapshot(candidates);
 
         let read_prefix_set = |p: &mut ByteReader<'_>| -> Result<SeenPrefixes, SnapshotError> {
-            let n = p.len("prefix set")?;
+            let n = p.seq_len("prefix set", 8)?;
             let mut set = SeenPrefixes::new();
             for _ in 0..n {
-                let len = p.len("prefix length")?;
+                let len = p.seq_len("prefix length", 4)?;
                 let mut seq = Vec::with_capacity(len);
                 for _ in 0..len {
                     seq.push(wire::read_term_id(p, terms, "prefix constraint")?);
@@ -654,16 +646,16 @@ impl RepairDriver {
         let seen_paths = read_prefix_set(&mut p)?;
         let seen_prefixes = read_prefix_set(&mut p)?;
 
-        let nhist = p.len("history")?;
+        let nhist = p.seq_len("history", 16)?;
         let mut history = Vec::with_capacity(nhist);
         for _ in 0..nhist {
             history.push(read_u128(&mut p)?);
         }
 
-        let ncov = p.len("coverage paths")?;
+        let ncov = p.seq_len("coverage paths", 16)?;
         let mut coverage_paths = Vec::with_capacity(ncov);
         for _ in 0..ncov {
-            let len = p.len("coverage path length")?;
+            let len = p.seq_len("coverage path length", 4)?;
             let mut path = Vec::with_capacity(len);
             for _ in 0..len {
                 path.push(wire::read_term_id(&mut p, terms, "coverage constraint")?);
@@ -736,6 +728,33 @@ impl RepairDriver {
             stop,
         })
     }
+}
+
+/// Validates a snapshot's header (magic, format version, subject digest)
+/// against `problem` without decoding the payload. Cheap — a submit-time
+/// guard for services adopting a stored snapshot, so a wrong-subject or
+/// wrong-version file is rejected up front instead of failing the job
+/// later. Returns a reader positioned at the payload length for
+/// [`RepairDriver::resume`] to continue from.
+pub fn check_snapshot_header<'a>(
+    problem: &RepairProblem,
+    bytes: &'a [u8],
+) -> Result<ByteReader<'a>, SnapshotError> {
+    let trunc = |_: WireError| SnapshotError::Truncated;
+    let mut r = ByteReader::new(bytes);
+    let magic = r.raw(4, "magic").map_err(trunc)?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.u32("version").map_err(trunc)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let digest = r.u64("subject digest").map_err(trunc)?;
+    if digest != subject_digest(problem) {
+        return Err(SnapshotError::SubjectMismatch);
+    }
+    Ok(r)
 }
 
 /// Digest identifying the subject a snapshot belongs to: name, program
@@ -891,6 +910,53 @@ mod tests {
         assert!(matches!(
             RepairDriver::resume(other, config(), &snap),
             Err(SnapshotError::SubjectMismatch)
+        ));
+    }
+
+    #[test]
+    fn header_check_validates_without_decoding_payload() {
+        let mut d = RepairDriver::new(problem(), config());
+        d.step();
+        let snap = d.snapshot();
+        assert!(check_snapshot_header(&problem(), &snap).is_ok());
+        let mut other = problem();
+        other.name = "Other/Subject".into();
+        assert!(matches!(
+            check_snapshot_header(&other, &snap),
+            Err(SnapshotError::SubjectMismatch)
+        ));
+        assert!(matches!(
+            check_snapshot_header(&problem(), b"CPR"),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn resume_rejects_huge_counts_in_a_checksum_valid_payload() {
+        // FNV-1a is a checksum, not a MAC: anyone who can write the file
+        // can make a corrupt payload checksum-valid. A snapshot declaring
+        // an absurd collection count must fail as a typed error before the
+        // decoder allocates for the declared count.
+        let mut p = ByteWriter::new();
+        p.u64(0); // term pool: no variables
+        p.u64(0); // term pool: no terms
+        for _ in 0..8 {
+            p.u64(0); // solver stats
+        }
+        p.u64(0); // unsat store capacity
+        p.u64(u64::MAX / 2); // unsat store entries: absurd
+        let payload = p.into_bytes();
+        let mut w = ByteWriter::new();
+        w.raw(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u64(subject_digest(&problem()));
+        w.u64(payload.len() as u64);
+        let checksum = wire::fnv1a(&payload);
+        w.raw(&payload);
+        w.u64(checksum);
+        assert!(matches!(
+            RepairDriver::resume(problem(), config(), &w.into_bytes()),
+            Err(SnapshotError::Corrupt(WireError::BadLength { .. }))
         ));
     }
 

@@ -64,8 +64,8 @@ mod synthesize;
 
 pub use apply::{apply_patch, term_to_expr};
 pub use driver::{
-    subject_digest, RepairDriver, SnapshotError, StepStatus, StopReason, SNAPSHOT_MAGIC,
-    SNAPSHOT_VERSION,
+    check_snapshot_header, subject_digest, RepairDriver, SnapshotError, StepStatus, StopReason,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use expand::{expand, ExpandOutcome, ExpandStats};
 pub use lower::{lower_expr, lower_expr_src, LowerError};

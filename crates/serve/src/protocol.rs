@@ -39,6 +39,12 @@ pub struct JobSpec {
     pub threads: Option<usize>,
     /// Snapshot the job to the durable store every this many driver steps.
     pub checkpoint_every: Option<usize>,
+    /// Warm start: adopt the durable snapshot stored for this previous job
+    /// id (typically parked by an earlier server process over the same
+    /// state directory) and continue it under the new job's id. The
+    /// snapshot must exist and match the subject, or the submit fails —
+    /// a new job never picks up an old checkpoint implicitly.
+    pub resume_from: Option<u64>,
 }
 
 impl JobSpec {
@@ -50,6 +56,7 @@ impl JobSpec {
             time_budget_ms: None,
             threads: None,
             checkpoint_every: None,
+            resume_from: None,
         }
     }
 }
@@ -128,6 +135,13 @@ impl Request {
                         .transpose()?,
                     threads: field_usize("threads")?,
                     checkpoint_every: field_usize("checkpoint_every")?,
+                    resume_from: v
+                        .get("resume_from")
+                        .map(|x| {
+                            x.as_u64()
+                                .ok_or("\"resume_from\" must be a non-negative integer")
+                        })
+                        .transpose()?,
                 }))
             }
             "status" => Ok(Request::Status(job(false)?)),
@@ -162,6 +176,9 @@ impl Request {
                 }
                 if let Some(n) = spec.checkpoint_every {
                     pairs.push(("checkpoint_every", Json::Int(n as i64)));
+                }
+                if let Some(n) = spec.resume_from {
+                    pairs.push(("resume_from", Json::Int(n as i64)));
                 }
             }
             Request::Status(None) => pairs.push(("cmd", Json::Str("status".into()))),
@@ -280,6 +297,7 @@ mod tests {
                 time_budget_ms: Some(5000),
                 threads: Some(2),
                 checkpoint_every: Some(3),
+                resume_from: Some(17),
             }),
             Request::Submit(JobSpec::new("bare")),
             Request::Status(None),
@@ -310,6 +328,10 @@ mod tests {
             (
                 r#"{"v":1,"cmd":"submit","subject":"s","max_iterations":"x"}"#,
                 "max_iterations",
+            ),
+            (
+                r#"{"v":1,"cmd":"submit","subject":"s","resume_from":-2}"#,
+                "resume_from",
             ),
         ];
         for (line, needle) in cases {

@@ -174,12 +174,22 @@ pub fn job_config(spec: &JobSpec) -> RepairConfig {
 
 impl Scheduler {
     /// Starts `workers` worker threads over a snapshot store.
+    ///
+    /// Job ids are seeded past the highest id with a snapshot already in
+    /// the store, so a fresh submit can never silently adopt a previous
+    /// process's checkpoint — stale snapshots stay inert until a client
+    /// claims one explicitly with [`JobSpec::resume_from`].
     pub fn new(workers: usize, store: SnapshotStore) -> Scheduler {
+        let next_id = store
+            .list()
+            .ok()
+            .and_then(|ids| ids.last().copied())
+            .map_or(1, |max| max + 1);
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
                 queue: VecDeque::new(),
-                next_id: 1,
+                next_id,
                 shutting_down: false,
             }),
             cv: Condvar::new(),
@@ -198,16 +208,44 @@ impl Scheduler {
     }
 
     /// Validates and enqueues a job; returns its id.
+    ///
+    /// With [`JobSpec::resume_from`], the job explicitly adopts the stored
+    /// snapshot of that previous job (typically one a prior server process
+    /// parked at shutdown) and continues it under the new id. The snapshot
+    /// must exist and its header must match the spec's subject — both are
+    /// checked here, so a wrong id fails the submit instead of the worker.
     pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
         // Resolve the subject up front so a typo fails the submit, not the
         // worker.
-        job_problem(&spec)?;
+        let problem = job_problem(&spec)?;
+        let inherited = match spec.resume_from {
+            Some(old) => {
+                let bytes = self
+                    .inner
+                    .store
+                    .load(old)
+                    .map_err(|e| format!("cannot read snapshot for job {old}: {e}"))?
+                    .ok_or_else(|| format!("no snapshot for job {old} to resume from"))?;
+                cpr_core::check_snapshot_header(&problem, &bytes)
+                    .map_err(|e| format!("snapshot for job {old} does not fit this spec: {e}"))?;
+                Some(bytes)
+            }
+            None => None,
+        };
         let mut st = self.inner.state.lock().unwrap();
         if st.shutting_down {
             return Err("server is shutting down".into());
         }
         let id = st.next_id;
         st.next_id += 1;
+        if let Some(bytes) = inherited {
+            // Copied under the new id *before* the job is enqueued, so the
+            // worker's snapshot lookup always finds it.
+            self.inner
+                .store
+                .save(id, &bytes)
+                .map_err(|e| format!("cannot adopt snapshot for job {id}: {e}"))?;
+        }
         st.jobs.insert(
             id,
             Job {
@@ -355,9 +393,10 @@ impl Scheduler {
         {
             let mut st = self.inner.state.lock().unwrap();
             st.shutting_down = true;
-            // Queued jobs park as paused — resumable by a future scheduler
-            // over the same store (they have no snapshot yet, so they
-            // would simply start fresh).
+            // Queued jobs park as paused. Their snapshots (none yet for
+            // these) stay in the store; a future scheduler over the same
+            // store seeds its ids past them and can only pick one up when
+            // a client submits with `resume_from` explicitly.
             let queued: Vec<u64> = st.queue.drain(..).collect();
             for id in queued {
                 if let Some(job) = st.jobs.get_mut(&id) {
@@ -560,6 +599,82 @@ mod tests {
         );
         // Done jobs keep no checkpoint.
         assert_eq!(sched.store().load(id).unwrap(), None);
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn stale_snapshots_from_a_previous_process_are_never_adopted_implicitly() {
+        // A "previous server process" left a checkpoint for a *different*
+        // subject under job id 1. Under id collision, a fresh submit would
+        // adopt it and fail with a subject mismatch; with ids seeded past
+        // the store, the new job runs cold and completes.
+        let subjects = all_subjects();
+        let mut supported = subjects.iter().filter(|s| !s.not_supported);
+        let subject_a = supported.next().unwrap().name();
+        let subject_b = supported.next().expect("two supported subjects").name();
+
+        let store = temp_store("stale");
+        let stale_spec = quick_spec(&subject_b);
+        let driver = RepairDriver::new(job_problem(&stale_spec).unwrap(), job_config(&stale_spec));
+        store.save(1, &driver.snapshot()).unwrap();
+
+        let sched = Scheduler::new(1, store);
+        let id = sched.submit(quick_spec(&subject_a)).unwrap();
+        assert_ne!(id, 1, "fresh submit must not reuse a stored job id");
+        let status = sched.wait(id, Duration::from_secs(240)).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        // The stale snapshot is still there, inert, for an explicit
+        // resume_from to claim.
+        assert!(sched.store().load(1).unwrap().is_some());
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn resume_from_adopts_a_stored_snapshot_explicitly() {
+        let subjects = all_subjects();
+        let mut supported = subjects.iter().filter(|s| !s.not_supported);
+        let subject_a = supported.next().unwrap().name();
+        let subject_b = supported.next().expect("two supported subjects").name();
+
+        // A mid-run checkpoint parked under job id 5 by an earlier run.
+        let store = temp_store("adopt");
+        let spec = quick_spec(&subject_a);
+        let mut driver = RepairDriver::new(job_problem(&spec).unwrap(), job_config(&spec));
+        driver.step();
+        driver.step();
+        store.save(5, &driver.snapshot()).unwrap();
+
+        let sched = Scheduler::new(1, SnapshotStore::open(store.dir()).unwrap());
+        // A missing snapshot fails the submit, not the worker.
+        let mut missing = spec.clone();
+        missing.resume_from = Some(42);
+        assert!(sched.submit(missing).unwrap_err().contains("no snapshot"));
+        // A wrong-subject snapshot is rejected up front too.
+        let mut mismatched = quick_spec(&subject_b);
+        mismatched.resume_from = Some(5);
+        assert!(sched
+            .submit(mismatched)
+            .unwrap_err()
+            .contains("does not fit"));
+        // The right spec adopts the checkpoint and finishes with exactly
+        // the report a cold direct run produces.
+        let mut warm = spec.clone();
+        warm.resume_from = Some(5);
+        let id = sched.submit(warm).unwrap();
+        assert!(id > 5, "ids are seeded past stored snapshots");
+        let status = sched.wait(id, Duration::from_secs(240)).unwrap();
+        assert_eq!(status.state, JobState::Done, "{:?}", status.error);
+        let report = sched.report(id).unwrap();
+        let direct = report_to_json(&cpr_core::repair(
+            &job_problem(&spec).unwrap(),
+            &job_config(&spec),
+        ));
+        assert_eq!(
+            crate::protocol::report_fingerprint(&report),
+            crate::protocol::report_fingerprint(&direct),
+        );
         sched.shutdown();
         let _ = std::fs::remove_dir_all(sched.store().dir());
     }

@@ -143,24 +143,28 @@ fn serve_connection(stream: TcpStream, sched: &Scheduler, stop: &AtomicBool) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
+        // `read_line` appends, and the read timeout can interrupt it
+        // mid-line with a WouldBlock/TimedOut after partial bytes have
+        // already landed in `line` — so the buffer is only cleared after a
+        // complete line is processed, letting a request whose bytes
+        // straddle timeout windows accumulate across wakeups.
         match reader.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {
                 let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
+                if !trimmed.is_empty() {
+                    let (response, shutdown) = handle_line(sched, trimmed);
+                    let mut out = response.to_line();
+                    out.push('\n');
+                    if writer.write_all(out.as_bytes()).is_err() {
+                        return;
+                    }
+                    if shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        return;
+                    }
                 }
-                let (response, shutdown) = handle_line(sched, trimmed);
-                let mut out = response.to_line();
-                out.push('\n');
-                if writer.write_all(out.as_bytes()).is_err() {
-                    return;
-                }
-                if shutdown {
-                    stop.store(true, Ordering::SeqCst);
-                    return;
-                }
+                line.clear();
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -224,6 +228,31 @@ mod tests {
         let (resp, _) = handle_line(&sched, r#"{"v":1,"cmd":"report","job":42}"#);
         assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false));
         sched.shutdown();
+    }
+
+    #[test]
+    fn tcp_request_straddling_read_timeouts_is_not_corrupted() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+
+        let handle = serve_tcp("127.0.0.1:0", temp_scheduler("straddle")).unwrap();
+        let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+        // Send one request in two segments with a gap longer than the
+        // server's 200ms read timeout, so the reader wakes up mid-line at
+        // least once with only a partial request buffered.
+        let request = b"{\"v\":1,\"cmd\":\"status\"}\n";
+        stream.write_all(&request[..9]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(600));
+        stream.write_all(&request[9..]).unwrap();
+        stream.flush().unwrap();
+
+        let mut reply = String::new();
+        BufReader::new(&stream).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "got: {reply}");
+        assert!(reply.contains("\"jobs\":[]"), "got: {reply}");
+
+        handle.stop();
+        handle.join();
     }
 
     #[test]

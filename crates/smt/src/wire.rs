@@ -94,8 +94,11 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Sanity cap on any single length prefix: collections in a snapshot are
-/// bounded by the size of one repair run, far below this.
+/// Sanity cap on length prefixes read through [`ByteReader::len`] (scalar
+/// counters and string lengths, which are bounds-checked against the input
+/// before any allocation). Sequence counts that feed `Vec::with_capacity`
+/// go through [`ByteReader::seq_len`] instead, which bounds them by the
+/// bytes actually remaining.
 const MAX_LEN: u64 = 1 << 32;
 
 /// Append-only byte sink with fixed-width little-endian primitives.
@@ -237,6 +240,25 @@ impl<'a> ByteReader<'a> {
         Ok(n as usize)
     }
 
+    /// Reads the length prefix of a sequence whose elements each occupy at
+    /// least `min_elem_bytes` of input. A count that could not possibly fit
+    /// in the remaining bytes is rejected *here*, so callers may pass the
+    /// result to `Vec::with_capacity` without a corrupt-but-checksummed
+    /// prefix demanding a multi-GB allocation before element validation
+    /// runs.
+    pub fn seq_len(
+        &mut self,
+        what: &'static str,
+        min_elem_bytes: usize,
+    ) -> Result<usize, WireError> {
+        let n = self.u64(what)?;
+        let fits = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if n > fits {
+            return Err(WireError::BadLength { what, len: n });
+        }
+        Ok(n as usize)
+    }
+
     /// Reads a boolean byte (`0` or `1`).
     pub fn bool(&mut self, context: &'static str) -> Result<bool, WireError> {
         match self.u8(context)? {
@@ -369,7 +391,8 @@ pub fn write_model(w: &mut ByteWriter, m: &Model) {
 
 /// Reads a [`Model`], validating variable ids against `var_limit`.
 pub fn read_model(r: &mut ByteReader<'_>, var_limit: usize) -> Result<Model, WireError> {
-    let n = r.len("model entries")?;
+    // Min entry: 4-byte var id + 1-byte value tag + 1-byte payload.
+    let n = r.seq_len("model entries", 6)?;
     let mut m = Model::new();
     for _ in 0..n {
         let v = read_var_id(r, var_limit, "model variable")?;
@@ -389,7 +412,7 @@ pub fn write_param_box(w: &mut ByteWriter, b: &ParamBox) {
 
 /// Reads a [`ParamBox`] of exactly `dims` dimensions.
 pub fn read_param_box(r: &mut ByteReader<'_>, dims: usize) -> Result<ParamBox, WireError> {
-    let n = r.len("box dims")?;
+    let n = r.seq_len("box dims", 16)?;
     if n != dims {
         return Err(WireError::Invariant {
             what: "box dimensionality matches region parameters",
@@ -416,12 +439,13 @@ pub fn write_region(w: &mut ByteWriter, region: &Region) {
 
 /// Reads a [`Region`], validating parameter ids against `var_limit`.
 pub fn read_region(r: &mut ByteReader<'_>, var_limit: usize) -> Result<Region, WireError> {
-    let np = r.len("region params")?;
+    let np = r.seq_len("region params", 4)?;
     let mut params = Vec::with_capacity(np);
     for _ in 0..np {
         params.push(read_var_id(r, var_limit, "region parameter")?);
     }
-    let nb = r.len("region boxes")?;
+    // Min box: its own 8-byte dims prefix (dims may be 0).
+    let nb = r.seq_len("region boxes", 8)?;
     let mut boxes = Vec::with_capacity(nb);
     for _ in 0..nb {
         boxes.push(read_param_box(r, np)?);
@@ -441,7 +465,8 @@ pub fn write_domains(w: &mut ByteWriter, domains: &Domains) {
 
 /// Reads a [`Domains`] map, validating variable ids against `var_limit`.
 pub fn read_domains(r: &mut ByteReader<'_>, var_limit: usize) -> Result<Domains, WireError> {
-    let n = r.len("domain entries")?;
+    // Min entry: 4-byte var id + 16-byte interval.
+    let n = r.seq_len("domain entries", 20)?;
     let mut d = Domains::new();
     for _ in 0..n {
         let v = read_var_id(r, var_limit, "domain variable")?;
@@ -467,7 +492,7 @@ pub fn read_canonical_query(
     r: &mut ByteReader<'_>,
     term_limit: usize,
 ) -> Result<CanonicalQuery, WireError> {
-    let n = r.len("query constraints")?;
+    let n = r.seq_len("query constraints", 4)?;
     let mut terms = Vec::with_capacity(n);
     for _ in 0..n {
         terms.push(read_term_id(r, term_limit, "query constraint")?);
@@ -493,7 +518,8 @@ pub fn read_unsat_prefix_store(
     term_limit: usize,
 ) -> Result<UnsatPrefixStore, WireError> {
     let capacity = r.len("store capacity")?;
-    let n = r.len("store entries")?;
+    // Min entry: 8-byte constraint count + 8-byte fingerprint.
+    let n = r.seq_len("store entries", 16)?;
     let mut store = UnsatPrefixStore::new(capacity);
     for _ in 0..n {
         let q = read_canonical_query(r, term_limit)?;
@@ -568,6 +594,36 @@ mod tests {
         let mut r = ByteReader::new(&[]);
         assert!(r.u8("x").is_err());
         assert!(r.str("s").is_err());
+    }
+
+    #[test]
+    fn sequence_lengths_are_bounded_by_remaining_input() {
+        // A huge declared count over a short input errors out before any
+        // allocation proportional to the count could happen.
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.seq_len("entries", 16),
+            Err(WireError::BadLength {
+                what: "entries",
+                ..
+            })
+        ));
+        // The same bound protects the composite decoders.
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            read_region(&mut r, 4),
+            Err(WireError::BadLength { .. })
+        ));
+        // An honest count that fits the remaining bytes passes.
+        let mut w = ByteWriter::new();
+        w.u64(2);
+        w.raw(&[0u8; 32]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.seq_len("entries", 16).unwrap(), 2);
     }
 
     #[test]

@@ -61,9 +61,12 @@ USAGE:
 
   cpr submit <subject> [--addr host:port] [--max-iterations N]
              [--time-budget-ms N] [--threads N] [--checkpoint-every N]
-             [--wait]
+             [--resume-from JOB] [--wait]
       Submit a registry subject to a running server; prints the job id.
-      With --wait, polls until the job stops and prints its report.
+      With --resume-from, the job adopts the durable snapshot stored for
+      that previous job id (e.g. one a prior server process parked at
+      shutdown) and continues it. With --wait, polls until the job stops
+      and prints its report.
 
   cpr jobs [--addr host:port] [--job N] [--cancel N] [--pause N]
            [--resume N] [--report N]
@@ -561,6 +564,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             "time-budget-ms",
             "threads",
             "checkpoint-every",
+            "resume-from",
         ],
         &["wait"],
     )?;
@@ -573,6 +577,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         time_budget_ms: parse_opt_num(&opts, "time-budget-ms")?,
         threads: parse_opt_num(&opts, "threads")?,
         checkpoint_every: parse_opt_num(&opts, "checkpoint-every")?,
+        resume_from: parse_opt_num(&opts, "resume-from")?,
     };
     let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
     let mut client = cpr_serve::Client::connect(addr)?;
