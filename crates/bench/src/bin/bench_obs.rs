@@ -1,0 +1,270 @@
+//! Observability-overhead benchmark: the reduce-phase workload of
+//! `bench_reduce` (a 500+ patch pool walked over repeated partitions),
+//! once with metrics recording into a live registry and once with the
+//! disabled registry — the configuration `RepairConfig::metrics = false`
+//! selects, where every record call is a no-op and timers never read the
+//! clock.
+//!
+//! Both configurations must produce bit-identical pools and statistics
+//! (the instrumentation is write-only), and the enabled run must cost
+//! less than 3% extra wall time. Timings are min-of-`reps` to shave
+//! scheduler noise; `--check` turns the overhead bound into a hard
+//! assertion (exit non-zero), which is how CI runs it.
+//!
+//! Writes `BENCH_obs.json` into the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cpr_core::{
+    build_patch_pool, reduce, test_input, PoolEntry, ReduceStats, RepairConfig, RepairProblem,
+    Session,
+};
+use cpr_lang::{check, parse};
+use cpr_obs::MetricsRegistry;
+use cpr_smt::{Region, Sort};
+use cpr_synth::{AbstractPatch, ComponentSet, SynthConfig};
+
+const SRC: &str = "program bench_obs {
+    input x in [-100000, 100000];
+    input y in [-100000, 100000];
+    input z in [-100000, 100000];
+    if (__patch_cond__(x, y, z)) { return 1; }
+    var w: int = 0;
+    if (x > 0) { w = 1; } else { w = 2; }
+    if (y > 0) { w = w + 10; }
+    bug nonlinear_identity requires (x * y != z * z + 1);
+    return w;
+  }";
+
+/// Pads the synthesized pool with shifted comparison families up to 500+
+/// entries (the `bench_reduce` pool shape: distinct terms, identical
+/// semantics, so refinement narrows instead of emptying).
+fn build_pool(
+    sess: &mut Session,
+    problem: &RepairProblem,
+    config: &RepairConfig,
+) -> Vec<PoolEntry> {
+    let (mut entries, _) = build_patch_pool(sess, problem, config);
+    let x = sess.pool.named_var("x", Sort::Int);
+    let y = sess.pool.named_var("y", Sort::Int);
+    let z = sess.pool.named_var("z", Sort::Int);
+    let a_var = sess.pool.find_var("a").expect("synth param a");
+    let b_var = sess.pool.find_var("b").expect("synth param b");
+    let a = sess.pool.var_term(a_var);
+    let b = sess.pool.var_term(b_var);
+    let mut next_id = entries.iter().map(|e| e.patch.id).max().unwrap_or(0) + 1;
+    let mut push = |entries: &mut Vec<PoolEntry>, theta, params: Vec<_>, region| {
+        entries.push(PoolEntry::new(AbstractPatch::new(
+            next_id, theta, params, region,
+        )));
+        next_id += 1;
+    };
+    let mut c = 0i64;
+    while entries.len() < 500 {
+        let k = sess.pool.int(c);
+        let xy = sess.pool.mul(x, y);
+        let xyc = sess.pool.add(xy, k);
+        let zz = sess.pool.mul(z, z);
+        let ac = sess.pool.add(a, k);
+        let bc = sess.pool.add(b, k);
+        let rhs_a = sess.pool.add(zz, ac);
+        let rhs_b = sess.pool.add(zz, bc);
+        let t1 = sess.pool.eq(xyc, rhs_a);
+        push(
+            &mut entries,
+            t1,
+            vec![a_var],
+            Region::full(vec![a_var], -10, 10),
+        );
+        let exb = sess.pool.eq(x, bc);
+        let t2 = sess.pool.or(t1, exb);
+        push(
+            &mut entries,
+            t2,
+            vec![a_var, b_var],
+            Region::full(vec![a_var, b_var], -10, 10),
+        );
+        let exa = sess.pool.eq(x, ac);
+        let eb = sess.pool.eq(xyc, rhs_b);
+        let t3 = sess.pool.or(exa, eb);
+        push(
+            &mut entries,
+            t3,
+            vec![a_var, b_var],
+            Region::full(vec![a_var, b_var], -10, 10),
+        );
+        c += 1;
+    }
+    entries
+}
+
+struct Outcome {
+    millis: f64,
+    stats: Vec<ReduceStats>,
+    snapshot: String,
+    queries: u64,
+    samples: u64,
+}
+
+fn run_once(enabled: bool, rounds: usize) -> Outcome {
+    let program = parse(SRC).unwrap();
+    check(&program).unwrap();
+    let problem = RepairProblem::new(
+        "bench_obs",
+        program,
+        ComponentSet::new()
+            .with_all_comparisons()
+            .with_logic()
+            .with_variables(["x", "y", "z"]),
+        SynthConfig::default(),
+        vec![test_input(&[("x", 7), ("y", 0)])],
+    );
+    let mut config = RepairConfig::quick();
+    config.solver.cache_capacity = 1 << 15;
+    config.solver.max_nodes = 4_000;
+
+    // A fresh registry per run: the enabled one records, the disabled one
+    // is exactly what `RepairConfig::metrics = false` wires in.
+    let registry = if enabled {
+        MetricsRegistry::new()
+    } else {
+        MetricsRegistry::disabled()
+    };
+    let mut sess = Session::with_metrics(&problem, &config, &registry);
+    let mut entries = build_pool(&mut sess, &problem, &config);
+    assert!(entries.len() >= 500, "pool too small: {}", entries.len());
+
+    // One run per partition of the (x > 0) x (y > 0) branching.
+    let runs: Vec<_> = [(1, 1, 0), (7, -2, 3), (-4, 5, 2), (-1, -1, 0)]
+        .iter()
+        .map(|&(xv, yv, zv)| {
+            let patch = cpr_concolic::HolePatch {
+                theta: sess.pool.ff(),
+                params: cpr_smt::Model::new(),
+            };
+            let mut input = cpr_smt::Model::new();
+            input.set(sess.pool.find_var("x").unwrap(), xv);
+            input.set(sess.pool.find_var("y").unwrap(), yv);
+            input.set(sess.pool.find_var("z").unwrap(), zv);
+            cpr_concolic::ConcolicExecutor::new().execute(
+                &mut sess.pool,
+                &problem.program,
+                &input,
+                Some(&patch),
+            )
+        })
+        .collect();
+
+    let mut stats = Vec::new();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for run in &runs {
+            stats.push(reduce(&mut sess, &mut entries, run, &config));
+        }
+    }
+    let millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut snapshot = String::new();
+    for e in &entries {
+        let _ = writeln!(
+            snapshot,
+            "{} {:?} {} {} {}",
+            e.patch.id,
+            e.patch.constraint,
+            e.score.feasible,
+            e.score.bug_hits,
+            e.score.deletion_evidence
+        );
+    }
+    let samples = registry
+        .snapshot()
+        .histograms
+        .iter()
+        .find(|h| h.name == "solver.solve_nanos")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    Outcome {
+        millis,
+        stats,
+        snapshot,
+        queries: sess.solver.stats().queries,
+        samples,
+    }
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let rounds: usize = std::env::var("CPR_BENCH_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let reps: usize = std::env::var("CPR_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    // Interleave the configurations so drift (thermal, frequency) hits
+    // both equally; keep the fastest rep of each.
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut reference: Option<Outcome> = None;
+    for rep in 0..reps {
+        let off = run_once(false, rounds);
+        let on = run_once(true, rounds);
+        assert_eq!(
+            off.stats, on.stats,
+            "metrics recording changed ReduceStats (rep {rep})"
+        );
+        assert_eq!(
+            off.snapshot, on.snapshot,
+            "metrics recording changed the pool (rep {rep})"
+        );
+        assert_eq!(off.queries, on.queries);
+        assert_eq!(
+            on.samples, on.queries,
+            "every solver query must land one latency sample"
+        );
+        eprintln!(
+            "[bench_obs] rep {rep}: {:.0} ms off, {:.0} ms on ({} queries)",
+            off.millis, on.millis, off.queries
+        );
+        best_off = best_off.min(off.millis);
+        best_on = best_on.min(on.millis);
+        reference = Some(off);
+    }
+    let reference = reference.expect("at least one rep");
+    let overhead = (best_on - best_off) / best_off;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"obs\",");
+    let _ = writeln!(json, "  \"pool_size\": 500,");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"reduce_calls\": {},", reference.stats.len());
+    let _ = writeln!(json, "  \"solver_queries\": {},", reference.queries);
+    let _ = writeln!(json, "  \"identical_outcomes\": true,");
+    let _ = writeln!(json, "  \"millis_metrics_off\": {best_off:.1},");
+    let _ = writeln!(json, "  \"millis_metrics_on\": {best_on:.1},");
+    let _ = writeln!(json, "  \"overhead_ratio\": {overhead:.4}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    println!(
+        "observability overhead: {:.1} ms off vs {:.1} ms on ({:+.2}% on a \
+         {}-query reduce workload)",
+        best_off,
+        best_on,
+        overhead * 100.0,
+        reference.queries
+    );
+
+    if check_mode {
+        assert!(
+            overhead < 0.03,
+            "metrics overhead {:.2}% exceeds the 3% budget",
+            overhead * 100.0
+        );
+        println!("bench_obs --check: overhead within the 3% budget");
+    }
+}

@@ -175,9 +175,30 @@ impl RepairDriver {
     /// provided tests. Always runs to completion so that `|P_Init|` is
     /// well-defined for every subject; budgets apply to `step` only.
     pub fn new(problem: RepairProblem, config: RepairConfig) -> RepairDriver {
+        let registry = if config.metrics {
+            cpr_obs::global().clone()
+        } else {
+            cpr_obs::MetricsRegistry::disabled()
+        };
+        RepairDriver::with_metrics(problem, config, &registry)
+    }
+
+    /// [`RepairDriver::new`] recording metrics into an explicit registry
+    /// instead of the process-wide one (ignoring
+    /// [`RepairConfig::metrics`]); the injection point for tests that
+    /// assert on counter totals without cross-test interference.
+    pub fn with_metrics(
+        problem: RepairProblem,
+        config: RepairConfig,
+        registry: &cpr_obs::MetricsRegistry,
+    ) -> RepairDriver {
         let t0 = Instant::now();
-        let mut sess = Session::new(&problem, &config);
+        let mut sess = Session::with_metrics(&problem, &config, registry);
+        let synth_timer = sess.obs.synthesize_nanos.start();
         let (entries, synth_stats) = build_patch_pool(&mut sess, &problem, &config);
+        sess.obs.synthesize_nanos.stop(synth_timer);
+        sess.obs.patches_synthesized.add(entries.len() as u64);
+        sess.obs.pool_patches.set(entries.len() as i64);
         let p_init = synth_stats.concrete;
         let abstract_init = entries.len();
 
@@ -229,11 +250,19 @@ impl RepairDriver {
         if let Some(reason) = self.stop {
             return StepStatus::Done(reason);
         }
+        let _span = cpr_obs::span!(
+            self.sess.obs.registry,
+            "driver.step",
+            "iteration {}",
+            self.iterations
+        );
+        let step_timer = self.sess.obs.step_nanos.start();
         let t0 = Instant::now();
         let status = self.step_inner();
         let ns = t0.elapsed().as_nanos() as u64;
         self.explore_nanos += ns;
         self.elapsed_nanos += ns;
+        self.sess.obs.step_nanos.stop(step_timer);
         status
     }
 
@@ -275,8 +304,10 @@ impl RepairDriver {
             &input,
             Some(&hole),
         );
+        let obs = self.sess.obs.clone();
         if is_generated {
             self.inputs_generated += 1;
+            obs.inputs_generated.inc();
             self.generated_runs += 1;
             if run.hit_patch {
                 self.generated_patch_hits += 1;
@@ -288,6 +319,7 @@ impl RepairDriver {
         let full_path: Vec<TermId> = run.constraints();
         if self.seen_paths.insert(&full_path) {
             self.paths_explored += 1;
+            obs.paths_explored.inc();
             if self.config.track_coverage {
                 // Record the partition and its executed parameters; the
                 // model counting itself runs in `finish` so coverage
@@ -298,9 +330,17 @@ impl RepairDriver {
 
         // Reduce — lines 8–10.
         if run.hit_patch {
+            let _sp = cpr_obs::span!(obs.registry, "reduce.phase", "pool {}", self.entries.len());
+            let timer = obs.reduce_nanos.start();
             let rstats = reduce(&mut self.sess, &mut self.entries, &run, &self.config);
+            obs.reduce_nanos.stop(timer);
+            obs.patches_refined.add(rstats.refined as u64);
+            obs.patches_dropped.add(rstats.removed as u64);
+            obs.evidence_feasible.add(rstats.feasible as u64);
+            obs.queries_screened.add(rstats.screened);
             self.queries_screened += rstats.screened;
         }
+        obs.pool_patches.set(self.entries.len() as i64);
         self.history.push(pool_volume(&self.entries));
         if self.entries.is_empty() {
             return self.stop_with(StopReason::PoolEmpty);
@@ -310,13 +350,25 @@ impl RepairDriver {
         // over the worker pool with incremental prefix solving (see
         // [`crate::expand`]). Candidates arrive in the serial flip order,
         // so the input queue evolves bit-identically at any thread count.
-        let expansion = expand(
-            &mut self.sess,
-            &self.entries,
-            &run,
-            &mut self.seen_prefixes,
-            &self.config,
-        );
+        let expansion = {
+            let _sp = cpr_obs::span!(obs.registry, "expand.phase");
+            let timer = obs.expand_nanos.start();
+            let expansion = expand(
+                &mut self.sess,
+                &self.entries,
+                &run,
+                &mut self.seen_prefixes,
+                &self.config,
+            );
+            obs.expand_nanos.stop(timer);
+            expansion
+        };
+        obs.flips_expanded
+            .add(expansion.stats.flips_expanded as u64);
+        obs.expand_candidates.add(expansion.stats.candidates as u64);
+        obs.model_reuse_hits.add(expansion.stats.model_reuse_hits);
+        obs.paths_skipped.add(expansion.paths_skipped as u64);
+        obs.queries_screened.add(expansion.stats.static_refutations);
         for candidate in expansion.candidates {
             self.queue.push(candidate);
         }

@@ -222,6 +222,13 @@ pub struct RepairConfig {
     /// off (modulo query counts); turning it off is only useful to measure
     /// its effect.
     pub static_screening: bool,
+    /// Record metrics and spans on the process-wide [`cpr_obs::global`]
+    /// registry. Instrumentation is write-only — nothing recorded ever
+    /// feeds back into repair decisions — so the final
+    /// [`crate::RepairReport`] is bit-identical with it on or off
+    /// (proved in `tests/determinism.rs`). Off means genuinely off: the
+    /// phases hold no-op handles and skip even their clock reads.
+    pub metrics: bool,
 }
 
 impl Default for RepairConfig {
@@ -247,6 +254,7 @@ impl Default for RepairConfig {
                 .unwrap_or(1),
             unsat_prefix_capacity: 512,
             static_screening: true,
+            metrics: true,
         }
     }
 }

@@ -1,0 +1,72 @@
+//! Zero-dependency observability for the CPR workspace.
+//!
+//! Three pieces, all `std`-only and lock-free on the hot path:
+//!
+//! 1. **Metrics** — [`Counter`], [`Gauge`], and fixed-bucket latency
+//!    [`Histogram`] handles issued by a [`MetricsRegistry`]. Handles are
+//!    cheap `Arc` clones over shared atomics, so a registry "forks" for
+//!    free alongside the solver forks of the parallel reduce/expand
+//!    phases: workers increment the *same* cells with `Relaxed`
+//!    `fetch_add`, which is commutative — order-independent totals are
+//!    therefore thread-count-invariant with no merge step at all.
+//! 2. **Spans** — lightweight hierarchical tracing via the [`span!`]
+//!    macro, recorded into a bounded ring buffer and exportable as
+//!    JSON lines ([`MetricsRegistry::export_spans_jsonl`]).
+//! 3. **Snapshots** — [`MetricsSnapshot`], a plain-data copy of every
+//!    registered metric, sorted by name. `cpr-serve` serializes it with
+//!    its hand-rolled JSON writer for the `stats` protocol verb.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation must never influence repair outcomes. Registries hand
+//! that guarantee to callers in two parts: a [`MetricsRegistry::disabled`]
+//! registry whose handles are no-ops (so "metrics off" really executes no
+//! atomic traffic), and the rule — enforced by `tests/determinism.rs` in
+//! the workspace root — that nothing read from a clock or a metric cell
+//! ever feeds back into repair decisions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, BUCKET_COUNT,
+};
+pub use span::{SpanGuard, SpanRecord};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-wide registry. Created enabled on first use; every
+/// component that is not handed an explicit registry records here.
+pub fn global() -> &'static MetricsRegistry {
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Opens a tracing span on a registry: `span!(reg, "reduce.refine")` or
+/// `span!(reg, "reduce.refine", "patch {id}")`. The returned [`SpanGuard`]
+/// records the span (name, detail, parent, duration) into the registry's
+/// ring buffer when dropped. On a disabled registry the detail arguments
+/// are never formatted and nothing is recorded.
+#[macro_export]
+macro_rules! span {
+    ($reg:expr, $name:expr) => {{
+        let reg: &$crate::MetricsRegistry = &$reg;
+        if reg.enabled() {
+            reg.span($name, String::new())
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    }};
+    ($reg:expr, $name:expr, $($detail:tt)+) => {{
+        let reg: &$crate::MetricsRegistry = &$reg;
+        if reg.enabled() {
+            reg.span($name, format!($($detail)+))
+        } else {
+            $crate::SpanGuard::disabled()
+        }
+    }};
+}

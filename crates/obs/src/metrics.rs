@@ -1,0 +1,435 @@
+//! Atomic counters, gauges, and fixed-bucket histograms behind a
+//! cheaply-forkable registry handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use crate::span::{SpanGuard, SpanRecord, SpanRecorder};
+
+/// Number of histogram buckets, including the final overflow bucket.
+pub const BUCKET_COUNT: usize = 17;
+
+/// Upper bounds (inclusive) of the non-overflow buckets: powers of four
+/// starting at 256. The layout covers both nanosecond latencies (256 ns
+/// up to ~4.5 min) and byte sizes (256 B up to ~256 GB); the last bucket
+/// catches everything above [`MAX_BOUNDED`].
+const MAX_BOUNDED: u64 = 256 << (2 * (BUCKET_COUNT - 2));
+
+fn bucket_bound(i: usize) -> u64 {
+    if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        256 << (2 * i)
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v > MAX_BOUNDED {
+        return BUCKET_COUNT - 1;
+    }
+    let mut i = 0;
+    while v > bucket_bound(i) {
+        i += 1;
+    }
+    i
+}
+
+/// A monotonically increasing counter. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    on: bool,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op on handles from a disabled registry.
+    pub fn add(&self, n: u64) {
+        if self.on {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    on: bool,
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        if self.on {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if self.on {
+            self.cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct HistogramCells {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram (power-of-four bounds, see [`BUCKET_COUNT`]).
+/// Cloning shares the cells; recording is a single relaxed `fetch_add`
+/// per cell, so concurrent recorders never contend on a lock.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    on: bool,
+    cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        if !self.on {
+            return;
+        }
+        self.cells.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.cells.count.fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Starts a latency measurement; `None` when disabled, so a disabled
+    /// handle never touches the clock.
+    pub fn start(&self) -> Option<Instant> {
+        self.on.then(Instant::now)
+    }
+
+    /// Finishes a measurement begun with [`Histogram::start`], recording
+    /// the elapsed nanoseconds.
+    pub fn stop(&self, started: Option<Instant>) {
+        if let Some(t0) = started {
+            self.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A plain-data copy of one histogram: non-empty buckets as
+/// `(inclusive upper bound, count)` pairs, the overflow bucket reported
+/// with bound `u64::MAX`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// `(upper_bound, count)` for every bucket with at least one sample.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of every registered metric, each section sorted
+/// by name. Disabled registries snapshot empty.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram states.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCells>>>,
+    spans: SpanRecorder,
+}
+
+/// Issues metric handles and records spans. Cloning (or [`fork`ing,
+/// which is the same thing](MetricsRegistry::fork)) shares all state, so
+/// handles resolved from any clone write the same cells.
+///
+/// The name-to-cell maps sit behind a mutex, but it is only taken when a
+/// handle is first resolved — callers cache handles in their own structs
+/// and the hot path is pure atomics.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    fn with_enabled(enabled: bool) -> MetricsRegistry {
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                enabled,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: SpanRecorder::new(),
+            }),
+        }
+    }
+
+    /// A fresh enabled registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::with_enabled(true)
+    }
+
+    /// A registry whose handles are all no-ops: nothing registers,
+    /// nothing records, snapshots are empty, [`crate::span!`] never even
+    /// formats its detail string.
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::with_enabled(false)
+    }
+
+    /// Whether handles from this registry record.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// A handle sharing this registry's cells — the metrics analogue of
+    /// `Solver::fork`. Forked handles need no merge/absorb step: relaxed
+    /// atomic adds commute, so totals are identical at any thread count.
+    pub fn fork(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.inner.enabled {
+            return Counter {
+                on: false,
+                cell: Arc::new(AtomicU64::new(0)),
+            };
+        }
+        let mut map = lock(&self.inner.counters);
+        let cell = map.entry(name.to_owned()).or_default();
+        Counter {
+            on: true,
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.inner.enabled {
+            return Gauge {
+                on: false,
+                cell: Arc::new(AtomicI64::new(0)),
+            };
+        }
+        let mut map = lock(&self.inner.gauges);
+        let cell = map.entry(name.to_owned()).or_default();
+        Gauge {
+            on: true,
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.inner.enabled {
+            return Histogram {
+                on: false,
+                cells: Arc::default(),
+            };
+        }
+        let mut map = lock(&self.inner.histograms);
+        let cells = map.entry(name.to_owned()).or_default();
+        Histogram {
+            on: true,
+            cells: Arc::clone(cells),
+        }
+    }
+
+    /// Opens a span directly; prefer the [`crate::span!`] macro, which
+    /// skips formatting `detail` when the registry is disabled.
+    pub fn span(&self, name: &'static str, detail: String) -> SpanGuard {
+        if !self.inner.enabled {
+            return SpanGuard::disabled();
+        }
+        self.inner.spans.open(name, detail)
+    }
+
+    /// Copies every registered metric. Cells keep counting while the
+    /// snapshot is taken; each individual value is a consistent atomic
+    /// load, but cross-metric skew of in-flight increments is possible
+    /// and documented as acceptable.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = lock(&self.inner.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = lock(&self.inner.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = lock(&self.inner.histograms)
+            .iter()
+            .map(|(k, cells)| HistogramSnapshot {
+                name: k.clone(),
+                count: cells.count.load(Ordering::Relaxed),
+                sum: cells.sum.load(Ordering::Relaxed),
+                buckets: cells
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (bucket_bound(i), c.load(Ordering::Relaxed)))
+                    .filter(|&(_, c)| c > 0)
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Drains the span ring buffer as JSON lines (oldest first), one
+    /// object per span: `{"id","parent","name","detail","start_ns","dur_ns"}`.
+    pub fn export_spans_jsonl(&self) -> String {
+        self.inner.spans.export_jsonl()
+    }
+
+    /// The recorded spans (oldest first), draining the ring buffer.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.take()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        for i in 1..BUCKET_COUNT {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        assert_eq!(bucket_bound(BUCKET_COUNT - 1), u64::MAX);
+        for v in [
+            0,
+            1,
+            255,
+            256,
+            257,
+            1024,
+            MAX_BOUNDED,
+            MAX_BOUNDED + 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_bound(i));
+            if i > 0 {
+                assert!(v > bucket_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_share_cells_across_clones_and_forks() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.fork().counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        let g = reg.gauge("g");
+        g.set(5);
+        reg.fork().gauge("g").add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = MetricsRegistry::disabled();
+        assert!(!reg.enabled());
+        let c = reg.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let h = reg.histogram("h");
+        h.record(10);
+        assert_eq!(h.count(), 0);
+        assert!(h.start().is_none());
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn histogram_bucket_counts_sum_to_sample_count_under_8_threads() {
+        let reg = MetricsRegistry::new();
+        let per_thread = 1000;
+        thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = reg.histogram("lat");
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        // Spread samples across many buckets, including overflow.
+                        h.record((i * 37 + t * 101) * (1 + t) * 997);
+                    }
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.count, 8 * per_thread);
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, h.count);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.counter("m.mid").inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.mid", "z.last"]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Hierarchical tracing spans with a bounded ring-buffer recorder and a
+//! JSON-lines exporter.
+//!
+//! A span is opened with [`crate::span!`] and recorded when its guard
+//! drops. Parentage is tracked per thread: the most recently opened,
+//! still-live span on the current thread becomes the parent (id 0 means
+//! "root"). Records land in a fixed-capacity ring — old spans are
+//! evicted, never blocked on — so tracing cost is bounded regardless of
+//! run length.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// Ring-buffer capacity: spans beyond this evict the oldest.
+const SPAN_CAPACITY: usize = 4096;
+
+thread_local! {
+    static CURRENT_SPAN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the registry (1-based; 0 is "no span").
+    pub id: u64,
+    /// Id of the span open on this thread when this one started, or 0.
+    pub parent: u64,
+    /// Static span name, dot-separated (`"reduce.refine"`).
+    pub name: &'static str,
+    /// Free-form detail (formatted by the [`crate::span!`] call site).
+    pub detail: String,
+    /// Start time in nanoseconds since the recorder was created.
+    pub start_nanos: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+#[derive(Debug)]
+struct RecorderState {
+    epoch: Instant,
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+/// The per-registry span sink.
+#[derive(Debug, Clone)]
+pub(crate) struct SpanRecorder {
+    state: Arc<RecorderState>,
+}
+
+impl SpanRecorder {
+    pub(crate) fn new() -> SpanRecorder {
+        SpanRecorder {
+            state: Arc::new(RecorderState {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                ring: Mutex::new(VecDeque::new()),
+            }),
+        }
+    }
+
+    pub(crate) fn open(&self, name: &'static str, detail: String) -> SpanGuard {
+        let id = self.state.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT_SPAN.with(|c| c.replace(id));
+        SpanGuard {
+            live: Some(Live {
+                recorder: self.clone(),
+                id,
+                parent,
+                name,
+                detail,
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    pub(crate) fn take(&self) -> Vec<SpanRecord> {
+        let mut ring = lock(&self.state.ring);
+        ring.drain(..).collect()
+    }
+
+    pub(crate) fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.take() {
+            out.push_str(&format!(
+                "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"detail\":\"{}\",\"start_ns\":{},\"dur_ns\":{}}}\n",
+                rec.id,
+                rec.parent,
+                escape(rec.name),
+                escape(&rec.detail),
+                rec.start_nanos,
+                rec.duration_nanos,
+            ));
+        }
+        out
+    }
+
+    fn push(&self, rec: SpanRecord) {
+        let mut ring = lock(&self.state.ring);
+        if ring.len() >= SPAN_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+}
+
+struct Live {
+    recorder: SpanRecorder,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    detail: String,
+    started: Instant,
+}
+
+/// RAII guard for an open span: records the span into the registry's
+/// ring buffer on drop. Guards from [`crate::span!`] on a disabled
+/// registry are inert.
+pub struct SpanGuard {
+    live: Option<Live>,
+}
+
+impl SpanGuard {
+    /// An inert guard that records nothing.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.live {
+            Some(l) => write!(f, "SpanGuard({:?} id={})", l.name, l.id),
+            None => write!(f, "SpanGuard(disabled)"),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        CURRENT_SPAN.with(|c| c.set(live.parent));
+        let start_nanos = live
+            .started
+            .saturating_duration_since(live.recorder.state.epoch)
+            .as_nanos();
+        let duration_nanos = live.started.elapsed().as_nanos();
+        live.recorder.push(SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            detail: live.detail,
+            start_nanos: u64::try_from(start_nanos).unwrap_or(u64::MAX),
+            duration_nanos: u64::try_from(duration_nanos).unwrap_or(u64::MAX),
+        });
+    }
+}
+
+/// Minimal JSON string escaping: quote, backslash, and control bytes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn spans_nest_and_record_parentage() {
+        let reg = MetricsRegistry::new();
+        {
+            let _outer = crate::span!(reg, "driver.step", "iteration {}", 3);
+            let _inner = crate::span!(reg, "reduce.refine");
+        }
+        let spans = reg.take_spans();
+        assert_eq!(spans.len(), 2);
+        // Inner drops first, so it is recorded first.
+        assert_eq!(spans[0].name, "reduce.refine");
+        assert_eq!(spans[1].name, "driver.step");
+        assert_eq!(spans[0].parent, spans[1].id);
+        assert_eq!(spans[1].parent, 0);
+        assert_eq!(spans[1].detail, "iteration 3");
+        // Drained: a second take is empty.
+        assert!(reg.take_spans().is_empty());
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let reg = MetricsRegistry::disabled();
+        {
+            let _s = crate::span!(reg, "x", "detail {}", 1);
+        }
+        assert!(reg.take_spans().is_empty());
+    }
+
+    #[test]
+    fn jsonl_export_escapes_details() {
+        let reg = MetricsRegistry::new();
+        {
+            let _s = crate::span!(reg, "q", "quote \" backslash \\ newline \n");
+        }
+        let out = reg.export_spans_jsonl();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("\\\" backslash \\\\ newline \\n"));
+        assert!(out.contains("\"name\":\"q\""));
+    }
+}

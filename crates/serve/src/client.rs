@@ -98,6 +98,12 @@ impl Client {
             .ok_or_else(|| "report response missing report".into())
     }
 
+    /// Process-wide metrics and per-job observability tallies (the full
+    /// `stats` response, including `stats_version`).
+    pub fn stats(&mut self) -> Result<Json, String> {
+        self.request(&Request::Stats)
+    }
+
     /// Asks the server to shut down.
     pub fn shutdown(&mut self) -> Result<(), String> {
         self.request(&Request::Shutdown).map(|_| ())

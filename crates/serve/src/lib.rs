@@ -6,7 +6,7 @@
 //! step/snapshot/resume state machine into exactly that:
 //!
 //! * [`protocol`] — a versioned JSON-lines protocol (`submit`, `status`,
-//!   `cancel`, `pause`, `resume`, `report`, `shutdown`) with a
+//!   `cancel`, `pause`, `resume`, `report`, `stats`, `shutdown`) with a
 //!   dependency-free [`json`] value type underneath;
 //! * [`scheduler`] — a bounded worker pool driving jobs step-wise, with
 //!   per-job iteration / wall-clock budgets and cooperative cancellation;
@@ -32,6 +32,7 @@ pub mod json;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod stats;
 pub mod store;
 
 pub use client::Client;
@@ -39,4 +40,5 @@ pub use json::Json;
 pub use protocol::{report_fingerprint, report_to_json, JobSpec, Request, PROTOCOL_VERSION};
 pub use scheduler::{job_config, job_problem, JobState, JobStatus, Scheduler};
 pub use server::{handle_line, serve_lines, serve_tcp, ServerHandle};
+pub use stats::{metrics_to_json, STATS_VERSION};
 pub use store::SnapshotStore;

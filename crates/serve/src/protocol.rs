@@ -77,6 +77,9 @@ pub enum Request {
     Resume(u64),
     /// The final report of a completed job.
     Report(u64),
+    /// Process-wide metrics plus per-job observability tallies (see
+    /// [`crate::stats`] for the response shape).
+    Stats,
     /// Stop the server: running jobs are checkpointed and the listener
     /// exits.
     Shutdown,
@@ -149,6 +152,7 @@ impl Request {
             "pause" => Ok(Request::Pause(job(true)?.unwrap())),
             "resume" => Ok(Request::Resume(job(true)?.unwrap())),
             "report" => Ok(Request::Report(job(true)?.unwrap())),
+            "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command \"{other}\"")),
         }
@@ -187,6 +191,7 @@ impl Request {
             Request::Pause(id) => push_job(&mut pairs, "pause", *id),
             Request::Resume(id) => push_job(&mut pairs, "resume", *id),
             Request::Report(id) => push_job(&mut pairs, "report", *id),
+            Request::Stats => pairs.push(("cmd", Json::Str("stats".into()))),
             Request::Shutdown => pairs.push(("cmd", Json::Str("shutdown".into()))),
         }
         Json::obj(pairs).to_line()
@@ -306,6 +311,7 @@ mod tests {
             Request::Pause(2),
             Request::Resume(3),
             Request::Report(9),
+            Request::Stats,
             Request::Shutdown,
         ];
         for req in reqs {

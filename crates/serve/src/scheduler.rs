@@ -15,18 +15,35 @@
 //! Per-job budgets ride on [`RepairConfig`]: iteration and wall-clock
 //! limits end a run through the driver's own [`StopReason`], producing a
 //! normal report.
+//!
+//! # Fault containment
+//!
+//! A panic inside one job must never take the pool down. Job execution is
+//! wrapped in `catch_unwind` — a panicking `RepairDriver` marks *that* job
+//! failed with the panic payload in its status — and every lock
+//! acquisition recovers a poisoned guard with `PoisonError::into_inner`
+//! (the shared state is a plain job table; there is no invariant a
+//! mid-update panic could corrupt that a recovering reader would then
+//! trip over, since all writes are field stores).
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cpr_core::{RepairConfig, RepairDriver, RepairProblem, StepStatus};
+use cpr_obs::{Counter, Histogram};
 use cpr_subjects::all_subjects;
 
 use crate::json::Json;
 use crate::protocol::{report_to_json, JobSpec};
 use crate::store::SnapshotStore;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default checkpoint cadence (driver steps between durable snapshots)
 /// when a spec does not set one.
@@ -115,6 +132,76 @@ struct Job {
     error: Option<String>,
     cancel_requested: bool,
     pause_requested: bool,
+    /// When the job last entered the queue (submit or resume).
+    queued_at: Instant,
+    /// Observability tallies, surfaced by the `stats` verb. They never
+    /// feed back into scheduling or repair decisions.
+    obs: JobObs,
+}
+
+/// Per-job observability tallies (all nanoseconds / bytes / counts).
+#[derive(Debug, Clone, Copy, Default)]
+struct JobObs {
+    queue_wait_nanos: u64,
+    steps: u64,
+    step_nanos: u64,
+    snapshots_written: u64,
+    snapshot_bytes: u64,
+    snapshot_fsync_nanos: u64,
+}
+
+impl JobObs {
+    fn fields(self) -> Vec<(&'static str, Json)> {
+        vec![
+            (
+                "queue_wait_nanos",
+                Json::Int(clamp_i64(self.queue_wait_nanos)),
+            ),
+            ("steps", Json::Int(clamp_i64(self.steps))),
+            ("step_nanos", Json::Int(clamp_i64(self.step_nanos))),
+            (
+                "snapshots_written",
+                Json::Int(clamp_i64(self.snapshots_written)),
+            ),
+            ("snapshot_bytes", Json::Int(clamp_i64(self.snapshot_bytes))),
+            (
+                "snapshot_fsync_nanos",
+                Json::Int(clamp_i64(self.snapshot_fsync_nanos)),
+            ),
+        ]
+    }
+}
+
+fn clamp_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+/// Aggregate scheduler metrics, registered on the process-wide registry.
+#[derive(Debug)]
+struct ServeObs {
+    queue_wait: Histogram,
+    step: Histogram,
+    snapshot_bytes: Histogram,
+    snapshot_fsync: Histogram,
+    jobs_submitted: Counter,
+    jobs_done: Counter,
+    jobs_failed: Counter,
+    snapshots_written: Counter,
+}
+
+impl ServeObs {
+    fn new(reg: &cpr_obs::MetricsRegistry) -> ServeObs {
+        ServeObs {
+            queue_wait: reg.histogram("serve.queue_wait_nanos"),
+            step: reg.histogram("serve.step_nanos"),
+            snapshot_bytes: reg.histogram("serve.snapshot_bytes"),
+            snapshot_fsync: reg.histogram("serve.snapshot_fsync_nanos"),
+            jobs_submitted: reg.counter("serve.jobs_submitted"),
+            jobs_done: reg.counter("serve.jobs_done"),
+            jobs_failed: reg.counter("serve.jobs_failed"),
+            snapshots_written: reg.counter("serve.snapshots_written"),
+        }
+    }
 }
 
 struct State {
@@ -128,6 +215,7 @@ struct Inner {
     state: Mutex<State>,
     cv: Condvar,
     store: SnapshotStore,
+    obs: ServeObs,
 }
 
 /// The worker pool. Dropping it without calling [`Scheduler::shutdown`]
@@ -194,6 +282,7 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             store,
+            obs: ServeObs::new(cpr_obs::global()),
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -232,7 +321,7 @@ impl Scheduler {
             }
             None => None,
         };
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         if st.shutting_down {
             return Err("server is shutting down".into());
         }
@@ -257,30 +346,53 @@ impl Scheduler {
                 error: None,
                 cancel_requested: false,
                 pause_requested: false,
+                queued_at: Instant::now(),
+                obs: JobObs::default(),
             },
         );
         st.queue.push_back(id);
+        self.inner.obs.jobs_submitted.inc();
         self.inner.cv.notify_all();
         Ok(id)
     }
 
     /// The status of one job.
     pub fn status(&self, id: u64) -> Result<JobStatus, String> {
-        let st = self.inner.state.lock().unwrap();
+        let st = lock(&self.inner.state);
         let job = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
         Ok(status_of(id, job))
     }
 
     /// The status of every job, ascending by id.
     pub fn status_all(&self) -> Vec<JobStatus> {
-        let st = self.inner.state.lock().unwrap();
+        let st = lock(&self.inner.state);
         st.jobs.iter().map(|(id, j)| status_of(*id, j)).collect()
+    }
+
+    /// Per-job observability rows for the `stats` verb, ascending by id.
+    pub fn job_stats(&self) -> Json {
+        let st = lock(&self.inner.state);
+        Json::Arr(
+            st.jobs
+                .iter()
+                .map(|(id, j)| {
+                    let mut row = vec![
+                        ("job", Json::Int(*id as i64)),
+                        ("subject", Json::Str(j.spec.subject.clone())),
+                        ("state", Json::Str(j.state.name().to_owned())),
+                        ("iterations", Json::Int(j.iterations as i64)),
+                    ];
+                    row.extend(j.obs.fields());
+                    Json::obj(row)
+                })
+                .collect(),
+        )
     }
 
     /// Requests cancellation. Queued jobs cancel immediately; running jobs
     /// checkpoint first, so they stay resumable.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
         match job.state {
             JobState::Queued => {
@@ -306,7 +418,7 @@ impl Scheduler {
 
     /// Requests suspension of a running or queued job.
     pub fn pause(&self, id: u64) -> Result<JobStatus, String> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
         match job.state {
             JobState::Queued => {
@@ -327,7 +439,7 @@ impl Scheduler {
     /// Re-enqueues a paused or canceled job. It continues from its latest
     /// durable snapshot (or from scratch if it never started).
     pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock(&self.inner.state);
         if st.shutting_down {
             return Err("server is shutting down".into());
         }
@@ -337,6 +449,7 @@ impl Scheduler {
                 job.state = JobState::Queued;
                 job.cancel_requested = false;
                 job.pause_requested = false;
+                job.queued_at = Instant::now();
                 let status = status_of(id, job);
                 st.queue.push_back(id);
                 self.inner.cv.notify_all();
@@ -348,7 +461,7 @@ impl Scheduler {
 
     /// The final report of a completed job, as protocol JSON.
     pub fn report(&self, id: u64) -> Result<Json, String> {
-        let st = self.inner.state.lock().unwrap();
+        let st = lock(&self.inner.state);
         let job = st.jobs.get(&id).ok_or_else(|| format!("no job {id}"))?;
         match (&job.report, job.state) {
             (Some(r), _) => Ok(r.clone()),
@@ -364,8 +477,11 @@ impl Scheduler {
     /// paused, canceled) or the timeout elapses; returns the final status
     /// observed.
     pub fn wait(&self, id: u64, timeout: Duration) -> Result<JobStatus, String> {
-        let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock().unwrap();
+        let deadline = Instant::now().checked_add(timeout).unwrap_or_else(|| {
+            // An effectively-infinite timeout overflowed Instant; cap it.
+            Instant::now() + Duration::from_secs(60 * 60 * 24 * 365)
+        });
+        let mut st = lock(&self.inner.state);
         loop {
             let Some(job) = st.jobs.get(&id) else {
                 return Err(format!("no job {id}"));
@@ -373,11 +489,18 @@ impl Scheduler {
             if job.state.is_terminal() {
                 return Ok(status_of(id, job));
             }
-            let now = Instant::now();
-            if now >= deadline {
+            // Saturating: a wakeup can land after the deadline (or a 0ms
+            // timeout can start past it), and `deadline - now` would then
+            // panic on Duration underflow and kill the caller.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return Ok(status_of(id, job));
             }
-            let (guard, _) = self.inner.cv.wait_timeout(st, deadline - now).unwrap();
+            let (guard, _) = self
+                .inner
+                .cv
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
             st = guard;
         }
     }
@@ -391,7 +514,7 @@ impl Scheduler {
     /// parks), drop the queue, and join the workers.
     pub fn shutdown(&self) {
         {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock(&self.inner.state);
             st.shutting_down = true;
             // Queued jobs park as paused. Their snapshots (none yet for
             // these) stay in the store; a future scheduler over the same
@@ -410,7 +533,7 @@ impl Scheduler {
             }
             self.inner.cv.notify_all();
         }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.workers));
         for h in handles {
             let _ = h.join();
         }
@@ -431,35 +554,80 @@ fn status_of(id: u64, job: &Job) -> JobStatus {
 fn worker_loop(inner: &Inner) {
     loop {
         let (id, spec) = {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = lock(&inner.state);
             loop {
                 if let Some(id) = st.queue.pop_front() {
-                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    // A stale queue entry (job vanished) is skipped rather
+                    // than panicking with the lock held.
+                    let Some(job) = st.jobs.get_mut(&id) else {
+                        continue;
+                    };
                     job.state = JobState::Running;
+                    let waited = nanos_u64(job.queued_at.elapsed());
+                    job.obs.queue_wait_nanos += waited;
+                    inner.obs.queue_wait.record(waited);
                     break (id, job.spec.clone());
                 }
                 if st.shutting_down {
                     return;
                 }
-                st = inner.cv.wait(st).unwrap();
+                st = inner.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         run_job(inner, id, &spec);
     }
 }
 
+fn nanos_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Marks a job terminal under the lock and wakes waiters.
 fn finish_job(inner: &Inner, id: u64, f: impl FnOnce(&mut Job)) {
-    let mut st = inner.state.lock().unwrap();
+    let mut st = lock(&inner.state);
     if let Some(job) = st.jobs.get_mut(&id) {
         f(job);
         job.cancel_requested = false;
         job.pause_requested = false;
+        match job.state {
+            JobState::Done => inner.obs.jobs_done.inc(),
+            JobState::Failed => inner.obs.jobs_failed.inc(),
+            _ => {}
+        }
     }
     inner.cv.notify_all();
 }
 
+/// Runs one job with panic containment: an unwinding `RepairDriver` (or
+/// any other panic on this path) marks *this* job failed with the panic
+/// payload and leaves every sibling job, worker, and server loop healthy.
 fn run_job(inner: &Inner, id: u64, spec: &JobSpec) {
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| run_job_inner(inner, id, spec))) {
+        finish_job(inner, id, |job| {
+            job.state = JobState::Failed;
+            job.error = Some(format!("job panicked: {}", panic_message(&*payload)));
+        });
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+static PANIC_JOB: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
+    #[cfg(test)]
+    if PANIC_JOB.load(std::sync::atomic::Ordering::Relaxed) == id {
+        panic!("injected panic for job {id}");
+    }
     let fail = |msg: String| {
         finish_job(inner, id, |job| {
             job.state = JobState::Failed;
@@ -487,20 +655,42 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec) {
         Err(e) => return fail(format!("cannot read snapshot for job {id}: {e}")),
     };
 
+    // Checkpoint helper: times the durable write (create + write + fsync +
+    // rename) and records snapshot size, per job and in the aggregates.
+    let save_checkpoint = |driver: &RepairDriver| -> Result<(), String> {
+        let bytes = driver.snapshot();
+        let t0 = Instant::now();
+        inner
+            .store
+            .save(id, &bytes)
+            .map_err(|e| format!("cannot checkpoint job {id}: {e}"))?;
+        let fsync_nanos = nanos_u64(t0.elapsed());
+        inner.obs.snapshots_written.inc();
+        inner.obs.snapshot_bytes.record(bytes.len() as u64);
+        inner.obs.snapshot_fsync.record(fsync_nanos);
+        let mut st = lock(&inner.state);
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.obs.snapshots_written += 1;
+            job.obs.snapshot_bytes = bytes.len() as u64;
+            job.obs.snapshot_fsync_nanos += fsync_nanos;
+        }
+        Ok(())
+    };
+
     let mut steps = 0usize;
     loop {
         // Observe control flags between steps; park with a durable
         // snapshot so the job stays resumable.
         let (cancel, pause) = {
-            let st = inner.state.lock().unwrap();
+            let st = lock(&inner.state);
             match st.jobs.get(&id) {
                 Some(job) => (job.cancel_requested, job.pause_requested),
                 None => (true, false),
             }
         };
         if cancel || pause {
-            if let Err(e) = inner.store.save(id, &driver.snapshot()) {
-                return fail(format!("cannot checkpoint job {id}: {e}"));
+            if let Err(e) = save_checkpoint(&driver) {
+                return fail(e);
             }
             return finish_job(inner, id, |job| {
                 job.state = if cancel {
@@ -511,19 +701,31 @@ fn run_job(inner: &Inner, id: u64, spec: &JobSpec) {
                 job.iterations = driver.iterations();
             });
         }
-        if driver.step() != StepStatus::Running {
+        let t0 = Instant::now();
+        let status = driver.step();
+        let step_nanos = nanos_u64(t0.elapsed());
+        inner.obs.step.record(step_nanos);
+        if status != StepStatus::Running {
+            // Count the terminal step in the per-job tallies too.
+            let mut st = lock(&inner.state);
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.obs.steps += 1;
+                job.obs.step_nanos += step_nanos;
+            }
             break;
         }
         steps += 1;
         if steps.is_multiple_of(checkpoint_every) {
-            if let Err(e) = inner.store.save(id, &driver.snapshot()) {
-                return fail(format!("cannot checkpoint job {id}: {e}"));
+            if let Err(e) = save_checkpoint(&driver) {
+                return fail(e);
             }
         }
         {
-            let mut st = inner.state.lock().unwrap();
+            let mut st = lock(&inner.state);
             if let Some(job) = st.jobs.get_mut(&id) {
                 job.iterations = driver.iterations();
+                job.obs.steps += 1;
+                job.obs.step_nanos += step_nanos;
             }
         }
     }
@@ -675,6 +877,125 @@ mod tests {
             crate::protocol::report_fingerprint(&report),
             crate::protocol::report_fingerprint(&direct),
         );
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn wait_with_zero_and_tiny_timeouts_never_panics_under_load() {
+        // Regression: `wait` computed `deadline - now` with Instant
+        // subtraction; a wakeup landing after the deadline made the
+        // Duration subtraction underflow and panic. Hammer `wait` with
+        // 0ms/1ms budgets from several threads while jobs run, so wakeups
+        // routinely straddle the deadline.
+        let sched = Scheduler::new(2, temp_store("tinywait"));
+        let subject = first_subject();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| sched.submit(quick_spec(&subject)).unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sched = &sched;
+                let ids = &ids;
+                s.spawn(move || {
+                    for round in 0..200u64 {
+                        let timeout = Duration::from_millis((round + t) % 2);
+                        for &id in ids {
+                            let status = sched.wait(id, timeout).unwrap();
+                            assert!(!status.subject.is_empty());
+                        }
+                    }
+                });
+            }
+        });
+        // The scheduler is still fully functional afterwards.
+        for id in ids {
+            let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+            assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        }
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone_and_leaves_siblings_healthy() {
+        let sched = Scheduler::new(1, temp_store("poison"));
+        let subject = first_subject();
+        // The next submit gets this id; arm the injection before the
+        // single worker can pick the job up.
+        let doomed_id = {
+            let st = lock(&sched.inner.state);
+            st.next_id
+        };
+        PANIC_JOB.store(doomed_id, std::sync::atomic::Ordering::Relaxed);
+        let doomed = sched.submit(quick_spec(&subject)).unwrap();
+        assert_eq!(doomed, doomed_id);
+        let sibling = sched.submit(quick_spec(&subject)).unwrap();
+
+        let status = sched.wait(doomed, Duration::from_secs(240)).unwrap();
+        PANIC_JOB.store(0, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(status.state, JobState::Failed);
+        let err = status.error.expect("panic payload surfaces in status");
+        assert!(err.contains("injected panic"), "unexpected error: {err}");
+
+        // The sibling on the same worker still runs to completion, and the
+        // control surface (status/report/submit) stays responsive.
+        let st = sched.wait(sibling, Duration::from_secs(240)).unwrap();
+        assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        assert!(sched.report(sibling).is_ok());
+        assert!(sched.report(doomed).is_err());
+        let late = sched.submit(quick_spec(&subject)).unwrap();
+        let st = sched.wait(late, Duration::from_secs(240)).unwrap();
+        assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn a_poisoned_state_mutex_is_recovered_not_cascaded() {
+        // Poison the shared state mutex directly (a panic while holding
+        // the guard), then check every handler keeps working through
+        // `PoisonError::into_inner` instead of unwrapping the poison.
+        let sched = Scheduler::new(1, temp_store("recover"));
+        let subject = first_subject();
+        let inner = Arc::clone(&sched.inner);
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.state.lock().unwrap();
+            panic!("poison the scheduler state mutex");
+        })
+        .join();
+        assert!(sched.inner.state.is_poisoned());
+        let id = sched.submit(quick_spec(&subject)).unwrap();
+        assert!(sched.status(id).is_ok());
+        assert_eq!(sched.status_all().len(), 1);
+        let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+        assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        assert!(sched.report(id).is_ok());
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn job_stats_rows_cover_every_job_with_observability_tallies() {
+        let sched = Scheduler::new(2, temp_store("jobstats"));
+        let subject = first_subject();
+        let id = sched.submit(quick_spec(&subject)).unwrap();
+        let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+        assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        let Json::Arr(rows) = sched.job_stats() else {
+            panic!("job_stats is an array")
+        };
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.get("job").and_then(Json::as_u64), Some(id));
+        assert_eq!(row.get("state").and_then(Json::as_str), Some("done"));
+        // The job ran (6 iterations, checkpoint_every=2): steps and step
+        // time accrued, and at least one checkpoint was written and fsynced.
+        assert!(row.get("steps").and_then(Json::as_u64).unwrap() > 0);
+        assert!(row.get("step_nanos").and_then(Json::as_u64).unwrap() > 0);
+        assert!(row.get("snapshots_written").and_then(Json::as_u64).unwrap() > 0);
+        assert!(row.get("snapshot_bytes").and_then(Json::as_u64).unwrap() > 0);
+        assert!(row.get("queue_wait_nanos").and_then(Json::as_u64).is_some());
         sched.shutdown();
         let _ = std::fs::remove_dir_all(sched.store().dir());
     }

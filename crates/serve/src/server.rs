@@ -64,6 +64,17 @@ pub fn handle_line(sched: &Scheduler, line: &str) -> (Json, bool) {
             ),
             Err(e) => (error_response(&e), false),
         },
+        Request::Stats => {
+            let process = crate::stats::metrics_to_json(&cpr_obs::global().snapshot());
+            (
+                ok_response(vec![
+                    ("stats_version", Json::Int(crate::stats::STATS_VERSION)),
+                    ("process", process),
+                    ("jobs", sched.job_stats()),
+                ]),
+                false,
+            )
+        }
         Request::Shutdown => (ok_response(vec![]), true),
     }
 }

@@ -135,3 +135,108 @@ fn loopback_server_runs_cancels_and_resumes_jobs() {
     handle.join();
     let _ = std::fs::remove_dir_all(&store_dir);
 }
+
+/// Parses `docs/metrics_allowlist.txt`: `[section]` markers, one metric
+/// name per line, `#` comments.
+fn read_allowlist() -> Vec<(String, Vec<String>)> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/metrics_allowlist.txt"
+    );
+    let text = std::fs::read_to_string(path).expect("docs/metrics_allowlist.txt must exist");
+    let mut sections: Vec<(String, Vec<String>)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            sections.push((name.to_owned(), Vec::new()));
+        } else {
+            sections
+                .last_mut()
+                .expect("a metric name before any [section] marker")
+                .1
+                .push(line.to_owned());
+        }
+    }
+    sections
+}
+
+#[test]
+fn stats_verb_covers_the_documented_metric_allowlist() {
+    // A loopback server that has completed one job must expose every
+    // metric DESIGN.md §4.8 documents — presence, not values, so a
+    // metric silently falling out of the snapshot (a renamed handle, a
+    // registry that stopped being the process-wide one) fails here even
+    // when nothing else notices. checkpoint_every=1 makes the job write
+    // snapshots, so the serve.snapshot_* histograms see samples too.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("a supported subject")
+        .name();
+
+    let store_dir =
+        std::env::temp_dir().join(format!("cpr_serve_stats_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).unwrap();
+    let handle = cpr_serve::serve_tcp("127.0.0.1:0", Scheduler::new(1, store)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let mut spec = JobSpec::new(subject);
+    spec.max_iterations = Some(4);
+    spec.checkpoint_every = Some(1);
+    let job = client.submit(spec).unwrap();
+    let done = client.wait_terminal(job, Duration::from_secs(300)).unwrap();
+    assert_eq!(state_of(&done), "done");
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("stats_version").and_then(Json::as_i64),
+        Some(cpr_serve::STATS_VERSION)
+    );
+    let process = stats.get("process").expect("stats has a process section");
+    let histogram_names: Vec<String> = match process.get("histograms") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|h| h.get("name").and_then(Json::as_str).unwrap().to_owned())
+            .collect(),
+        other => panic!("histograms must be an array, got {other:?}"),
+    };
+    let mut missing = Vec::new();
+    for (section, names) in read_allowlist() {
+        for name in names {
+            let present = match section.as_str() {
+                "counters" | "gauges" => process.get(&section).and_then(|s| s.get(&name)).is_some(),
+                "histograms" => histogram_names.contains(&name),
+                other => panic!("unknown allowlist section [{other}]"),
+            };
+            if !present {
+                missing.push(format!("{section}/{name}"));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "metrics documented in docs/metrics_allowlist.txt are absent from \
+         the stats response: {missing:?}"
+    );
+
+    // The per-job rows carry the tallies for the job we just ran.
+    let rows = match stats.get("jobs") {
+        Some(Json::Arr(rows)) => rows.clone(),
+        other => panic!("stats jobs must be an array, got {other:?}"),
+    };
+    let row = rows
+        .iter()
+        .find(|r| r.get("job").and_then(Json::as_u64) == Some(job))
+        .expect("a stats row for the completed job");
+    assert!(row.get("steps").and_then(Json::as_u64).unwrap() > 0);
+    assert!(row.get("snapshots_written").and_then(Json::as_u64).unwrap() > 0);
+
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

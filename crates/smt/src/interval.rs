@@ -197,15 +197,19 @@ impl Interval {
     /// extreme quotients occur at endpoint combinations.
     fn div_by_samesign(self, rhs: Interval) -> Interval {
         debug_assert!(!rhs.contains(0) || rhs.is_point() && rhs.lo == 0);
+        // Endpoint quotients are computed in i128: i64 division overflows
+        // (and `wrapping_div` silently flips sign) at MIN / -1, which would
+        // yield an enclosure excluding representable quotients — an unsound
+        // contraction that the static screen must never perform.
         let q = [
-            self.lo.wrapping_div(rhs.lo),
-            self.lo.wrapping_div(rhs.hi),
-            self.hi.wrapping_div(rhs.lo),
-            self.hi.wrapping_div(rhs.hi),
+            self.lo as i128 / rhs.lo as i128,
+            self.lo as i128 / rhs.hi as i128,
+            self.hi as i128 / rhs.lo as i128,
+            self.hi as i128 / rhs.hi as i128,
         ];
         Interval {
-            lo: *q.iter().min().unwrap(),
-            hi: *q.iter().max().unwrap(),
+            lo: clamp(*q.iter().min().unwrap()),
+            hi: clamp(*q.iter().max().unwrap()),
         }
     }
 
@@ -213,10 +217,15 @@ impl Interval {
     /// sound (possibly loose) enclosure based on `|r| < |b|` and
     /// `sign(r) = sign(a)`.
     pub fn rem_total(self, rhs: Interval) -> Interval {
-        // Point-wise exact case.
+        // Point-wise exact case, in i128 for the same MIN / -1 reason as
+        // `div_by_samesign` (i128 gives the true remainder, 0, directly).
         if self.is_point() && rhs.is_point() {
             let b = rhs.lo;
-            let r = if b == 0 { 0 } else { self.lo.wrapping_rem(b) };
+            let r = if b == 0 {
+                0
+            } else {
+                clamp(self.lo as i128 % b as i128)
+            };
             return Interval::point(r);
         }
         let max_abs_b = rhs.lo.unsigned_abs().max(rhs.hi.unsigned_abs());
@@ -412,6 +421,64 @@ mod tests {
     }
 
     #[test]
+    fn division_and_rem_are_sound_at_boundary_cross_products() {
+        // Exhaustive sweep over every interval whose endpoints come from the
+        // boundary set: all (lo <= hi) dividend/divisor pairs. Soundness is
+        // checked against concrete total division/remainder (computed in
+        // i128, the reference semantics) at the endpoint witnesses — the
+        // extreme quotients of a monotone operation occur at endpoints, so
+        // these are exactly the values an unsound contraction would drop.
+        const B: [i64; 6] = [
+            Interval::MIN_BOUND,
+            Interval::MIN_BOUND + 1,
+            -1,
+            0,
+            1,
+            Interval::MAX_BOUND,
+        ];
+        let intervals: Vec<Interval> = B
+            .iter()
+            .flat_map(|&lo| {
+                B.iter()
+                    .filter(move |&&hi| lo <= hi)
+                    .map(move |&hi| Interval::of(lo, hi))
+            })
+            .collect();
+        let total_div = |x: i64, y: i64| {
+            if y == 0 {
+                0
+            } else {
+                clamp(x as i128 / y as i128)
+            }
+        };
+        let total_rem = |x: i64, y: i64| {
+            if y == 0 {
+                0
+            } else {
+                clamp(x as i128 % y as i128)
+            }
+        };
+        for &a in &intervals {
+            for &b in &intervals {
+                let d = a.div_total(b);
+                let r = a.rem_total(b);
+                assert!(
+                    d.lo() >= Interval::MIN_BOUND && d.hi() <= Interval::MAX_BOUND,
+                    "div {a}/{b} escaped the clamp bounds: {d}"
+                );
+                for x in [a.lo(), a.hi()] {
+                    for y in [b.lo(), b.hi()] {
+                        let q = total_div(x, y);
+                        assert!(d.contains(q), "{x}/{y}={q} not in {d} (a={a} b={b})");
+                        let m = total_rem(x, y);
+                        assert!(r.contains(m), "{x}%{y}={m} not in {r} (a={a} b={b})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn backward_add_contracts() {
         // z = x + y, z in [10,10], y in [3,4] => x in [6,7]
         let z = Interval::point(10);
@@ -518,9 +585,9 @@ mod tests {
         // Mixed-sign square interval clamps on both ends.
         let wide = Interval::of(Interval::MIN_BOUND, Interval::MAX_BOUND);
         assert_eq!(wide.mul(wide), wide);
-        // Division at the extremes stays inside the bounds (wrapping_div in
-        // div_by_samesign can never overflow because MIN_BOUND is -(1<<62),
-        // not i64::MIN).
+        // Division at the extremes stays inside the bounds: div_by_samesign
+        // computes endpoint quotients in i128 and clamps, so even the
+        // MIN / -1 pattern (which overflows i64 division) is exact.
         let d = min_pt.div_total(Interval::point(-1));
         assert!(d.contains(Interval::MAX_BOUND));
         assert!(d.hi() <= Interval::MAX_BOUND && d.lo() >= Interval::MIN_BOUND);

@@ -14,6 +14,8 @@
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
+use cpr_obs::{Counter, Histogram, MetricsRegistry};
+
 use crate::interval::Interval;
 use crate::model::Model;
 use crate::term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
@@ -292,6 +294,49 @@ impl QueryCache {
     }
 }
 
+/// Observability handles mirroring [`SolverStats`], resolved once at
+/// [`Solver::attach_metrics`] so the hot path is pure atomic adds. The
+/// handles are `Arc` clones shared by every [`Solver::fork`]: relaxed
+/// counter adds commute, so the order-independent totals (`queries`, the
+/// per-verdict counts) are thread-count-invariant with no absorb step.
+/// The cache hit/miss *split* is scheduling-dependent (whichever fork
+/// solves a shared query first fills the cache) — exactly as it already
+/// is in `SolverStats` — and only the totals are part of the determinism
+/// contract.
+#[derive(Debug, Clone)]
+struct SolverObs {
+    queries: Counter,
+    sat: Counter,
+    unsat: Counter,
+    unknown: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    prefix_short_circuits: Counter,
+    solve_nanos: Histogram,
+}
+
+impl SolverObs {
+    fn new(reg: &MetricsRegistry) -> SolverObs {
+        SolverObs {
+            queries: reg.counter("solver.queries"),
+            sat: reg.counter("solver.sat"),
+            unsat: reg.counter("solver.unsat"),
+            unknown: reg.counter("solver.unknown"),
+            cache_hits: reg.counter("solver.cache_hits"),
+            cache_misses: reg.counter("solver.cache_misses"),
+            prefix_short_circuits: reg.counter("solver.prefix_short_circuits"),
+            solve_nanos: reg.histogram("solver.solve_nanos"),
+        }
+    }
+}
+
+impl Default for SolverObs {
+    /// No-op handles: an un-attached solver records nothing.
+    fn default() -> SolverObs {
+        SolverObs::new(&MetricsRegistry::disabled())
+    }
+}
+
 /// Fingerprint (FNV-1a) of the domain environment a query runs under, so
 /// identical constraint sets solved under different domains never share a
 /// cache entry.
@@ -331,17 +376,30 @@ pub struct Solver {
     /// the shared prefix (ids below the fork point) may touch the shared
     /// table. `usize::MAX` (the root solver) caches everything.
     cache_floor: usize,
+    obs: SolverObs,
 }
 
 impl Solver {
-    /// Creates a solver with the given configuration.
+    /// Creates a solver with the given configuration. Observability is
+    /// off until [`Solver::attach_metrics`] is called.
     pub fn new(config: SolverConfig) -> Self {
         Solver {
             config,
             stats: SolverStats::default(),
             cache: Arc::new(Mutex::new(QueryCache::default())),
             cache_floor: usize::MAX,
+            obs: SolverObs::default(),
         }
+    }
+
+    /// Resolves observability handles on `registry`; every subsequent
+    /// query (in this solver and its future [`Solver::fork`]s) mirrors its
+    /// statistics there. Attaching a [`MetricsRegistry::disabled`]
+    /// registry turns recording back off. Metrics never feed back into
+    /// verdicts — the determinism suite proves repair reports are
+    /// bit-identical with instrumentation on or off.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = SolverObs::new(registry);
     }
 
     /// Creates a worker solver for a parallel phase: same configuration,
@@ -356,6 +414,9 @@ impl Solver {
             stats: SolverStats::default(),
             cache: Arc::clone(&self.cache),
             cache_floor: base_terms.min(self.cache_floor),
+            // Shared cells: worker increments land directly in the same
+            // totals, so absorb() has nothing to merge for metrics either.
+            obs: self.obs.clone(),
         }
     }
 
@@ -534,6 +595,28 @@ impl Solver {
         domains: &Domains,
         store: Option<&UnsatPrefixStore>,
     ) -> SatResult {
+        // Observability wrapper: time the whole check (fast paths
+        // included) and mirror the per-verdict counters. A detached (or
+        // disabled-registry) solver skips even the clock reads.
+        let t0 = self.obs.solve_nanos.start();
+        let result = self.check_with_store_inner(pool, constraints, domains, store);
+        self.obs.solve_nanos.stop(t0);
+        self.obs.queries.inc();
+        match &result {
+            SatResult::Sat(_) => self.obs.sat.inc(),
+            SatResult::Unsat => self.obs.unsat.inc(),
+            SatResult::Unknown => self.obs.unknown.inc(),
+        }
+        result
+    }
+
+    fn check_with_store_inner(
+        &mut self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
         self.stats.queries += 1;
         // Fast path: constant constraints.
         let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
@@ -583,6 +666,7 @@ impl Solver {
         if let Some(store) = store {
             if store.subsumes(&key) {
                 self.stats.prefix_short_circuits += 1;
+                self.obs.prefix_short_circuits.inc();
                 self.stats.unsat += 1;
                 return SatResult::Unsat;
             }
@@ -591,6 +675,7 @@ impl Solver {
             let cached = self.cache.lock().expect("query cache poisoned").get(&key);
             if let Some(result) = cached {
                 self.stats.cache_hits += 1;
+                self.obs.cache_hits.inc();
                 match &result {
                     SatResult::Sat(_) => self.stats.sat += 1,
                     SatResult::Unsat => self.stats.unsat += 1,
@@ -599,6 +684,7 @@ impl Solver {
                 return result;
             }
             self.stats.cache_misses += 1;
+            self.obs.cache_misses.inc();
         }
         let live = &key.0;
         let mut vars: Vec<VarId> = Vec::new();

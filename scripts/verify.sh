@@ -32,10 +32,23 @@ cargo test -q
 echo "==> static lint of shipped subjects (cpr-lint, zero diagnostics expected)"
 cargo run --release -q -p cpr-analysis --bin cpr-lint programs/*.cpr
 
-echo "==> serve subsystem: loopback server smoke test"
+echo "==> serve subsystem: loopback server smoke tests (incl. stats verb + metrics allowlist)"
 cargo test -q --release -p cpr-serve --test server_smoke
 
 echo "==> serve subsystem: bench_serve --check (report identity, no timings)"
 cargo run --release -q -p cpr-serve --bin bench_serve -- --check
+
+echo "==> observability: every allowlisted metric documented in DESIGN.md"
+while IFS= read -r metric; do
+  case "$metric" in ''|'#'*|'['*) continue;; esac
+  subsystem="${metric%%.*}"
+  grep -q -e "$metric" -e "\`$subsystem\." DESIGN.md || {
+    echo "metric $metric is in docs/metrics_allowlist.txt but DESIGN.md never mentions it or its subsystem"
+    exit 1
+  }
+done < docs/metrics_allowlist.txt
+
+echo "==> observability: bench_obs --check (outcome identity + <3% overhead)"
+cargo run --release -q -p cpr-bench --bin bench_obs -- --check
 
 echo "verify: OK"

@@ -46,6 +46,8 @@ USAGE:
         --time-budget-ms N   same as --ms
         --top N              patches to print (default 10)
         --emit               print the repaired program (top patch applied)
+        --metrics-out FILE   write the run's metrics (solver, phases) to
+                             FILE as one JSON line after the repair
 
       Exhausting either budget is a normal stop: the anytime algorithm
       reports the ranked pool it has at that point.
@@ -69,9 +71,10 @@ USAGE:
       and prints its report.
 
   cpr jobs [--addr host:port] [--job N] [--cancel N] [--pause N]
-           [--resume N] [--report N]
+           [--resume N] [--report N] [--stats]
       List server jobs, show one, or cancel / pause / resume one, or
-      fetch a finished job's report.
+      fetch a finished job's report. With --stats, print the server's
+      process-wide metrics and per-job tallies as one JSON line.
 
   cpr help
       Show this message.";
@@ -336,6 +339,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             "ms",
             "time-budget-ms",
             "top",
+            "metrics-out",
         ],
         &["no-logic", "emit"],
     )?;
@@ -446,6 +450,24 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     problem.validate()?;
     let report = repair(&problem, &config);
     print_report(&report, top);
+    if let Some(path) = opts.value("metrics-out") {
+        // The repair recorded into the process-wide registry
+        // (`RepairConfig::metrics` defaults to on); dump it in the same
+        // shape the server's `stats` verb uses.
+        let stats = cpr_serve::Json::obj(vec![
+            (
+                "stats_version",
+                cpr_serve::Json::Int(cpr_serve::STATS_VERSION),
+            ),
+            (
+                "process",
+                cpr_serve::metrics_to_json(&cpr_obs::global().snapshot()),
+            ),
+        ]);
+        let mut line = stats.to_line();
+        line.push('\n');
+        std::fs::write(path, line).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     if opts.has("emit") {
         match &report.top_patched_source {
             Some(src) => println!("\nrepaired program (top patch applied):\n{src}"),
@@ -618,13 +640,17 @@ fn cmd_jobs(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
         &["addr", "job", "cancel", "pause", "resume", "report"],
-        &[],
+        &["stats"],
     )?;
     if !opts.positional.is_empty() {
-        return Err("usage: cpr jobs [--addr host:port] [--job N | --cancel N | --pause N | --resume N | --report N]".into());
+        return Err("usage: cpr jobs [--addr host:port] [--job N | --cancel N | --pause N | --resume N | --report N | --stats]".into());
     }
     let addr = opts.value("addr").unwrap_or(DEFAULT_ADDR);
     let mut client = cpr_serve::Client::connect(addr)?;
+    if opts.has("stats") {
+        println!("{}", client.stats()?.to_line());
+        return Ok(());
+    }
     if let Some(id) = parse_opt_num::<u64>(&opts, "report")? {
         println!("{}", client.report(id)?.to_line());
         return Ok(());
@@ -755,6 +781,42 @@ mod tests {
     }
 
     #[test]
+    fn repair_metrics_out_writes_a_parseable_stats_line() {
+        let path = write_demo();
+        let p = path.to_str().unwrap();
+        let out = std::env::temp_dir().join(format!("cpr_cli_metrics_{}.json", std::process::id()));
+        run(&args(&[
+            "repair",
+            p,
+            "--failing",
+            "x=0",
+            "--consts",
+            "0",
+            "--iters",
+            "2",
+            "--ms",
+            "2000",
+            "--metrics-out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let line = std::fs::read_to_string(&out).unwrap();
+        let stats = cpr_serve::json::parse(line.trim()).unwrap();
+        assert_eq!(
+            stats.get("stats_version").and_then(cpr_serve::Json::as_i64),
+            Some(cpr_serve::STATS_VERSION)
+        );
+        let counters = stats.get("process").unwrap().get("counters").unwrap();
+        let queries = counters
+            .get("solver.queries")
+            .and_then(cpr_serve::Json::as_u64)
+            .unwrap();
+        assert!(queries > 0, "a repair run must issue solver queries");
+        let _ = std::fs::remove_file(out);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
     fn repair_budget_flags_exhaust_into_a_normal_report() {
         // `--max-iterations` / `--time-budget-ms` are accepted, and
         // exhausting the budgets is a normal stop — the subcommand
@@ -865,6 +927,7 @@ mod tests {
         run(&args(&["jobs", "--addr", &addr])).unwrap();
         run(&args(&["jobs", "--addr", &addr, "--job", "1"])).unwrap();
         run(&args(&["jobs", "--addr", &addr, "--report", "1"])).unwrap();
+        run(&args(&["jobs", "--addr", &addr, "--stats"])).unwrap();
         // Server-side errors surface as errors, not panics.
         assert!(run(&args(&["jobs", "--addr", &addr, "--report", "99"])).is_err());
         assert!(run(&args(&["submit", "no/such-subject", "--addr", &addr])).is_err());

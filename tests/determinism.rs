@@ -6,6 +6,7 @@
 //! wall-clock is the only observable difference.
 
 use cpr_core::{repair, RepairConfig, RepairDriver, RepairReport, StepStatus};
+use cpr_obs::MetricsRegistry;
 use cpr_subjects::all_subjects;
 
 /// Everything in the report except the wall clock, as a comparable string.
@@ -179,6 +180,93 @@ fn snapshot_resume_is_lossless() {
         checked += 1;
     }
     assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
+fn metrics_instrumentation_is_invisible_in_the_report() {
+    // The observability layer is write-only: no phase reads a metric or a
+    // span to make a decision, so the report must be bit-identical with
+    // instrumentation on (recording into the process-wide registry) and
+    // off (every record call a no-op, timers never reading the clock) —
+    // serial and parallel alike.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let run = |threads: usize, metrics: bool| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            config.metrics = metrics;
+            report_key(&repair(&problem, &config))
+        };
+        for threads in [1, 4] {
+            assert_eq!(
+                run(threads, true),
+                run(threads, false),
+                "{name}: metrics instrumentation changed the report at {threads} threads"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
+fn order_independent_counter_totals_are_thread_count_invariant() {
+    // Counters whose increments commute (query totals, screened totals,
+    // paths explored, pool synthesis counts) must reach the same total at
+    // any thread count — the shared-atomic design has no per-thread state
+    // to merge, so only scheduling-dependent *splits* (e.g. which worker
+    // scores a cache hit vs a miss) may move. Each run records into its
+    // own registry so parallel `cargo test` binaries can't interfere.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("at least one supported subject");
+    let problem = subject.problem();
+    let counters_at = |threads: usize| {
+        let registry = MetricsRegistry::new();
+        let mut config = RepairConfig::quick();
+        config.max_iterations = 12;
+        config.threads = threads;
+        let mut d = RepairDriver::with_metrics(problem.clone(), config, &registry);
+        while d.step() == StepStatus::Running {}
+        let report = d.finish();
+        let snap = registry.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("counter {name} not registered"))
+        };
+        // The registry must agree with the report where they overlap.
+        assert_eq!(get("driver.paths_explored"), report.paths_explored as u64);
+        assert_eq!(
+            get("solver.queries_screened"),
+            report.queries_screened as u64
+        );
+        [
+            get("solver.queries"),
+            get("solver.queries_screened"),
+            get("driver.paths_explored"),
+            get("driver.paths_skipped"),
+            get("driver.inputs_generated"),
+            get("synthesize.patches"),
+            get("reduce.patches_dropped"),
+            get("expand.candidates"),
+        ]
+    };
+    let serial = counters_at(1);
+    assert_eq!(
+        serial,
+        counters_at(4),
+        "{}: order-independent counter totals differ between 1 and 4 threads",
+        subject.name()
+    );
 }
 
 #[test]
