@@ -1,14 +1,20 @@
 //! Reduce-phase benchmark: serial vs parallel `reduce` (Algorithm 2) with
-//! and without the memoizing solver cache, on a pool of 500+ abstract
-//! patches walked over repeated partitions — the access pattern of the
-//! repair loop, where later iterations revisit paths whose queries the
-//! cache already answered.
+//! and without the memoizing solver cache and the incremental-solving
+//! subsystem (assertion frames + no-good learning + batched candidate
+//! checking), on a pool of 500+ abstract patches walked over repeated
+//! partitions — the access pattern of the repair loop, where later
+//! iterations revisit paths whose queries the cache already answered.
 //!
 //! Writes `BENCH_reduce.json` into the current directory (the repo root
 //! when run via `cargo run -p cpr-bench --bin bench_reduce`).
 //!
 //! Every configuration must produce the *same* pool and statistics — the
 //! benchmark asserts bit-identical outcomes before reporting timings.
+//!
+//! `--check` runs the same five configurations on a reduced workload and
+//! only performs the identity assertions (no timing claims, no JSON): the
+//! CI-sized proof that caching, threading, and the incremental knobs are
+//! all semantically transparent.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -19,6 +25,7 @@ use cpr_core::{
     Session,
 };
 use cpr_lang::{check, parse};
+use cpr_obs::MetricsRegistry;
 use cpr_smt::{Model, Region, Sort};
 use cpr_synth::{AbstractPatch, ComponentSet, SynthConfig};
 
@@ -35,11 +42,12 @@ const SRC: &str = "program bench_reduce {
   }";
 
 /// The pool walked by every configuration: the synthesized pool for the
-/// subject, padded with shifted comparison families up to 500+ entries.
+/// subject, padded with shifted comparison families up to `target` entries.
 fn build_pool(
     sess: &mut Session,
     problem: &RepairProblem,
     config: &RepairConfig,
+    target: usize,
 ) -> Vec<PoolEntry> {
     let (mut entries, _) = build_patch_pool(sess, problem, config);
     let x = sess.pool.named_var("x", Sort::Int);
@@ -69,7 +77,7 @@ fn build_pool(
     // * `(x*y + c == z*z + (a+c)) || x == b+c`  — survives on `a = 1`,
     // * `x == a+c || x*y + c == z*z + (b+c)`    — survives on `b = 1`.
     let mut c = 0i64;
-    while entries.len() < 500 {
+    while entries.len() < target {
         let k = sess.pool.int(c);
         let xy = sess.pool.mul(x, y);
         let xyc = sess.pool.add(xy, k);
@@ -132,16 +140,47 @@ struct Outcome {
     label: String,
     threads: usize,
     cache_capacity: usize,
+    incremental: bool,
     millis: f64,
     stats: Vec<ReduceStats>,
     pool_after: usize,
     queries: u64,
     cache_hits: u64,
     cache_misses: u64,
+    frames_pushed: u64,
+    trail_restores: u64,
+    nogood_hits: u64,
+    batched_queries: u64,
+    solve_mean_nanos: u64,
+    solve_p50_nanos: u64,
+    solve_p90_nanos: u64,
+    solve_p99_nanos: u64,
     snapshot: String,
 }
 
-fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize) -> Outcome {
+/// Smallest bucket upper bound at or above the `q`-quantile of a
+/// power-of-four bucketed histogram — a conservative (rounded-up)
+/// percentile estimate.
+fn percentile_bound(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    let target = ((count as f64) * q).ceil() as u64;
+    let mut acc = 0u64;
+    for &(bound, c) in buckets {
+        acc += c;
+        if acc >= target {
+            return bound;
+        }
+    }
+    buckets.last().map(|&(b, _)| b).unwrap_or(0)
+}
+
+fn run_config(
+    label: &str,
+    threads: usize,
+    cache_capacity: usize,
+    incremental: bool,
+    rounds: usize,
+    pool_target: usize,
+) -> Outcome {
     let program = parse(SRC).unwrap();
     check(&program).unwrap();
     let problem = RepairProblem::new(
@@ -157,6 +196,12 @@ fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize)
     let mut config = RepairConfig::quick();
     config.threads = threads;
     config.solver.cache_capacity = cache_capacity;
+    // The baseline configurations disable the whole incremental subsystem
+    // (frames, no-goods, batching) so their timings measure the historical
+    // per-query-from-scratch code path honestly.
+    config.solver.incremental = incremental;
+    config.solver.batch_candidates = incremental;
+    config.solver.nogood_capacity = if incremental { 512 } else { 0 };
     // Bound the per-query search: the nonlinear spec makes single queries
     // arbitrarily hard for branch-and-prune, and a budget-capped verdict
     // (`Unknown`) is still deterministic and cacheable.
@@ -166,10 +211,17 @@ fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize)
     // stream — the repair loop's steady state, where the cache earns its
     // keep.
 
-    let mut sess = Session::new(&problem, &config);
-    let mut entries = build_pool(&mut sess, &problem, &config);
+    // Metrics stay on in every configuration (uniform, <3% overhead per
+    // bench_obs) so each config's `solver.solve_nanos` histogram yields a
+    // before/after query-latency distribution for EXPERIMENTS.md.
+    let registry = MetricsRegistry::new();
+    let mut sess = Session::with_metrics(&problem, &config, &registry);
+    let mut entries = build_pool(&mut sess, &problem, &config, pool_target);
     let pool_size = entries.len();
-    assert!(pool_size >= 500, "pool too small: {pool_size}");
+    assert!(
+        pool_size >= pool_target,
+        "pool too small: {pool_size} < {pool_target}"
+    );
     let runs = runs_for(&mut sess, &problem);
 
     let mut stats = Vec::new();
@@ -182,6 +234,16 @@ fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize)
     let millis = start.elapsed().as_secs_f64() * 1e3;
 
     let solver_stats = sess.solver.stats();
+    let solve = registry
+        .snapshot()
+        .histograms
+        .into_iter()
+        .find(|h| h.name == "solver.solve_nanos")
+        .expect("solver.solve_nanos registered");
+    let solve_mean_nanos = solve.sum / solve.count.max(1);
+    let solve_p50_nanos = percentile_bound(&solve.buckets, solve.count, 0.50);
+    let solve_p90_nanos = percentile_bound(&solve.buckets, solve.count, 0.90);
+    let solve_p99_nanos = percentile_bound(&solve.buckets, solve.count, 0.99);
     let mut snapshot = String::new();
     for e in &entries {
         let _ = writeln!(
@@ -196,46 +258,87 @@ fn run_config(label: &str, threads: usize, cache_capacity: usize, rounds: usize)
     }
     eprintln!(
         "[bench_reduce] {label}: pool {pool_size} -> {}, {} reduce calls, {:.0} ms, \
-         {} queries, {} hits / {} misses",
+         {} queries, {} hits / {} misses, {} frames, {} nogood hits, \
+         mean solve {:.1} us",
         entries.len(),
         stats.len(),
         millis,
         solver_stats.queries,
         solver_stats.cache_hits,
-        solver_stats.cache_misses
+        solver_stats.cache_misses,
+        solver_stats.frames_pushed,
+        solver_stats.nogood_hits,
+        solve_mean_nanos as f64 / 1e3
     );
     Outcome {
         label: label.to_owned(),
         threads,
         cache_capacity,
+        incremental,
         millis,
         stats,
         pool_after: entries.len(),
         queries: solver_stats.queries,
         cache_hits: solver_stats.cache_hits,
         cache_misses: solver_stats.cache_misses,
+        frames_pushed: solver_stats.frames_pushed,
+        trail_restores: solver_stats.trail_restores,
+        nogood_hits: solver_stats.nogood_hits,
+        batched_queries: solver_stats.batched_queries,
+        solve_mean_nanos,
+        solve_p50_nanos,
+        solve_p90_nanos,
+        solve_p99_nanos,
         snapshot,
     }
 }
 
 fn main() {
-    let rounds: usize = std::env::var("CPR_BENCH_ROUNDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    let check_mode = std::env::args().any(|a| a == "--check");
+    let rounds: usize = if check_mode {
+        1
+    } else {
+        std::env::var("CPR_BENCH_ROUNDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4)
+    };
+    let pool_target = if check_mode { 40 } else { 500 };
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let par_threads = cpus.max(4);
     let cache = 1 << 15;
 
-    let serial_nocache = run_config("serial-nocache", 1, 0, rounds);
-    let serial_cache = run_config("serial-cache", 1, cache, rounds);
-    let parallel_cache = run_config("parallel-cache", par_threads, cache, rounds);
+    let serial_nocache = run_config("serial-nocache", 1, 0, false, rounds, pool_target);
+    let serial_cache = run_config("serial-cache", 1, cache, false, rounds, pool_target);
+    let parallel_cache = run_config(
+        "parallel-cache",
+        par_threads,
+        cache,
+        false,
+        rounds,
+        pool_target,
+    );
+    let serial_incremental = run_config("serial-incremental", 1, cache, true, rounds, pool_target);
+    let parallel_incremental = run_config(
+        "parallel-incremental",
+        par_threads,
+        cache,
+        true,
+        rounds,
+        pool_target,
+    );
 
-    // Bit-identical outcomes across all configurations (the cache and the
-    // worker pool are both semantically transparent).
-    for other in [&serial_cache, &parallel_cache] {
+    // Bit-identical outcomes across all configurations (the cache, the
+    // worker pool, and the incremental subsystem are all semantically
+    // transparent).
+    for other in [
+        &serial_cache,
+        &parallel_cache,
+        &serial_incremental,
+        &parallel_incremental,
+    ] {
         assert_eq!(
             serial_nocache.stats, other.stats,
             "ReduceStats diverged in {}",
@@ -246,9 +349,25 @@ fn main() {
             "pool diverged in {}",
             other.label
         );
-        assert_eq!(serial_nocache.queries, other.queries);
+        assert_eq!(
+            serial_nocache.queries, other.queries,
+            "query count diverged in {}",
+            other.label
+        );
     }
 
+    if check_mode {
+        println!(
+            "bench_reduce --check: 5 configs x {} reduce calls on a {}-entry pool: \
+             identical stats, pools, and query counts",
+            serial_nocache.stats.len(),
+            pool_target
+        );
+        return;
+    }
+
+    let speedup_incremental = serial_nocache.millis / serial_incremental.millis;
+    let speedup_parallel_incremental = serial_nocache.millis / parallel_incremental.millis;
     let speedup = serial_nocache.millis / parallel_cache.millis;
     let hit_rate = parallel_cache.cache_hits as f64
         / (parallel_cache.cache_hits + parallel_cache.cache_misses).max(1) as f64;
@@ -266,18 +385,50 @@ fn main() {
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"identical_outcomes\": true,");
     let _ = writeln!(json, "  \"configs\": [");
-    let outs = [&serial_nocache, &serial_cache, &parallel_cache];
+    let outs = [
+        &serial_nocache,
+        &serial_cache,
+        &parallel_cache,
+        &serial_incremental,
+        &parallel_incremental,
+    ];
     for (i, o) in outs.iter().enumerate() {
         let comma = if i + 1 < outs.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"label\": \"{}\", \"threads\": {}, \"cache_capacity\": {}, \
-             \"millis\": {:.1}, \"solver_queries\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}}}{comma}",
-            o.label, o.threads, o.cache_capacity, o.millis, o.queries, o.cache_hits, o.cache_misses
+             \"incremental\": {}, \"millis\": {:.1}, \"solver_queries\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"frames_pushed\": {}, \
+             \"trail_restores\": {}, \"nogood_hits\": {}, \"batched_queries\": {}, \
+             \"solve_mean_nanos\": {}, \"solve_p50_nanos\": {}, \
+             \"solve_p90_nanos\": {}, \"solve_p99_nanos\": {}}}{comma}",
+            o.label,
+            o.threads,
+            o.cache_capacity,
+            o.incremental,
+            o.millis,
+            o.queries,
+            o.cache_hits,
+            o.cache_misses,
+            o.frames_pushed,
+            o.trail_restores,
+            o.nogood_hits,
+            o.batched_queries,
+            o.solve_mean_nanos,
+            o.solve_p50_nanos,
+            o.solve_p90_nanos,
+            o.solve_p99_nanos
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"speedup_serial_incremental_vs_serial_nocache\": {speedup_incremental:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_parallel_incremental_vs_serial_nocache\": {speedup_parallel_incremental:.2},"
+    );
     let _ = writeln!(
         json,
         "  \"speedup_parallel_cache_vs_serial_nocache\": {speedup:.2},"
@@ -288,11 +439,12 @@ fn main() {
     std::fs::write("BENCH_reduce.json", &json).expect("write BENCH_reduce.json");
     println!("{json}");
     println!(
-        "reduce phase: {:.1} ms serial/no-cache vs {:.1} ms parallel/cache \
-         ({speedup:.2}x, {:.1}% cache hits, {} threads on {cpus} cpu(s))",
+        "reduce phase: {:.1} ms serial/no-cache vs {:.1} ms serial-incremental \
+         ({speedup_incremental:.2}x) vs {:.1} ms parallel-incremental \
+         ({speedup_parallel_incremental:.2}x, {} threads on {cpus} cpu(s))",
         serial_nocache.millis,
-        parallel_cache.millis,
-        hit_rate * 100.0,
-        parallel_cache.threads
+        serial_incremental.millis,
+        parallel_incremental.millis,
+        parallel_incremental.threads
     );
 }

@@ -49,7 +49,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cpr_concolic::{prefix_flips, score_candidate, CandidateInput, ConcolicResult, SeenPrefixes};
-use cpr_smt::{CanonicalQuery, Domains, Model, SatResult, Solver, TermId, TermPool};
+use cpr_smt::{CanonicalQuery, Domains, FrameSession, Model, SatResult, Solver, TermId, TermPool};
 
 use crate::problem::RepairConfig;
 use crate::ranking::{rank_order, PoolEntry};
@@ -344,16 +344,34 @@ fn process_flip(
     // consulting either. The canonical key is still learned, so the store
     // contents — and with them every later verdict — match an unscreened
     // run bit for bit.
+    // With the incremental knobs on, the skeleton — a subset of every probe
+    // query of this flip — becomes a pushed frame prefix: its check warms
+    // the session, and each probe then pushes its full query as extras
+    // (skeleton constraints re-push as no-op duplicate frames, only the
+    // patch steps and `T_ρ` contract incrementally).
+    let use_frames = solver.config().incremental && solver.config().batch_candidates;
+    let mut frames: Option<FrameSession> = None;
     if let Some(skeleton) = &task.skeleton {
         let refuted = screening && cpr_analysis::statically_unsat(solver, pool, skeleton, domains);
         if refuted {
             out.static_refutations += 1;
         }
-        if refuted
-            || solver
-                .check_prefixed(pool, skeleton, domains, store)
-                .is_unsat()
-        {
+        let skeleton_unsat = refuted || {
+            if use_frames {
+                let mut f = solver.open_frames(pool, domains);
+                for &c in skeleton {
+                    solver.push_frame(pool, &mut f, c);
+                }
+                let verdict = solver.check_frames(pool, &mut f, Some(store));
+                frames = Some(f);
+                verdict.is_unsat()
+            } else {
+                solver
+                    .check_prefixed(pool, skeleton, domains, store)
+                    .is_unsat()
+            }
+        };
+        if skeleton_unsat {
             if let Some(key) = solver.canonical_query(pool, skeleton, domains) {
                 out.learned.push(key);
             }
@@ -376,6 +394,8 @@ fn process_flip(
         let verdict = if screening && cpr_analysis::statically_unsat(solver, pool, query, domains) {
             out.static_refutations += 1;
             SatResult::Unsat
+        } else if let Some(f) = frames.as_mut() {
+            solver.check_frames_with(pool, f, query, Some(store))
         } else {
             solver.check_prefixed(pool, query, domains, store)
         };

@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cpr_concolic::ConcolicResult;
-use cpr_smt::{Domains, Region, SatResult, Solver, TermId, TermPool};
+use cpr_smt::{Domains, FrameSession, Region, SatResult, Solver, TermId, TermPool};
 use cpr_synth::AbstractPatch;
 
 use crate::problem::RepairConfig;
@@ -200,19 +200,45 @@ pub fn reduce(
 /// under-approximation of [`Solver::check`], so the verdict (and everything
 /// downstream of it) is identical either way; only the issued-query count
 /// and `screened` differ.
+///
+/// The query is `prefix ++ extras`. When `frames` is given, the session
+/// must already hold exactly `prefix` pushed (the caller's invariant) and
+/// the check runs incrementally — `extras` are pushed, decided, and popped,
+/// which [`Solver::check_frames_with`] guarantees is verdict- and
+/// model-identical to `check` on the full query. The screen always sees
+/// the full query, so `screened` counts match on either path.
+#[allow(clippy::too_many_arguments)]
 fn check_screened(
     pool: &TermPool,
     solver: &mut Solver,
     domains: &Domains,
-    query: &[TermId],
+    frames: Option<&mut FrameSession>,
+    prefix: &[TermId],
+    extras: &[TermId],
     screening: bool,
     screened: &mut u64,
 ) -> SatResult {
-    if screening && cpr_analysis::statically_unsat(solver, pool, query, domains) {
-        *screened += 1;
-        return SatResult::Unsat;
+    let full = || {
+        let mut q: Vec<TermId> = Vec::with_capacity(prefix.len() + extras.len());
+        q.extend_from_slice(prefix);
+        q.extend_from_slice(extras);
+        q
+    };
+    if screening {
+        let q = full();
+        if cpr_analysis::statically_unsat(solver, pool, &q, domains) {
+            *screened += 1;
+            return SatResult::Unsat;
+        }
+        return match frames {
+            Some(f) => solver.check_frames_with(pool, f, extras, None),
+            None => solver.check(pool, &q, domains),
+        };
     }
-    solver.check(pool, query, domains)
+    match frames {
+        Some(f) => solver.check_frames_with(pool, f, extras, None),
+        None => solver.check(pool, &full(), domains),
+    }
 }
 
 /// One entry of the pool walk, on worker-owned state.
@@ -236,14 +262,29 @@ fn process_entry(
         deletion: false,
         screened: 0,
     };
+    // Every query this entry issues — the feasibility gate and the whole
+    // refinement recursion — conjoins the same path prefix φ. With the
+    // incremental knobs on, push φ as assertion frames once: the shared
+    // prefix is contracted a single time and each query only push/pops its
+    // own hole constraints.
+    let mut frames: Option<FrameSession> =
+        if solver.config().incremental && solver.config().batch_candidates {
+            let mut f = solver.open_frames(pool, domains);
+            for &c in phi {
+                solver.push_frame(pool, &mut f, c);
+            }
+            Some(f)
+        } else {
+            None
+        };
     // π ← φ(X) ∧ ψ_ρ(X, A) ∧ T_ρ(A)
-    let mut pi = phi.to_vec();
-    pi.push(t_term);
     if !check_screened(
         pool,
         solver,
         domains,
-        &pi,
+        frames.as_mut(),
+        phi,
+        &[t_term],
         config.static_screening,
         &mut outcome.screened,
     )
@@ -259,6 +300,7 @@ fn process_entry(
                 pool,
                 solver,
                 domains,
+                frames.as_mut(),
                 phi,
                 &patch.constraint,
                 sigma,
@@ -362,12 +404,23 @@ fn deletion_like(
     let t_term = patch.constraint_term(pool);
     base.push(t_term);
     // If the *other* direction is infeasible on this partition, the patch is
-    // constant here: evidence of functionality deletion.
+    // constant here: evidence of functionality deletion. (This query is
+    // over the non-patch partition, not the entry's φ prefix, so it does
+    // not ride the entry's frame session.)
     let not_psi = pool.not(psi);
     let mut q = base.clone();
     q.push(not_psi);
     matches!(
-        check_screened(pool, solver, domains, &q, config.static_screening, screened),
+        check_screened(
+            pool,
+            solver,
+            domains,
+            None,
+            &q,
+            &[],
+            config.static_screening,
+            screened,
+        ),
         SatResult::Unsat
     )
 }
@@ -390,6 +443,7 @@ pub fn refine_patch(
         &mut sess.pool,
         &mut sess.solver,
         &sess.domains,
+        None,
         phi,
         region,
         sigma,
@@ -401,12 +455,15 @@ pub fn refine_patch(
 }
 
 /// [`refine_patch`] on explicit pool/solver/domain state, so reduce workers
-/// can run it on their forks.
+/// can run it on their forks. When `frames` is given it must hold exactly
+/// `phi` pushed; every query of the refinement then reuses that contracted
+/// prefix and only push/pops its own two or three hole constraints.
 #[allow(clippy::too_many_arguments)]
 fn refine_patch_impl(
     pool: &mut TermPool,
     solver: &mut Solver,
     domains: &Domains,
+    mut frames: Option<&mut FrameSession>,
     phi: &[TermId],
     region: &Region,
     sigma: TermId,
@@ -428,15 +485,32 @@ fn refine_patch_impl(
     // The refinement budget `calls` counts screened queries too, so the
     // screen can never buy a deeper recursion than the solver would.
     *calls += 1;
-    let mut pass1 = phi.to_vec();
-    pass1.push(sigma);
-    if check_screened(pool, solver, domains, &pass1, screening, screened).is_sat() {
+    if check_screened(
+        pool,
+        solver,
+        domains,
+        frames.as_deref_mut(),
+        phi,
+        &[sigma],
+        screening,
+        screened,
+    )
+    .is_sat()
+    {
         // ω_pass2 ← φ ∧ ψ_ρ ∧ T_ρ ∧ σ
         *calls += 1;
-        let mut pass2 = phi.to_vec();
-        pass2.push(region_term);
-        pass2.push(sigma);
-        if check_screened(pool, solver, domains, &pass2, screening, screened).is_unsat() {
+        if check_screened(
+            pool,
+            solver,
+            domains,
+            frames.as_deref_mut(),
+            phi,
+            &[region_term, sigma],
+            screening,
+            screened,
+        )
+        .is_unsat()
+        {
             // No parameter value in T_ρ can make the spec pass: discard.
             return Region::empty(region.params().to_vec());
         }
@@ -444,10 +518,16 @@ fn refine_patch_impl(
 
     // ω_fail ← φ ∧ ψ_ρ ∧ T_ρ ∧ ¬σ
     *calls += 1;
-    let mut fail = phi.to_vec();
-    fail.push(region_term);
-    fail.push(not_sigma);
-    match check_screened(pool, solver, domains, &fail, screening, screened) {
+    match check_screened(
+        pool,
+        solver,
+        domains,
+        frames.as_deref_mut(),
+        phi,
+        &[region_term, not_sigma],
+        screening,
+        screened,
+    ) {
         SatResult::Sat(model) => {
             // Extract the counterexample parameter point m_A.
             let point: Vec<i64> = region
@@ -469,14 +549,22 @@ fn refine_patch_impl(
                 // Guard: only recurse into regions compatible with the path.
                 *calls += 1;
                 let r_term = r.to_term(pool);
-                let mut pi = phi.to_vec();
-                pi.push(r_term);
-                match check_screened(pool, solver, domains, &pi, screening, screened) {
+                match check_screened(
+                    pool,
+                    solver,
+                    domains,
+                    frames.as_deref_mut(),
+                    phi,
+                    &[r_term],
+                    screening,
+                    screened,
+                ) {
                     SatResult::Sat(_) | SatResult::Unknown => {
                         let refined = refine_patch_impl(
                             pool,
                             solver,
                             domains,
+                            frames.as_deref_mut(),
                             phi,
                             &r,
                             sigma,

@@ -50,43 +50,59 @@ fn loopback_server_runs_cancels_and_resumes_jobs() {
     let mut spec_a = JobSpec::new(subject_a);
     spec_a.max_iterations = Some(12);
     spec_a.checkpoint_every = Some(3);
-    // The victim gets a budget large enough that it is still mid-flight
-    // when the cancel lands, and a per-step checkpoint cadence.
-    let mut spec_b = JobSpec::new(subject_b);
-    spec_b.max_iterations = Some(30);
-    spec_b.checkpoint_every = Some(1);
 
     let job_a = client_a.submit(spec_a.clone()).unwrap();
-    let job_b = client_b.submit(spec_b.clone()).unwrap();
-    assert_ne!(job_a, job_b);
 
-    // Poll until the victim has made observable progress, then cancel it
-    // mid-flight.
-    let mut progressed = false;
-    for _ in 0..2400 {
-        let status = client_b.status(job_b).unwrap();
-        let iters = status.get("iterations").and_then(Json::as_i64).unwrap_or(0);
-        if state_of(&status) == "running" && iters >= 2 {
-            progressed = true;
+    // The victim gets a per-step checkpoint cadence and a budget large
+    // enough that it is still mid-flight when the cancel lands.
+    // Cancellation is cooperative, so it can lose the race against a job
+    // that finishes its whole budget between the progress observation and
+    // the cancel request — every solver speedup widens that hazard. A
+    // lost race is retried with a quadrupled budget, which multiplies the
+    // work remaining after the observation point.
+    let mut spec_b = JobSpec::new(subject_b);
+    spec_b.checkpoint_every = Some(1);
+    let mut canceled_job = None;
+    for budget in [30usize, 120, 480, 1920] {
+        spec_b.max_iterations = Some(budget);
+        let id = client_b.submit(spec_b.clone()).unwrap();
+        assert_ne!(job_a, id);
+
+        // Poll until the victim has made observable progress, then cancel
+        // it mid-flight.
+        let mut progressed = false;
+        for _ in 0..2400 {
+            let status = client_b.status(id).unwrap();
+            let iters = status.get("iterations").and_then(Json::as_i64).unwrap_or(0);
+            let state = state_of(&status);
+            if state == "running" && iters >= 2 {
+                progressed = true;
+                break;
+            }
+            if state == "done" {
+                // Finished before progress was even observed; retry.
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        if progressed {
+            // The cancel request itself can race completion ("done" jobs
+            // reject it); the terminal state below decides the outcome.
+            let _ = client_b.cancel(id);
+            for _ in 0..2400 {
+                let state = state_of(&client_b.status(id).unwrap());
+                if state == "canceled" || state == "done" {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+        if state_of(&client_b.status(id).unwrap()) == "canceled" {
+            canceled_job = Some(id);
             break;
         }
-        assert_ne!(
-            state_of(&status),
-            "done",
-            "victim finished before it could be canceled; raise its budget"
-        );
-        std::thread::sleep(Duration::from_millis(25));
     }
-    assert!(progressed, "victim job never reached 2 iterations");
-    client_b.cancel(job_b).unwrap();
-    for _ in 0..2400 {
-        if state_of(&client_b.status(job_b).unwrap()) == "canceled" {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(25));
-    }
-    let canceled = client_b.status(job_b).unwrap();
-    assert_eq!(state_of(&canceled), "canceled");
+    let job_b = canceled_job.expect("cancel lost the completion race at every budget");
     // No report for a canceled job.
     assert!(client_b.report(job_b).is_err());
 
@@ -124,10 +140,10 @@ fn loopback_server_runs_cancels_and_resumes_jobs() {
     let report_b = client_a.report(job_b).unwrap();
     assert_eq!(report_fingerprint(&report_b), direct_fingerprint(&spec_b));
 
-    // The jobs listing shows both, and protocol errors are responses, not
-    // disconnects.
+    // The jobs listing shows the survivor and every victim attempt, and
+    // protocol errors are responses, not disconnects.
     let jobs = client_a.jobs().unwrap();
-    assert_eq!(jobs.len(), 2);
+    assert!(jobs.len() >= 2, "{} jobs listed", jobs.len());
     assert!(client_a.report(999).is_err());
     assert!(client_a.status(999).is_err());
 

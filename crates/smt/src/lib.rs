@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod deps;
 pub mod interval;
 mod model;
 mod parse;
@@ -58,8 +59,10 @@ mod region;
 mod simplify;
 mod solver;
 mod term;
+mod trail;
 pub mod wire;
 
+pub use deps::DepGraph;
 pub use interval::Interval;
 pub use model::{Model, Value};
 pub use parse::ParseTermError;
@@ -69,3 +72,4 @@ pub use solver::{
     UnsatPrefixStore,
 };
 pub use term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
+pub use trail::FrameSession;

@@ -16,9 +16,11 @@ use std::sync::{Arc, Mutex};
 
 use cpr_obs::{Counter, Histogram, MetricsRegistry};
 
+use crate::deps::DepGraph;
 use crate::interval::Interval;
 use crate::model::Model;
 use crate::term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
+use crate::trail::FrameSession;
 
 /// Initial variable domains for a query.
 ///
@@ -112,6 +114,24 @@ pub struct SolverConfig {
     /// Capacity of the memoizing query cache (entries per generation);
     /// `0` disables caching entirely.
     pub cache_capacity: usize,
+    /// Enables the incremental machinery: the precomputed term→variable
+    /// dependency graph (see [`DepGraph`]) serving the hot-path variable
+    /// lookups, and the assertion-frame entry points
+    /// ([`Solver::open_frames`] and friends). Verdict-preserving: the
+    /// determinism suite proves repair reports are bit-identical with this
+    /// on or off.
+    pub incremental: bool,
+    /// Capacity of the no-good store: minimal contradicting constraint
+    /// subsets extracted from root-refuted UNSAT queries, used to refute
+    /// future superset queries by a sorted-id subset test before any
+    /// propagation. `0` disables learning. Verdict-preserving by the
+    /// monotone-refutation guarantee of [`Solver::refute_root`].
+    pub nogood_capacity: usize,
+    /// Routes prefix-sharing candidate batches ([`Solver::check_batch`]
+    /// and the frame sessions reduce/expand thread through their query
+    /// loops) through shared assertion frames instead of independent
+    /// from-scratch checks. Requires `incremental`; verdict-preserving.
+    pub batch_candidates: bool,
 }
 
 impl Default for SolverConfig {
@@ -121,6 +141,9 @@ impl Default for SolverConfig {
             max_contraction_rounds: 30,
             default_domain: Interval::of(-(1 << 30), 1 << 30),
             cache_capacity: 4_096,
+            incremental: true,
+            nogood_capacity: 512,
+            batch_candidates: true,
         }
     }
 }
@@ -145,6 +168,17 @@ pub struct SolverStats {
     /// Queries answered `Unsat` by UNSAT-prefix subsumption, without a
     /// cache lookup or search (see [`UnsatPrefixStore`]).
     pub prefix_short_circuits: u64,
+    /// Assertion frames pushed ([`Solver::push_frame`]).
+    pub frames_pushed: u64,
+    /// Interval deltas undone by frame pops (total trail entries restored).
+    pub trail_restores: u64,
+    /// Queries answered `Unsat` by learned-no-good subsumption, without a
+    /// cache lookup or search.
+    pub nogood_hits: u64,
+    /// Queries answered through the assertion-frame path
+    /// ([`Solver::check_frames`] / [`Solver::check_batch`]); every such
+    /// query also counts in `queries`.
+    pub batched_queries: u64,
 }
 
 /// Canonical form of a query: the live constraints in sorted, deduplicated
@@ -243,6 +277,51 @@ impl UnsatPrefixStore {
     }
 }
 
+/// The shared first stage of every query path: drops constant-`true`
+/// constraints and keeps the rest, in caller order. `None` means a
+/// constant-`false` constraint makes the conjunction trivially
+/// unsatisfiable (each call site answers that case with its own
+/// bookkeeping).
+pub(crate) fn filter_live(pool: &TermPool, constraints: &[TermId]) -> Option<Vec<TermId>> {
+    let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
+    for &c in constraints {
+        match pool.data(c) {
+            TermData::BoolConst(true) => {}
+            TermData::BoolConst(false) => return None,
+            _ => live.push(c),
+        }
+    }
+    Some(live)
+}
+
+/// The shared fast refutation of every query path: whether two live
+/// constraints are literal complements of each other (common in
+/// equivalence queries). `TermPool::complementary` is symmetric, so the
+/// verdict is a function of the constraint *set* — scanning the sorted
+/// canonical order and scanning caller order agree.
+pub(crate) fn has_complementary_pair(pool: &TermPool, live: &[TermId]) -> bool {
+    live.iter()
+        .enumerate()
+        .any(|(i, &a)| live[i + 1..].iter().any(|&b| pool.complementary(a, b)))
+}
+
+/// The widest non-point variable among `vars` (ties keep the earlier
+/// variable in first-occurrence order) — the branch-variable heuristic,
+/// shared by both `vars_of` routes of [`Solver::pick_branch_var`].
+fn widest_var(vars: impl Iterator<Item = VarId>, vbox: &VarBox) -> Option<VarId> {
+    let mut best: Option<(VarId, u64)> = None;
+    for v in vars {
+        let w = vbox.get(v).width();
+        if w > 1 {
+            match best {
+                Some((_, bw)) if bw <= w => {}
+                _ => best = Some((v, w)),
+            }
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
 /// Subset test over sorted, deduplicated id slices (merge walk).
 fn is_subset(sub: &[TermId], sup: &[TermId]) -> bool {
     let mut it = sup.iter();
@@ -312,7 +391,14 @@ struct SolverObs {
     cache_hits: Counter,
     cache_misses: Counter,
     prefix_short_circuits: Counter,
+    frames_pushed: Counter,
+    frames_popped: Counter,
+    trail_restores: Counter,
+    nogood_hits: Counter,
+    nogood_learned: Counter,
+    batched_queries: Counter,
     solve_nanos: Histogram,
+    frame_contract_nanos: Histogram,
 }
 
 impl SolverObs {
@@ -325,7 +411,14 @@ impl SolverObs {
             cache_hits: reg.counter("solver.cache_hits"),
             cache_misses: reg.counter("solver.cache_misses"),
             prefix_short_circuits: reg.counter("solver.prefix_short_circuits"),
+            frames_pushed: reg.counter("solver.frames.pushed"),
+            frames_popped: reg.counter("solver.frames.popped"),
+            trail_restores: reg.counter("solver.frames.trail_restores"),
+            nogood_hits: reg.counter("solver.nogood.hits"),
+            nogood_learned: reg.counter("solver.nogood.learned"),
+            batched_queries: reg.counter("solver.batch.queries"),
             solve_nanos: reg.histogram("solver.solve_nanos"),
+            frame_contract_nanos: reg.histogram("solver.frames.contract_nanos"),
         }
     }
 }
@@ -340,7 +433,7 @@ impl Default for SolverObs {
 /// Fingerprint (FNV-1a) of the domain environment a query runs under, so
 /// identical constraint sets solved under different domains never share a
 /// cache entry.
-fn domains_fingerprint(domains: &Domains, default: Interval) -> u64 {
+pub(crate) fn domains_fingerprint(domains: &Domains, default: Interval) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut mix = |v: u64| {
         h ^= v;
@@ -365,7 +458,7 @@ fn domains_fingerprint(domains: &Domains, default: Interval) -> u64 {
 /// [`Solver::check`] answers the canonical (sorted, deduplicated) form of
 /// every query, making each verdict a pure function of its cache key —
 /// whichever thread computed it.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
@@ -376,18 +469,37 @@ pub struct Solver {
     /// the shared prefix (ids below the fork point) may touch the shared
     /// table. `usize::MAX` (the root solver) caches everything.
     cache_floor: usize,
+    /// Term → variable dependency lists, synced lazily against the pool
+    /// when [`SolverConfig::incremental`] is on (see [`DepGraph`]).
+    pub(crate) deps: DepGraph,
+    /// Learned no-goods: minimal contradicting subsets of root-refuted
+    /// UNSAT queries, private to this solver instance. Unlike the shared
+    /// query cache this is plain owned state — [`Solver::fork`] copies the
+    /// transferable entries and [`Solver::absorb`] merges learned ones
+    /// back, keeping verdicts scheduling-independent (a no-good hit and a
+    /// full search agree by the monotone-refutation guarantee).
+    nogoods: UnsatPrefixStore,
     obs: SolverObs,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new(SolverConfig::default())
+    }
 }
 
 impl Solver {
     /// Creates a solver with the given configuration. Observability is
     /// off until [`Solver::attach_metrics`] is called.
     pub fn new(config: SolverConfig) -> Self {
+        let nogoods = UnsatPrefixStore::new(config.nogood_capacity);
         Solver {
             config,
             stats: SolverStats::default(),
             cache: Arc::new(Mutex::new(QueryCache::default())),
             cache_floor: usize::MAX,
+            deps: DepGraph::new(),
+            nogoods,
             obs: SolverObs::default(),
         }
     }
@@ -409,19 +521,35 @@ impl Solver {
     /// queries whose term ids all lie below the fork point, because ids it
     /// interns into its own pool fork mean nothing in other forks.
     pub fn fork(&self, base_terms: usize) -> Solver {
+        let floor = base_terms.min(self.cache_floor);
+        // No-goods over shared-prefix terms transfer to the worker (the
+        // ids name the same terms in its pool fork); anything above the
+        // floor stays behind.
+        let mut nogoods = UnsatPrefixStore::new(self.config.nogood_capacity);
+        for key in self.nogoods.iter() {
+            if key.0.last().is_none_or(|id| (id.0 as usize) < floor) {
+                nogoods.insert(key.clone());
+            }
+        }
         Solver {
             config: self.config.clone(),
             stats: SolverStats::default(),
             cache: Arc::clone(&self.cache),
-            cache_floor: base_terms.min(self.cache_floor),
+            cache_floor: floor,
+            deps: self.deps.clone(),
+            nogoods,
             // Shared cells: worker increments land directly in the same
             // totals, so absorb() has nothing to merge for metrics either.
             obs: self.obs.clone(),
         }
     }
 
-    /// Folds a forked worker back in by summing its statistics. (The query
-    /// cache is shared with the worker, so there is nothing to merge.)
+    /// Folds a forked worker back in by summing its statistics and merging
+    /// the no-goods it learned over shared-prefix terms (its cache floor
+    /// guarantees those ids are meaningful here). Callers absorb workers
+    /// in a deterministic order, so the merged store content is
+    /// deterministic too. (The query cache is shared with the worker, so
+    /// there is nothing to merge.)
     pub fn absorb(&mut self, worker: Solver) {
         let s = worker.stats;
         self.stats.queries += s.queries;
@@ -432,6 +560,16 @@ impl Solver {
         self.stats.cache_hits += s.cache_hits;
         self.stats.cache_misses += s.cache_misses;
         self.stats.prefix_short_circuits += s.prefix_short_circuits;
+        self.stats.frames_pushed += s.frames_pushed;
+        self.stats.trail_restores += s.trail_restores;
+        self.stats.nogood_hits += s.nogood_hits;
+        self.stats.batched_queries += s.batched_queries;
+        let floor = worker.cache_floor;
+        for key in worker.nogoods.iter() {
+            if key.0.last().is_none_or(|id| (id.0 as usize) < floor) {
+                self.nogoods.insert(key.clone());
+            }
+        }
     }
 
     /// Number of entries currently memoized.
@@ -496,6 +634,179 @@ impl Solver {
         self.check_with_store(pool, constraints, domains, Some(store))
     }
 
+    /// Opens an assertion-frame session over `domains`: an incremental
+    /// alternative to per-call [`Solver::check`] for runs of queries that
+    /// share constraint prefixes. Push constraints with
+    /// [`Solver::push_frame`], undo them in LIFO order with
+    /// [`Solver::pop_frame`], and decide the current conjunction with
+    /// [`Solver::check_frames`] — which returns exactly what `check` on
+    /// the pushed constraints would, verdicts and models alike.
+    ///
+    /// The domain environment is captured here and fixed for the session's
+    /// lifetime.
+    pub fn open_frames(&mut self, pool: &TermPool, domains: &Domains) -> FrameSession {
+        if self.config.incremental {
+            self.deps.sync(pool);
+        }
+        FrameSession::open(
+            domains.clone(),
+            self.config.default_domain,
+            domains_fingerprint(domains, self.config.default_domain),
+        )
+    }
+
+    /// Pushes `constraint` onto the session as a new assertion frame and
+    /// re-contracts the session's warm state along the constraint's
+    /// dependency cone, logging every narrowed interval on the undo trail.
+    pub fn push_frame(&mut self, pool: &TermPool, frames: &mut FrameSession, constraint: TermId) {
+        self.stats.frames_pushed += 1;
+        self.obs.frames_pushed.inc();
+        if self.config.incremental {
+            self.deps.sync(pool);
+        }
+        let t0 = self.obs.frame_contract_nanos.start();
+        let owned: Vec<VarId>;
+        let vars: &[VarId] = if self.config.incremental && self.deps.covers(constraint) {
+            self.deps.vars_of(constraint)
+        } else {
+            owned = pool.vars_of(constraint);
+            &owned
+        };
+        frames.push(pool, constraint, vars, self.config.max_contraction_rounds);
+        self.obs.frame_contract_nanos.stop(t0);
+    }
+
+    /// Pops the most recently pushed frame, restoring the session's warm
+    /// state from the trail in O(entries this frame logged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has no pushed frame.
+    pub fn pop_frame(&mut self, frames: &mut FrameSession) {
+        let restored = frames.pop() as u64;
+        self.stats.trail_restores += restored;
+        self.obs.trail_restores.add(restored);
+        self.obs.frames_popped.inc();
+    }
+
+    /// Decides the conjunction of the session's currently pushed
+    /// constraints — with verdicts, models, and query accounting identical
+    /// to [`Solver::check`] (or [`Solver::check_prefixed`], when `store`
+    /// is given) on those constraints.
+    ///
+    /// The session's warm state never becomes the answer directly: the
+    /// canonical query is derived from the frame stack and routed through
+    /// the same pipeline as `check` (fast refutations, prefix/no-good
+    /// subsumption, cache, search). A contraction failure observed during
+    /// a push is only turned into `Unsat` after [`Solver::refute_root`]
+    /// re-proves it, so the shortcut cannot diverge from `check` either.
+    pub fn check_frames(
+        &mut self,
+        pool: &TermPool,
+        frames: &mut FrameSession,
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
+        let t0 = self.obs.solve_nanos.start();
+        let result = self.check_frames_inner(pool, frames, store);
+        self.obs.solve_nanos.stop(t0);
+        self.obs.queries.inc();
+        self.obs.batched_queries.inc();
+        match &result {
+            SatResult::Sat(_) => self.obs.sat.inc(),
+            SatResult::Unsat => self.obs.unsat.inc(),
+            SatResult::Unknown => self.obs.unknown.inc(),
+        }
+        result
+    }
+
+    fn check_frames_inner(
+        &mut self,
+        pool: &TermPool,
+        frames: &FrameSession,
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
+        self.stats.queries += 1;
+        self.stats.batched_queries += 1;
+        // The same trivial refutations `check` fires before
+        // canonicalization. The complementary-pair scan runs over the
+        // sorted canonical set instead of push order; `complementary` is
+        // symmetric, so the outcome is the same.
+        if frames.has_trivially_false() {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
+        }
+        if has_complementary_pair(pool, frames.canonical()) {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
+        }
+        let key: QueryKey = (frames.canonical().to_vec(), frames.fingerprint());
+        // Warm-state shortcut: push-time contraction emptied a domain, so
+        // the conjunction is almost certainly UNSAT — but the warm trace
+        // interleaves frames differently than `check`'s canonical root
+        // pass, so re-prove it with the exact root pass before answering.
+        // (`refute_root == true` implies `check` would answer `Unsat`.)
+        if frames.failed() && self.refute_root(pool, &key.0, frames.domains()) {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
+        }
+        self.answer(pool, key, frames.domains(), store)
+    }
+
+    /// Pushes `extras`, decides the resulting conjunction via
+    /// [`Solver::check_frames`], then pops them again — the per-candidate
+    /// step of batched checking.
+    pub fn check_frames_with(
+        &mut self,
+        pool: &TermPool,
+        frames: &mut FrameSession,
+        extras: &[TermId],
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
+        for &c in extras {
+            self.push_frame(pool, frames, c);
+        }
+        let result = self.check_frames(pool, frames, store);
+        for _ in extras {
+            self.pop_frame(frames);
+        }
+        result
+    }
+
+    /// Checks a batch of candidate queries sharing a constraint `prefix`:
+    /// the prefix is pushed (and contracted) once, then each candidate's
+    /// extra constraints are pushed, decided, and popped in O(delta).
+    /// Returns one verdict per candidate, each identical to
+    /// `check(prefix ++ candidate)` — when `incremental` or
+    /// `batch_candidates` is off, that is literally what runs.
+    pub fn check_batch(
+        &mut self,
+        pool: &TermPool,
+        prefix: &[TermId],
+        candidates: &[Vec<TermId>],
+        domains: &Domains,
+        store: Option<&UnsatPrefixStore>,
+    ) -> Vec<SatResult> {
+        if !(self.config.incremental && self.config.batch_candidates) {
+            return candidates
+                .iter()
+                .map(|cand| {
+                    let mut q: Vec<TermId> = Vec::with_capacity(prefix.len() + cand.len());
+                    q.extend_from_slice(prefix);
+                    q.extend_from_slice(cand);
+                    self.check_with_store(pool, &q, domains, store)
+                })
+                .collect();
+        }
+        let mut frames = self.open_frames(pool, domains);
+        for &c in prefix {
+            self.push_frame(pool, &mut frames, c);
+        }
+        candidates
+            .iter()
+            .map(|cand| self.check_frames_with(pool, &mut frames, cand, store))
+            .collect()
+    }
+
     /// The canonical form of a query, exactly as [`Solver::check`] caches
     /// and answers it. `None` when a constant-`false` constraint makes the
     /// conjunction trivially unsatisfiable (such queries are answered
@@ -506,14 +817,7 @@ impl Solver {
         constraints: &[TermId],
         domains: &Domains,
     ) -> Option<CanonicalQuery> {
-        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
-        for &c in constraints {
-            match pool.data(c) {
-                TermData::BoolConst(true) => {}
-                TermData::BoolConst(false) => return None,
-                _ => live.push(c),
-            }
-        }
+        let mut live = filter_live(pool, constraints)?;
         live.sort_unstable();
         live.dedup();
         Some((
@@ -541,20 +845,11 @@ impl Solver {
     /// query it would otherwise send to `check`, saving the search without
     /// ever changing an answer.
     pub fn refute_root(&self, pool: &TermPool, constraints: &[TermId], domains: &Domains) -> bool {
-        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
-        for &c in constraints {
-            match pool.data(c) {
-                TermData::BoolConst(true) => {}
-                TermData::BoolConst(false) => return true,
-                _ => live.push(c),
-            }
-        }
-        for (i, &a) in live.iter().enumerate() {
-            for &b in &live[i + 1..] {
-                if pool.complementary(a, b) {
-                    return true;
-                }
-            }
+        let Some(mut live) = filter_live(pool, constraints) else {
+            return true;
+        };
+        if has_complementary_pair(pool, &live) {
+            return true;
         }
         // With a zero node budget, `check` answers `Unknown` before ever
         // reaching the root contraction pass; mirror that so the guarantee
@@ -564,14 +859,7 @@ impl Solver {
         }
         live.sort_unstable();
         live.dedup();
-        let mut vars: Vec<VarId> = Vec::new();
-        for &c in &live {
-            for v in pool.vars_of(c) {
-                if !vars.contains(&v) {
-                    vars.push(v);
-                }
-            }
-        }
+        let vars = self.query_vars(pool, &live);
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         for _ in 0..self.config.max_contraction_rounds {
             vbox.clear_changed();
@@ -619,26 +907,15 @@ impl Solver {
     ) -> SatResult {
         self.stats.queries += 1;
         // Fast path: constant constraints.
-        let mut live: Vec<TermId> = Vec::with_capacity(constraints.len());
-        for &c in constraints {
-            match pool.data(c) {
-                TermData::BoolConst(true) => {}
-                TermData::BoolConst(false) => {
-                    self.stats.unsat += 1;
-                    return SatResult::Unsat;
-                }
-                _ => live.push(c),
-            }
-        }
+        let Some(mut live) = filter_live(pool, constraints) else {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
+        };
         // Fast refutation: two top-level constraints that are literal
         // complements of each other (common in equivalence queries).
-        for (i, &a) in live.iter().enumerate() {
-            for &b in &live[i + 1..] {
-                if pool.complementary(a, b) {
-                    self.stats.unsat += 1;
-                    return SatResult::Unsat;
-                }
-            }
+        if has_complementary_pair(pool, &live) {
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
         }
         // Canonicalize: constraints are conjunctive, so sorted deduplicated
         // order is equivalent. The solver *answers* the canonical query
@@ -648,14 +925,27 @@ impl Solver {
         // changing any answer.
         live.sort_unstable();
         live.dedup();
-        let caching = self.config.cache_capacity > 0
-            && live
-                .last()
-                .is_none_or(|id| (id.0 as usize) < self.cache_floor);
         let key: QueryKey = (
             live,
             domains_fingerprint(domains, self.config.default_domain),
         );
+        self.answer(pool, key, domains, store)
+    }
+
+    /// The shared tail of every query path, taking over once a query is in
+    /// canonical form (and its trivial refutations are ruled out): prefix
+    /// subsumption, the memoizing cache, no-good subsumption, and finally
+    /// the branch-and-prune search, with no-good learning on root-refuted
+    /// UNSAT outcomes. Both [`Solver::check`] and the assertion-frame path
+    /// ([`Solver::check_frames`]) end here, which is what makes the two
+    /// entry points verdict-identical by construction.
+    fn answer(
+        &mut self,
+        pool: &TermPool,
+        key: QueryKey,
+        domains: &Domains,
+        store: Option<&UnsatPrefixStore>,
+    ) -> SatResult {
         // UNSAT-prefix subsumption, ahead of the cache: a stored UNSAT
         // subset refutes this query outright. Checking before any cache
         // interaction keeps the verdict a pure function of (canonical
@@ -671,6 +961,11 @@ impl Solver {
                 return SatResult::Unsat;
             }
         }
+        let caching = self.config.cache_capacity > 0
+            && key
+                .0
+                .last()
+                .is_none_or(|id| (id.0 as usize) < self.cache_floor);
         if caching {
             let cached = self.cache.lock().expect("query cache poisoned").get(&key);
             if let Some(result) = cached {
@@ -686,15 +981,26 @@ impl Solver {
             self.stats.cache_misses += 1;
             self.obs.cache_misses.inc();
         }
-        let live = &key.0;
-        let mut vars: Vec<VarId> = Vec::new();
-        for &c in live {
-            for v in pool.vars_of(c) {
-                if !vars.contains(&v) {
-                    vars.push(v);
-                }
-            }
+        // Learned no-goods, on a cache miss: a no-good is a verified
+        // root-refutable subset, so subsumption implies the search below
+        // would answer `Unsat` anyway (monotone refutation) — answering
+        // early is invisible to every caller, and consistent with any
+        // cache entry for the key (cached verdicts are pure functions of
+        // the key, and that pure verdict is `Unsat` whenever a no-good
+        // subsumes). Checking after the O(1) cache probe keeps the linear
+        // subset scan off the repeated-query path; the no-good answer is
+        // itself not cached, same purity reason as prefix short-circuits.
+        if self.nogoods.capacity() > 0 && self.nogoods.subsumes(&key) {
+            self.stats.nogood_hits += 1;
+            self.obs.nogood_hits.inc();
+            self.stats.unsat += 1;
+            return SatResult::Unsat;
         }
+        if self.config.incremental {
+            self.deps.sync(pool);
+        }
+        let live = &key.0;
+        let vars = self.query_vars(pool, live);
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         let mut budget = self.config.max_nodes;
         let result = self.search(pool, live, &mut vbox, &mut budget);
@@ -702,6 +1008,12 @@ impl Solver {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
             SatResult::Unknown => self.stats.unknown += 1,
+        }
+        // A query refuted at the root (exactly one node spent) yields a
+        // no-good: the minimal subset of its constraints that the root
+        // contraction pass already contradicts.
+        if result.is_unsat() && self.config.max_nodes - budget == 1 && self.nogoods.capacity() > 0 {
+            self.learn_nogood(pool, &key, domains);
         }
         if caching {
             self.cache.lock().expect("query cache poisoned").insert(
@@ -711,6 +1023,144 @@ impl Solver {
             );
         }
         result
+    }
+
+    /// Collects the variables of a canonical query in first-occurrence
+    /// order, through the dependency graph when it covers every constraint
+    /// (always true on the incremental hot path, where [`DepGraph::sync`]
+    /// runs first) and through `TermPool::vars_of` otherwise. The two
+    /// routes produce the identical list — `DepGraph` replicates the
+    /// `vars_of` order exactly, which its property test pins.
+    fn query_vars(&self, pool: &TermPool, live: &[TermId]) -> Vec<VarId> {
+        let mut vars: Vec<VarId> = Vec::new();
+        if self.config.incremental && live.iter().all(|&c| self.deps.covers(c)) {
+            for &c in live {
+                for &v in self.deps.vars_of(c) {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+        } else {
+            for &c in live {
+                for v in pool.vars_of(c) {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+        }
+        vars
+    }
+
+    /// Extracts and records the minimal contradicting subset of a
+    /// root-refuted canonical query. Replays the root contraction pass
+    /// recording which variable slots each constraint application
+    /// narrowed, seeds a conflict set with the failing constraint (the one
+    /// whose application emptied a domain, or the first with a `False`
+    /// enclosure at the fixpoint), then closes it: any constraint that
+    /// narrowed a variable of the conflict set joins it. Constraints
+    /// outside the closure never touched a conflict variable, so the
+    /// restricted run reproduces the identical refutation — and the result
+    /// is re-verified with [`Solver::refute_root`] before it is stored, so
+    /// a no-good in the store is *proof-carrying*: subsumption answers are
+    /// backed by an actual root refutation, never by the minimization
+    /// argument alone.
+    fn learn_nogood(&mut self, pool: &TermPool, key: &QueryKey, domains: &Domains) {
+        let Some(minimal) = self.minimize_conflict(pool, &key.0, domains) else {
+            return;
+        };
+        if !self.refute_root(pool, &minimal, domains) {
+            return;
+        }
+        if self.nogoods.insert((minimal, key.1)) {
+            self.obs.nogood_learned.inc();
+        }
+    }
+
+    /// The replay-and-close step of [`Solver::learn_nogood`]. Returns the
+    /// minimal subset in sorted order, or `None` when the root pass does
+    /// not actually refute `live` — the one UNSAT-in-one-node case that is
+    /// *not* root-refutable is the point-box concrete-check fallback, whose
+    /// verdict depends on every constraint and must never be generalized.
+    fn minimize_conflict(
+        &self,
+        pool: &TermPool,
+        live: &[TermId],
+        domains: &Domains,
+    ) -> Option<Vec<TermId>> {
+        let vars = self.query_vars(pool, live);
+        let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
+        // Replay the root pass, recording (constraint index, narrowed
+        // slots) per application until the refutation fires.
+        let mut writes: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut seed: Option<usize> = None;
+        'replay: for _ in 0..self.config.max_contraction_rounds {
+            vbox.clear_changed();
+            for (i, &c) in live.iter().enumerate() {
+                let before = vbox.snapshot_ivs();
+                if contract_bool(pool, c, true, &mut vbox).is_err() {
+                    seed = Some(i);
+                    break 'replay;
+                }
+                let narrowed: Vec<usize> = vbox.diff_slots(&before);
+                if !narrowed.is_empty() {
+                    writes.push((i, narrowed));
+                }
+            }
+            if !vbox.take_changed() {
+                break;
+            }
+        }
+        if seed.is_none() {
+            seed = live
+                .iter()
+                .position(|&c| enclose_bool(pool, c, &vbox) == Bool3::False);
+        }
+        let seed = seed?;
+        let slots_of = |c: TermId| -> Vec<usize> {
+            let list: Vec<VarId> = if self.config.incremental && self.deps.covers(c) {
+                self.deps.vars_of(c).to_vec()
+            } else {
+                pool.vars_of(c)
+            };
+            list.into_iter()
+                .filter_map(|v| vbox.slot_index(v))
+                .collect()
+        };
+        let mut in_conflict = vec![false; live.len()];
+        in_conflict[seed] = true;
+        let mut conflict_slots = vec![false; vars.len()];
+        for s in slots_of(live[seed]) {
+            conflict_slots[s] = true;
+        }
+        loop {
+            let mut grew = false;
+            for (i, slots) in &writes {
+                if in_conflict[*i] {
+                    continue;
+                }
+                if slots.iter().any(|&s| conflict_slots[s]) {
+                    in_conflict[*i] = true;
+                    for s in slots_of(live[*i]) {
+                        conflict_slots[s] = true;
+                    }
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // `live` is sorted, and filtering preserves order, so the minimal
+        // set is already canonical.
+        Some(
+            live.iter()
+                .enumerate()
+                .filter(|(i, _)| in_conflict[*i])
+                .map(|(_, &c)| c)
+                .collect(),
+        )
     }
 
     /// Counts the models of the conjunction over all variables occurring in
@@ -729,22 +1179,13 @@ impl Solver {
         domains: &Domains,
     ) -> CountBounds {
         self.stats.queries += 1;
-        let mut live: Vec<TermId> = Vec::new();
-        for &c in constraints {
-            match pool.data(c) {
-                TermData::BoolConst(true) => {}
-                TermData::BoolConst(false) => return CountBounds { lo: 0, hi: 0 },
-                _ => live.push(c),
-            }
+        let Some(live) = filter_live(pool, constraints) else {
+            return CountBounds { lo: 0, hi: 0 };
+        };
+        if self.config.incremental {
+            self.deps.sync(pool);
         }
-        let mut vars: Vec<VarId> = Vec::new();
-        for &c in &live {
-            for v in pool.vars_of(c) {
-                if !vars.contains(&v) {
-                    vars.push(v);
-                }
-            }
-        }
+        let vars = self.query_vars(pool, &live);
         let vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         let mut budget = self.config.max_nodes;
         let mut bounds = CountBounds { lo: 0, hi: 0 };
@@ -919,17 +1360,14 @@ impl Solver {
     }
 
     fn pick_branch_var(&self, pool: &TermPool, constraint: TermId, vbox: &VarBox) -> Option<VarId> {
-        let mut best: Option<(VarId, u64)> = None;
-        for v in pool.vars_of(constraint) {
-            let w = vbox.get(v).width();
-            if w > 1 {
-                match best {
-                    Some((_, bw)) if bw <= w => {}
-                    _ => best = Some((v, w)),
-                }
-            }
+        // Branch-variable selection runs once per search node, making it
+        // the hottest `vars_of` consumer by far — the dependency graph
+        // turns each call from a DAG walk into a slice read.
+        if self.config.incremental && self.deps.covers(constraint) {
+            widest_var(self.deps.vars_of(constraint).iter().copied(), vbox)
+        } else {
+            widest_var(pool.vars_of(constraint).into_iter(), vbox)
         }
-        best.map(|(v, _)| v)
     }
 }
 
@@ -988,40 +1426,126 @@ impl Bool3 {
 
 /// The current variable box: one interval per variable in the query.
 /// Boolean variables are encoded as `[0, 1]` intervals.
+///
+/// Variable lookup goes through a small sorted `(variable, slot)` table
+/// and binary search instead of a hash map: the search clones the box at
+/// every branch (three children per node, two more per disjunction
+/// contraction), and two flat `Vec` copies are far cheaper to clone than
+/// a rebuilt `HashMap`. Slot order is first-occurrence order of the
+/// query's constraints — semantically irrelevant (contraction is per
+/// variable, models are emitted through a sorted map) but kept stable
+/// anyway.
 #[derive(Debug, Clone)]
-struct VarBox {
+pub(crate) struct VarBox {
     vars: Vec<VarId>,
     ivs: Vec<Interval>,
-    index: HashMap<VarId, usize>,
+    lookup: Vec<(VarId, u32)>,
     changed: bool,
 }
 
 impl VarBox {
-    fn new(pool: &TermPool, vars: &[VarId], domains: &Domains, default: Interval) -> Self {
-        let mut ivs = Vec::with_capacity(vars.len());
-        let mut index = HashMap::with_capacity(vars.len());
-        for (i, &v) in vars.iter().enumerate() {
-            let iv = match pool.var_sort(v) {
-                Sort::Bool => Interval::of(0, 1),
-                Sort::Int => domains.get(v).unwrap_or(default),
-            };
-            ivs.push(iv);
-            index.insert(v, i);
-        }
+    pub(crate) fn new(
+        pool: &TermPool,
+        vars: &[VarId],
+        domains: &Domains,
+        default: Interval,
+    ) -> Self {
+        let ivs = vars
+            .iter()
+            .map(|&v| initial_interval(pool, v, domains, default))
+            .collect();
+        VarBox::from_parts(vars.to_vec(), ivs)
+    }
+
+    /// Assembles a box from parallel variable/interval lists (the frame
+    /// path hands over its warm layout this way).
+    pub(crate) fn from_parts(vars: Vec<VarId>, ivs: Vec<Interval>) -> Self {
+        debug_assert_eq!(vars.len(), ivs.len());
+        let mut lookup: Vec<(VarId, u32)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        lookup.sort_unstable_by_key(|e| e.0);
         VarBox {
-            vars: vars.to_vec(),
+            vars,
             ivs,
-            index,
+            lookup,
             changed: false,
         }
     }
 
-    fn get(&self, v: VarId) -> Interval {
-        self.ivs[self.index[&v]]
+    fn slot(&self, v: VarId) -> usize {
+        let i = self
+            .lookup
+            .binary_search_by_key(&v, |e| e.0)
+            .expect("variable not in box");
+        self.lookup[i].1 as usize
+    }
+
+    /// The slot of `v`, if it is in the box.
+    pub(crate) fn slot_index(&self, v: VarId) -> Option<usize> {
+        self.lookup
+            .binary_search_by_key(&v, |e| e.0)
+            .ok()
+            .map(|i| self.lookup[i].1 as usize)
+    }
+
+    /// Number of variables in the box.
+    pub(crate) fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// A copy of the intervals (for before/after diffing).
+    pub(crate) fn snapshot_ivs(&self) -> Vec<Interval> {
+        self.ivs.clone()
+    }
+
+    /// Slots whose interval differs from `before` (a prior
+    /// [`VarBox::snapshot_ivs`] of the same box).
+    pub(crate) fn diff_slots(&self, before: &[Interval]) -> Vec<usize> {
+        self.ivs
+            .iter()
+            .zip(before)
+            .enumerate()
+            .filter(|(_, (now, old))| now != old)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Overwrites a slot directly, bypassing the change flag — trail
+    /// restores must not look like contraction progress.
+    pub(crate) fn restore_slot(&mut self, slot: usize, iv: Interval) {
+        self.ivs[slot] = iv;
+    }
+
+    /// Appends a variable with its initial interval, returning its slot.
+    pub(crate) fn push_var(&mut self, v: VarId, iv: Interval) -> usize {
+        let slot = self.vars.len() as u32;
+        self.vars.push(v);
+        self.ivs.push(iv);
+        let at = self
+            .lookup
+            .binary_search_by_key(&v, |e| e.0)
+            .expect_err("variable already in box");
+        self.lookup.insert(at, (v, slot));
+        slot as usize
+    }
+
+    /// Drops every variable with slot ≥ `n` (frames pop in LIFO order, so
+    /// the variables a frame introduced occupy the tail).
+    pub(crate) fn truncate_vars(&mut self, n: usize) {
+        self.vars.truncate(n);
+        self.ivs.truncate(n);
+        self.lookup.retain(|e| (e.1 as usize) < n);
+    }
+
+    pub(crate) fn get(&self, v: VarId) -> Interval {
+        self.ivs[self.slot(v)]
     }
 
     fn set(&mut self, v: VarId, iv: Interval) {
-        let i = self.index[&v];
+        let i = self.slot(v);
         if self.ivs[i] != iv {
             self.ivs[i] = iv;
             self.changed = true;
@@ -1030,7 +1554,7 @@ impl VarBox {
 
     /// Narrows the domain of `v` to its intersection with `iv`.
     fn narrow(&mut self, v: VarId, iv: Interval) -> Result<(), EmptyDomain> {
-        let i = self.index[&v];
+        let i = self.slot(v);
         let cur = self.ivs[i];
         match cur.intersect(iv) {
             Some(n) => {
@@ -1044,11 +1568,11 @@ impl VarBox {
         }
     }
 
-    fn clear_changed(&mut self) {
+    pub(crate) fn clear_changed(&mut self) {
         self.changed = false;
     }
 
-    fn take_changed(&mut self) -> bool {
+    pub(crate) fn take_changed(&mut self) -> bool {
         self.changed
     }
 
@@ -1089,7 +1613,21 @@ impl VarBox {
     }
 }
 
-struct EmptyDomain;
+pub(crate) struct EmptyDomain;
+
+/// The starting interval of a variable: `[0, 1]` for booleans, the
+/// configured (or default) domain for integers.
+pub(crate) fn initial_interval(
+    pool: &TermPool,
+    v: VarId,
+    domains: &Domains,
+    default: Interval,
+) -> Interval {
+    match pool.var_sort(v) {
+        Sort::Bool => Interval::of(0, 1),
+        Sort::Int => domains.get(v).unwrap_or(default),
+    }
+}
 
 /// Forward evaluation: an interval enclosure of an integer term.
 fn enclose_int(pool: &TermPool, t: TermId, vbox: &VarBox) -> Interval {
@@ -1184,7 +1722,7 @@ fn cmp_enclosures(op: CmpOp, a: Interval, b: Interval) -> Bool3 {
 
 /// Backward contraction: require the boolean term `t` to have truth value
 /// `required`, narrowing variable domains in `vbox`.
-fn contract_bool(
+pub(crate) fn contract_bool(
     pool: &TermPool,
     t: TermId,
     required: bool,
@@ -1868,6 +2406,77 @@ mod tests {
         // A mere overlap (not a superset) is not subsumed either.
         let other_key = s.canonical_query(&p, &[pos, extra], &d).unwrap();
         assert!(!store.subsumes(&other_key));
+    }
+
+    #[test]
+    fn nogoods_learn_minimal_conflicts_and_subsume_new_supersets() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig::default());
+        let xv = p.var("x", Sort::Int);
+        let yv = p.var("y", Sort::Int);
+        let zv = p.var("z", Sort::Int);
+        let x = p.var_term(xv);
+        let y = p.var_term(yv);
+        let z = p.var_term(zv);
+        let zero = p.int(0);
+        let five = p.int(5);
+        let hi = p.gt(x, five);
+        let lo = p.lt(x, five);
+        let y_pos = p.gt(y, zero);
+        let z_neg = p.lt(z, zero);
+        let mut d = Domains::new();
+        d.bound(xv, -10, 10);
+        d.bound(yv, -10, 10);
+        d.bound(zv, -10, 10);
+
+        // x > 5 ∧ x < 5 empties x's domain in the root contraction pass,
+        // so the query is refuted in one node and learned as a no-good.
+        // The query also drags in y > 0, which minimization must drop.
+        assert!(s.check(&p, &[y_pos, hi, lo], &d).is_unsat());
+        assert_eq!(s.stats().nogood_hits, 0);
+
+        // A query never posed before that contains the conflict pair —
+        // but *not* y > 0 — is refuted by subsumption, with no search.
+        let nodes = s.stats().nodes;
+        assert!(s.check(&p, &[hi, z_neg, lo], &d).is_unsat());
+        assert_eq!(s.stats().nogood_hits, 1, "minimized no-good subsumed");
+        assert_eq!(s.stats().nodes, nodes, "no search ran");
+
+        // Repeating the original query answers from the cache, not the
+        // no-good store: the O(1) cache probe comes first.
+        assert!(s.check(&p, &[y_pos, hi, lo], &d).is_unsat());
+        assert_eq!(s.stats().cache_hits, 1);
+        assert_eq!(s.stats().nogood_hits, 1);
+    }
+
+    #[test]
+    fn zero_nogood_capacity_disables_learning_and_subsumption() {
+        let mut p = TermPool::new();
+        let mut s = Solver::new(SolverConfig {
+            nogood_capacity: 0,
+            ..SolverConfig::default()
+        });
+        let xv = p.var("x", Sort::Int);
+        let zv = p.var("z", Sort::Int);
+        let x = p.var_term(xv);
+        let z = p.var_term(zv);
+        let zero = p.int(0);
+        let five = p.int(5);
+        let hi = p.gt(x, five);
+        let lo = p.lt(x, five);
+        let z_neg = p.lt(z, zero);
+        let mut d = Domains::new();
+        d.bound(xv, -10, 10);
+        d.bound(zv, -10, 10);
+
+        assert!(s.check(&p, &[hi, lo], &d).is_unsat());
+        let nodes = s.stats().nodes;
+        assert!(s.check(&p, &[hi, z_neg, lo], &d).is_unsat());
+        assert_eq!(s.stats().nogood_hits, 0);
+        assert!(
+            s.stats().nodes > nodes,
+            "superset was searched, not subsumed"
+        );
     }
 
     #[test]

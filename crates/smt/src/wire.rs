@@ -538,6 +538,10 @@ pub fn write_solver_stats(w: &mut ByteWriter, s: &SolverStats) {
     w.u64(s.cache_hits);
     w.u64(s.cache_misses);
     w.u64(s.prefix_short_circuits);
+    w.u64(s.frames_pushed);
+    w.u64(s.trail_restores);
+    w.u64(s.nogood_hits);
+    w.u64(s.batched_queries);
 }
 
 /// Reads [`SolverStats`] counters.
@@ -551,6 +555,10 @@ pub fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<SolverStats, WireErro
         cache_hits: r.u64("stats cache hits")?,
         cache_misses: r.u64("stats cache misses")?,
         prefix_short_circuits: r.u64("stats prefix short circuits")?,
+        frames_pushed: r.u64("stats frames pushed")?,
+        trail_restores: r.u64("stats trail restores")?,
+        nogood_hits: r.u64("stats nogood hits")?,
+        batched_queries: r.u64("stats batched queries")?,
     })
 }
 
@@ -763,6 +771,10 @@ mod tests {
             cache_hits: 3,
             cache_misses: 7,
             prefix_short_circuits: 2,
+            frames_pushed: 21,
+            trail_restores: 34,
+            nogood_hits: 8,
+            batched_queries: 6,
         };
         let mut w = ByteWriter::new();
         write_solver_stats(&mut w, &s);
@@ -771,6 +783,10 @@ mod tests {
         assert_eq!(s2.queries, 10);
         assert_eq!(s2.unsat, 5);
         assert_eq!(s2.prefix_short_circuits, 2);
+        assert_eq!(s2.frames_pushed, 21);
+        assert_eq!(s2.trail_restores, 34);
+        assert_eq!(s2.nogood_hits, 8);
+        assert_eq!(s2.batched_queries, 6);
     }
 
     #[test]

@@ -51,4 +51,7 @@ done < docs/metrics_allowlist.txt
 echo "==> observability: bench_obs --check (outcome identity + <3% overhead)"
 cargo run --release -q -p cpr-bench --bin bench_obs -- --check
 
+echo "==> incremental solving: bench_reduce --check (pool/stats/query identity across cache, thread, and incremental configs)"
+cargo run --release -q -p cpr-bench --bin bench_reduce -- --check
+
 echo "verify: OK"

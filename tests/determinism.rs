@@ -270,6 +270,72 @@ fn order_independent_counter_totals_are_thread_count_invariant() {
 }
 
 #[test]
+fn incremental_solving_never_changes_the_repair_report() {
+    // The incremental-solving subsystem — assertion frames with trail undo
+    // (`incremental`), no-good learning (`nogood_capacity`), and batched
+    // candidate checking (`batch_candidates`) — must be a pure accelerator:
+    // with all three on (the default) or all three off, the *full* report,
+    // query counts included, is bit-identical at 1 and 4 threads. Frames
+    // route every query through the same canonical-answer pipeline as a
+    // from-scratch check, and no-goods only pre-answer queries the search
+    // would refute anyway, so not even the issued-query counters may move.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let run = |threads: usize, on: bool| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            config.solver.incremental = on;
+            config.solver.batch_candidates = on;
+            config.solver.nogood_capacity = if on { 512 } else { 0 };
+            report_key(&repair(&problem, &config))
+        };
+        for threads in [1, 4] {
+            assert_eq!(
+                run(threads, true),
+                run(threads, false),
+                "{name}: incremental solving changed the report at {threads} threads"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
+fn each_incremental_knob_is_independently_inert() {
+    // Same contract, one knob at a time: flipping any single knob off
+    // while the other two stay at their defaults changes nothing.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("at least one supported subject");
+    let name = subject.name();
+    let problem = subject.problem();
+    let run = |mutate: &dyn Fn(&mut RepairConfig)| {
+        let mut config = RepairConfig::quick();
+        config.max_iterations = 12;
+        config.threads = 4;
+        mutate(&mut config);
+        report_key(&repair(&problem, &config))
+    };
+    type KnobOff = (&'static str, &'static dyn Fn(&mut RepairConfig));
+    let baseline = run(&|_| {});
+    let variants: [KnobOff; 3] = [
+        ("incremental off", &|c| c.solver.incremental = false),
+        ("no-goods off", &|c| c.solver.nogood_capacity = 0),
+        ("batching off", &|c| c.solver.batch_candidates = false),
+    ];
+    for (label, mutate) in variants {
+        assert_eq!(baseline, run(mutate), "{name}: {label} changed the report");
+    }
+}
+
+#[test]
 fn static_screening_never_changes_the_repair_report() {
     // The `cpr-analysis` screening layer (root interval refutations in
     // reduce/expand, alpha-equivalence candidate rejection in pool
