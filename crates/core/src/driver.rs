@@ -53,8 +53,10 @@ use crate::synthesize::build_patch_pool;
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CPRS";
 /// Current snapshot format version. Bumped to 2 when `SolverStats` gained
 /// the incremental-solving counters (frames, trail restores, no-goods,
-/// batched queries), which changed the embedded stats codec shape.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// batched queries), and to 3 when it gained the fleet-cache counters
+/// (hits, misses, no-good hits, stores, load errors) — each change altered
+/// the embedded stats codec shape.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be loaded. Loading never panics: every
 /// malformed, truncated, or mismatched input maps to one of these.
@@ -994,7 +996,7 @@ mod tests {
         let mut p = ByteWriter::new();
         p.u64(0); // term pool: no variables
         p.u64(0); // term pool: no terms
-        for _ in 0..12 {
+        for _ in 0..17 {
             p.u64(0); // solver stats
         }
         p.u64(0); // unsat store capacity

@@ -28,12 +28,14 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cpr_core::{RepairConfig, RepairDriver, RepairProblem, StepStatus};
-use cpr_obs::{Counter, Histogram};
+use cpr_obs::{Counter, Gauge, Histogram};
+use cpr_smt::FleetCache;
 use cpr_subjects::all_subjects;
 
 use crate::json::Json;
@@ -187,6 +189,8 @@ struct ServeObs {
     jobs_done: Counter,
     jobs_failed: Counter,
     snapshots_written: Counter,
+    fleet_flushes: Counter,
+    fleet_store_bytes: Gauge,
 }
 
 impl ServeObs {
@@ -200,6 +204,11 @@ impl ServeObs {
             jobs_done: reg.counter("serve.jobs_done"),
             jobs_failed: reg.counter("serve.jobs_failed"),
             snapshots_written: reg.counter("serve.snapshots_written"),
+            // Registered even when no fleet cache is configured, so the
+            // stats verb (and the allowlist smoke test) always see the
+            // names, at zero.
+            fleet_flushes: reg.counter("solver.fleet.flushes"),
+            fleet_store_bytes: reg.gauge("solver.fleet.store_bytes"),
         }
     }
 }
@@ -216,6 +225,29 @@ struct Inner {
     cv: Condvar,
     store: SnapshotStore,
     obs: ServeObs,
+    /// The fleet solver cache shared by every job, opened (and warm-loaded
+    /// from disk) once at scheduler construction. `None` when the server
+    /// runs without `--cache-dir`.
+    fleet: Option<Arc<FleetCache>>,
+    /// The directory the fleet cache lives in, propagated into each job's
+    /// `SolverConfig` so its solver resolves the same shared instance.
+    cache_dir: Option<PathBuf>,
+}
+
+impl Inner {
+    /// Durably flushes the fleet cache (if any) and updates the flush
+    /// counter and store-size gauge. Flush failures are deliberately
+    /// swallowed: the cache is an accelerator, never a correctness
+    /// dependency, so a full disk must not fail the job that triggered
+    /// the flush.
+    fn flush_fleet(&self) {
+        if let Some(fleet) = &self.fleet {
+            if let Ok(stats) = fleet.flush() {
+                self.obs.fleet_flushes.inc();
+                self.obs.fleet_store_bytes.set(clamp_i64(stats.store_bytes));
+            }
+        }
+    }
 }
 
 /// The worker pool. Dropping it without calling [`Scheduler::shutdown`]
@@ -268,11 +300,31 @@ impl Scheduler {
     /// process's checkpoint — stale snapshots stay inert until a client
     /// claims one explicitly with [`JobSpec::resume_from`].
     pub fn new(workers: usize, store: SnapshotStore) -> Scheduler {
+        Scheduler::with_cache(workers, store, None)
+    }
+
+    /// Like [`Scheduler::new`], but additionally opens the fleet solver
+    /// cache at `cache_dir` (when given) and warm-loads its on-disk
+    /// verdict/no-good store before the first job runs. Every job this
+    /// scheduler executes shares the one in-process instance; checkpoints
+    /// and job completions flush it back to disk.
+    pub fn with_cache(
+        workers: usize,
+        store: SnapshotStore,
+        cache_dir: Option<PathBuf>,
+    ) -> Scheduler {
         let next_id = store
             .list()
             .ok()
             .and_then(|ids| ids.last().copied())
             .map_or(1, |max| max + 1);
+        let fleet = cache_dir.as_deref().map(|dir| {
+            FleetCache::open_shared(dir, cpr_core::RepairConfig::quick().solver.fleet_capacity)
+        });
+        let obs = ServeObs::new(cpr_obs::global());
+        if let Some(fleet) = &fleet {
+            obs.fleet_store_bytes.set(clamp_i64(fleet.store_bytes()));
+        }
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
@@ -282,7 +334,9 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             store,
-            obs: ServeObs::new(cpr_obs::global()),
+            obs,
+            fleet,
+            cache_dir,
         });
         let handles = (0..workers.max(1))
             .map(|_| {
@@ -510,6 +564,34 @@ impl Scheduler {
         &self.inner.store
     }
 
+    /// Fleet-cache figures for the `stats` verb: whether a cache is
+    /// configured, its lifetime hit/miss tallies and hit rate, and the
+    /// on-disk store footprint. All fields are present (at zero) when no
+    /// cache is configured, so clients can parse one shape.
+    pub fn fleet_stats(&self) -> Json {
+        let (enabled, hits, misses, store_bytes, entries) = match &self.inner.fleet {
+            Some(fleet) => {
+                let (h, m) = fleet.hit_counts();
+                (true, h, m, fleet.store_bytes(), fleet.entries() as u64)
+            }
+            None => (false, 0, 0, 0, 0),
+        };
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        Json::obj(vec![
+            ("enabled", Json::Bool(enabled)),
+            ("hits", Json::Int(clamp_i64(hits))),
+            ("misses", Json::Int(clamp_i64(misses))),
+            ("hit_rate", Json::Float(hit_rate)),
+            ("store_bytes", Json::Int(clamp_i64(store_bytes))),
+            ("entries", Json::Int(clamp_i64(entries))),
+        ])
+    }
+
     /// Graceful shutdown: pause every running job (each checkpoints and
     /// parks), drop the queue, and join the workers.
     pub fn shutdown(&self) {
@@ -638,7 +720,11 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
         Ok(p) => p,
         Err(e) => return fail(e),
     };
-    let config = job_config(spec);
+    let mut config = job_config(spec);
+    // Point the job's solver at the scheduler's fleet cache directory; the
+    // solver resolves it through the per-directory registry, so every job
+    // in this process shares the one warm-loaded instance.
+    config.solver.cache_dir = inner.cache_dir.clone();
     let checkpoint_every = spec
         .checkpoint_every
         .unwrap_or(DEFAULT_CHECKPOINT_EVERY)
@@ -668,6 +754,10 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
         inner.obs.snapshots_written.inc();
         inner.obs.snapshot_bytes.record(bytes.len() as u64);
         inner.obs.snapshot_fsync.record(fsync_nanos);
+        // Piggyback the fleet-cache flush on the job checkpoint: verdicts
+        // learned since the last checkpoint become durable at the same
+        // cadence as the job state itself.
+        inner.flush_fleet();
         let mut st = lock(&inner.state);
         if let Some(job) = st.jobs.get_mut(&id) {
             job.obs.snapshots_written += 1;
@@ -733,7 +823,9 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
     let stop = driver.stop_reason().map(|s| s.name());
     let iterations = driver.iterations();
     let report = report_to_json(&driver.finish());
-    // The job is complete; its checkpoint has served its purpose.
+    // The job is complete; its checkpoint has served its purpose. The
+    // fleet cache, by contrast, outlives the job — flush what it learned.
+    inner.flush_fleet();
     let _ = inner.store.remove(id);
     finish_job(inner, id, |job| {
         job.state = JobState::Done;

@@ -29,8 +29,10 @@ use cpr_obs::{HistogramSnapshot, MetricsSnapshot};
 use crate::json::Json;
 
 /// Version of the stats response shape (independent of
-/// [`crate::protocol::PROTOCOL_VERSION`]).
-pub const STATS_VERSION: i64 = 1;
+/// [`crate::protocol::PROTOCOL_VERSION`]). Bumped to 2 when the response
+/// gained the top-level `fleet` object (fleet solver-cache hit/miss
+/// tallies, hit rate, and on-disk store size).
+pub const STATS_VERSION: i64 = 2;
 
 fn clamp_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)

@@ -37,7 +37,7 @@ impl SnapshotStore {
     }
 
     /// Durably replaces the snapshot for `job`: write to a temp file,
-    /// flush, rename over the final name.
+    /// flush, rename over the final name, flush the directory.
     pub fn save(&self, job: u64, bytes: &[u8]) -> io::Result<()> {
         let tmp = self.dir.join(format!("job-{job}.snap.tmp"));
         {
@@ -45,7 +45,12 @@ impl SnapshotStore {
             f.write_all(bytes)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, self.path(job))
+        fs::rename(&tmp, self.path(job))?;
+        // POSIX durability: fsync on the temp file persists its *contents*,
+        // but the rename lives in the directory, and a crash before the
+        // directory itself reaches disk can resurrect the old name (or no
+        // name at all). Sync the parent dir so the swap is durable too.
+        cpr_smt::fsync_dir(&self.dir)
     }
 
     /// Loads the snapshot for `job`; `Ok(None)` when none exists.

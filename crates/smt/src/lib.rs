@@ -52,6 +52,8 @@
 #![warn(missing_docs)]
 
 mod deps;
+mod digest;
+pub mod fleet;
 pub mod interval;
 mod model;
 mod parse;
@@ -63,13 +65,14 @@ mod trail;
 pub mod wire;
 
 pub use deps::DepGraph;
+pub use fleet::{fsync_dir, FleetCache, FleetError, FleetKey, FleetVerdict, FlushStats};
 pub use interval::Interval;
 pub use model::{Model, Value};
 pub use parse::ParseTermError;
 pub use region::{ParamBox, Region};
 pub use solver::{
-    CanonicalQuery, CountBounds, Domains, SatResult, Solver, SolverConfig, SolverStats,
-    UnsatPrefixStore,
+    CanonicalQuery, CountBounds, Domains, NoGoodStore, SatResult, SharedQueryCache, Solver,
+    SolverConfig, SolverStats, UnsatPrefixStore, VerdictStore,
 };
 pub use term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
 pub use trail::FrameSession;

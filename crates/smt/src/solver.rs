@@ -12,13 +12,16 @@
 //! conservatively by all callers.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use cpr_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::deps::DepGraph;
+use crate::digest::{fleet_domain_digest, TermDigests};
+use crate::fleet::{FleetCache, FleetKey, FleetVerdict};
 use crate::interval::Interval;
-use crate::model::Model;
+use crate::model::{Model, Value};
 use crate::term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
 use crate::trail::FrameSession;
 
@@ -132,6 +135,16 @@ pub struct SolverConfig {
     /// loops) through shared assertion frames instead of independent
     /// from-scratch checks. Requires `incremental`; verdict-preserving.
     pub batch_candidates: bool,
+    /// Directory of the durable fleet cache (see [`crate::fleet`]):
+    /// verdicts and no-goods keyed by content digest, shared across jobs
+    /// and restarts. `None` (the default) disables the fleet path
+    /// entirely. Verdict-preserving: a stored verdict is an exact replay
+    /// of the local search on the same content, so a warm fleet cache may
+    /// change counters but never an answer.
+    pub cache_dir: Option<PathBuf>,
+    /// Maximum entries (verdicts + no-goods) the fleet cache holds; at
+    /// capacity new inserts are dropped (the store never evicts).
+    pub fleet_capacity: usize,
 }
 
 impl Default for SolverConfig {
@@ -144,6 +157,8 @@ impl Default for SolverConfig {
             incremental: true,
             nogood_capacity: 512,
             batch_candidates: true,
+            cache_dir: None,
+            fleet_capacity: 65_536,
         }
     }
 }
@@ -179,14 +194,30 @@ pub struct SolverStats {
     /// ([`Solver::check_frames`] / [`Solver::check_batch`]); every such
     /// query also counts in `queries`.
     pub batched_queries: u64,
+    /// Queries answered from the durable fleet cache (verdict lookups
+    /// that resolved and revalidated; every such query also counts in
+    /// `queries` and its per-verdict counter).
+    pub fleet_hits: u64,
+    /// Queries that consulted the fleet cache and missed.
+    pub fleet_misses: u64,
+    /// Queries answered `Unsat` by fleet no-good digest-subset
+    /// subsumption, without a search.
+    pub fleet_nogood_hits: u64,
+    /// Verdicts and no-goods this solver recorded into the fleet cache.
+    pub fleet_stores: u64,
+    /// Whether the fleet store failed to load (degraded to a cold start):
+    /// `1` on the solver that opened the errored store, else `0`. The
+    /// typed error is available via `FleetCache::load_error`.
+    pub fleet_load_errors: u64,
 }
 
 /// Canonical form of a query: the live constraints in sorted, deduplicated
 /// `TermId` order plus a fingerprint of the variable domains. Because
 /// constraints are conjunctive, sorting loses nothing — and the solver
-/// *answers* the sorted query, so a result is a pure function of its
-/// canonical form. Used both as the memoizing-cache key and as the entry
-/// type of [`UnsatPrefixStore`].
+/// *answers* the canonical set (iterated in content-digest order; see
+/// [`crate::digest`]), so a result is a pure function of its canonical
+/// form. Used both as the memoizing-cache key and as the entry type of
+/// [`UnsatPrefixStore`].
 pub type CanonicalQuery = (Vec<TermId>, u64);
 
 type QueryKey = CanonicalQuery;
@@ -322,6 +353,17 @@ fn widest_var(vars: impl Iterator<Item = VarId>, vbox: &VarBox) -> Option<VarId>
     best.map(|(v, _)| v)
 }
 
+/// A witness model re-keyed by variable name (sorted), the
+/// pool-independent form persisted in fleet `Sat` verdicts.
+fn named_model(pool: &TermPool, m: &Model) -> Vec<(String, Value)> {
+    let mut named: Vec<(String, Value)> = m
+        .iter()
+        .map(|(v, value)| (pool.var_name(v).to_string(), value))
+        .collect();
+    named.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    named
+}
+
 /// Subset test over sorted, deduplicated id slices (merge walk).
 fn is_subset(sub: &[TermId], sup: &[TermId]) -> bool {
     let mut it = sup.iter();
@@ -373,6 +415,135 @@ impl QueryCache {
     }
 }
 
+/// A keyed memo of solver verdicts. The solver's reuse stores — the
+/// in-process [`SharedQueryCache`] and the durable fleet cache
+/// ([`crate::fleet::FleetCache`]) — implement this pair of operations
+/// over their respective key types (`TermId`-based in process,
+/// content-digest-based on disk).
+///
+/// The contract every implementation must honor: a recorded verdict is a
+/// **pure function of its key** — looking it up must return exactly what
+/// recomputing it would, whichever solver (or process) recorded it.
+pub trait VerdictStore {
+    /// The canonical query key this store is addressed by.
+    type Key;
+    /// The verdict representation this store holds.
+    type Verdict;
+
+    /// The stored verdict for `key`, if any.
+    fn lookup(&self, key: &Self::Key) -> Option<Self::Verdict>;
+
+    /// Records a verdict for `key`.
+    fn record(&mut self, key: Self::Key, verdict: Self::Verdict);
+}
+
+/// A store of known-unsatisfiable constraint subsets, queried by
+/// subsumption: if a stored set is a subset of `key`'s constraint set
+/// (under the same domain environment), `key` is UNSAT by conjunction
+/// monotonicity. Implemented by the in-process [`UnsatPrefixStore`] (and
+/// the solver's learned no-goods, which reuse it) over sorted `TermId`
+/// sets, and by the fleet cache over sorted content-digest sets.
+pub trait NoGoodStore {
+    /// The canonical query key this store subsumes against.
+    type Key;
+
+    /// Whether some stored set refutes `key` by subset inclusion.
+    fn subsumed(&self, key: &Self::Key) -> bool;
+
+    /// Records a new known-UNSAT set. Returns `true` if it was new.
+    fn learn(&mut self, key: Self::Key) -> bool;
+}
+
+impl NoGoodStore for UnsatPrefixStore {
+    type Key = CanonicalQuery;
+
+    fn subsumed(&self, key: &CanonicalQuery) -> bool {
+        self.subsumes(key)
+    }
+
+    fn learn(&mut self, key: CanonicalQuery) -> bool {
+        self.insert(key)
+    }
+}
+
+/// The in-process verdict memo: the two-generation [`QueryCache`] behind
+/// an `Arc<Mutex>`, shared between a solver and its forks so workers of a
+/// parallel phase serve each other's repeated queries through one table.
+/// Sharing is safe because verdicts are pure functions of the canonical
+/// key — whichever thread computed one.
+#[derive(Debug, Clone)]
+pub struct SharedQueryCache {
+    inner: Arc<Mutex<QueryCache>>,
+    capacity: usize,
+}
+
+impl SharedQueryCache {
+    /// Creates an empty cache bounded at `capacity` entries per
+    /// generation; `0` disables it (the solver skips lookups entirely).
+    pub fn new(capacity: usize) -> Self {
+        SharedQueryCache {
+            inner: Arc::new(Mutex::new(QueryCache::default())),
+            capacity,
+        }
+    }
+
+    /// The configured per-generation capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently memoized (both generations).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("query cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl VerdictStore for SharedQueryCache {
+    type Key = CanonicalQuery;
+    type Verdict = SatResult;
+
+    fn lookup(&self, key: &CanonicalQuery) -> Option<SatResult> {
+        self.inner.lock().expect("query cache poisoned").get(key)
+    }
+
+    fn record(&mut self, key: CanonicalQuery, verdict: SatResult) {
+        self.inner
+            .lock()
+            .expect("query cache poisoned")
+            .insert(key, verdict, self.capacity);
+    }
+}
+
+impl VerdictStore for Arc<FleetCache> {
+    type Key = FleetKey;
+    type Verdict = FleetVerdict;
+
+    fn lookup(&self, key: &FleetKey) -> Option<FleetVerdict> {
+        self.lookup_verdict(key)
+    }
+
+    fn record(&mut self, key: FleetKey, verdict: FleetVerdict) {
+        self.record_verdict(key, verdict);
+    }
+}
+
+impl NoGoodStore for Arc<FleetCache> {
+    type Key = FleetKey;
+
+    fn subsumed(&self, key: &FleetKey) -> bool {
+        self.nogood_subsumed(key)
+    }
+
+    fn learn(&mut self, key: FleetKey) -> bool {
+        self.record_nogood(key)
+    }
+}
+
 /// Observability handles mirroring [`SolverStats`], resolved once at
 /// [`Solver::attach_metrics`] so the hot path is pure atomic adds. The
 /// handles are `Arc` clones shared by every [`Solver::fork`]: relaxed
@@ -397,6 +568,11 @@ struct SolverObs {
     nogood_hits: Counter,
     nogood_learned: Counter,
     batched_queries: Counter,
+    fleet_hits: Counter,
+    fleet_misses: Counter,
+    fleet_nogood_hits: Counter,
+    fleet_stores: Counter,
+    fleet_load_errors: Counter,
     solve_nanos: Histogram,
     frame_contract_nanos: Histogram,
 }
@@ -417,6 +593,11 @@ impl SolverObs {
             nogood_hits: reg.counter("solver.nogood.hits"),
             nogood_learned: reg.counter("solver.nogood.learned"),
             batched_queries: reg.counter("solver.batch.queries"),
+            fleet_hits: reg.counter("solver.fleet.hits"),
+            fleet_misses: reg.counter("solver.fleet.misses"),
+            fleet_nogood_hits: reg.counter("solver.fleet.nogood_hits"),
+            fleet_stores: reg.counter("solver.fleet.stores"),
+            fleet_load_errors: reg.counter("solver.fleet.load_errors"),
             solve_nanos: reg.histogram("solver.solve_nanos"),
             frame_contract_nanos: reg.histogram("solver.frames.contract_nanos"),
         }
@@ -462,16 +643,21 @@ pub(crate) fn domains_fingerprint(domains: &Domains, default: Interval) -> u64 {
 pub struct Solver {
     config: SolverConfig,
     stats: SolverStats,
-    cache: Arc<Mutex<QueryCache>>,
+    cache: SharedQueryCache,
     /// Queries mentioning a term id at or above this floor bypass the
     /// cache. Forked workers intern terms into their own pool forks; such
     /// ids name different terms in different forks, so only queries over
     /// the shared prefix (ids below the fork point) may touch the shared
-    /// table. `usize::MAX` (the root solver) caches everything.
+    /// table. `usize::MAX` (the root solver) caches everything. The fleet
+    /// cache is *not* floor-gated: its keys are content digests, which
+    /// mean the same thing in every fork and every process.
     cache_floor: usize,
     /// Term → variable dependency lists, synced lazily against the pool
     /// when [`SolverConfig::incremental`] is on (see [`DepGraph`]).
     pub(crate) deps: DepGraph,
+    /// Per-term content digests, synced lazily like `deps` (but
+    /// unconditionally — content ordering is not gated on `incremental`).
+    digests: TermDigests,
     /// Learned no-goods: minimal contradicting subsets of root-refuted
     /// UNSAT queries, private to this solver instance. Unlike the shared
     /// query cache this is plain owned state — [`Solver::fork`] copies the
@@ -479,6 +665,11 @@ pub struct Solver {
     /// back, keeping verdicts scheduling-independent (a no-good hit and a
     /// full search agree by the monotone-refutation guarantee).
     nogoods: UnsatPrefixStore,
+    /// The durable fleet cache, when [`SolverConfig::cache_dir`] is set —
+    /// one shared instance per directory per process, `Arc`-cloned into
+    /// every fork. Safe to consult mid-phase: stored verdicts are pure
+    /// functions of content keys.
+    fleet: Option<Arc<FleetCache>>,
     obs: SolverObs,
 }
 
@@ -493,13 +684,24 @@ impl Solver {
     /// off until [`Solver::attach_metrics`] is called.
     pub fn new(config: SolverConfig) -> Self {
         let nogoods = UnsatPrefixStore::new(config.nogood_capacity);
+        let fleet = config
+            .cache_dir
+            .as_ref()
+            .map(|dir| FleetCache::open_shared(dir, config.fleet_capacity));
+        let mut stats = SolverStats::default();
+        if fleet.as_ref().is_some_and(|f| f.load_error().is_some()) {
+            stats.fleet_load_errors = 1;
+        }
+        let cache = SharedQueryCache::new(config.cache_capacity);
         Solver {
             config,
-            stats: SolverStats::default(),
-            cache: Arc::new(Mutex::new(QueryCache::default())),
+            stats,
+            cache,
             cache_floor: usize::MAX,
             deps: DepGraph::new(),
+            digests: TermDigests::default(),
             nogoods,
+            fleet,
             obs: SolverObs::default(),
         }
     }
@@ -512,6 +714,9 @@ impl Solver {
     /// bit-identical with instrumentation on or off.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.obs = SolverObs::new(registry);
+        // The one stat whose event predates attachment: a fleet-store
+        // load error is detected in `Solver::new`, so mirror it here.
+        self.obs.fleet_load_errors.add(self.stats.fleet_load_errors);
     }
 
     /// Creates a worker solver for a parallel phase: same configuration,
@@ -534,10 +739,15 @@ impl Solver {
         Solver {
             config: self.config.clone(),
             stats: SolverStats::default(),
-            cache: Arc::clone(&self.cache),
+            cache: self.cache.clone(),
             cache_floor: floor,
             deps: self.deps.clone(),
+            digests: self.digests.clone(),
             nogoods,
+            // The fleet handle is shared outright: content keys are valid
+            // in every fork, and stored verdicts are pure functions of
+            // those keys, so mid-phase visibility cannot skew a verdict.
+            fleet: self.fleet.clone(),
             // Shared cells: worker increments land directly in the same
             // totals, so absorb() has nothing to merge for metrics either.
             obs: self.obs.clone(),
@@ -564,6 +774,14 @@ impl Solver {
         self.stats.trail_restores += s.trail_restores;
         self.stats.nogood_hits += s.nogood_hits;
         self.stats.batched_queries += s.batched_queries;
+        self.stats.fleet_hits += s.fleet_hits;
+        self.stats.fleet_misses += s.fleet_misses;
+        self.stats.fleet_nogood_hits += s.fleet_nogood_hits;
+        self.stats.fleet_stores += s.fleet_stores;
+        // `fleet_load_errors` is deliberately excluded: it is set once by
+        // the solver that opened the store; workers fork with zeroed
+        // stats, so summing would be a no-op anyway — but keeping it out
+        // of the merge documents that it is not an accumulating counter.
         let floor = worker.cache_floor;
         for key in worker.nogoods.iter() {
             if key.0.last().is_none_or(|id| (id.0 as usize) < floor) {
@@ -574,7 +792,12 @@ impl Solver {
 
     /// Number of entries currently memoized.
     pub fn cache_entries(&self) -> usize {
-        self.cache.lock().expect("query cache poisoned").len()
+        self.cache.len()
+    }
+
+    /// The durable fleet cache handle, when one is configured.
+    pub fn fleet(&self) -> Option<&Arc<FleetCache>> {
+        self.fleet.as_ref()
     }
 
     /// Accumulated statistics.
@@ -727,6 +950,9 @@ impl Solver {
     ) -> SatResult {
         self.stats.queries += 1;
         self.stats.batched_queries += 1;
+        // Keep the digest table warm so the `&self` refutation path
+        // below reads it instead of recomputing digests locally.
+        self.digests.sync(pool);
         // The same trivial refutations `check` fires before
         // canonicalization. The complementary-pair scan runs over the
         // sorted canonical set instead of push order; `complementary` is
@@ -859,6 +1085,11 @@ impl Solver {
         }
         live.sort_unstable();
         live.dedup();
+        // Lockstep with `check`'s root node: the search iterates the
+        // content-canonical order (see `answer`), so the bounded
+        // contraction trace here must too — the guarantee above is exact
+        // only if both passes apply constraints identically.
+        let live = self.digests.sort_by_content(pool, &live);
         let vars = self.query_vars(pool, &live);
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         for _ in 0..self.config.max_contraction_rounds {
@@ -961,14 +1192,13 @@ impl Solver {
                 return SatResult::Unsat;
             }
         }
-        let caching = self.config.cache_capacity > 0
+        let caching = self.cache.capacity() > 0
             && key
                 .0
                 .last()
                 .is_none_or(|id| (id.0 as usize) < self.cache_floor);
         if caching {
-            let cached = self.cache.lock().expect("query cache poisoned").get(&key);
-            if let Some(result) = cached {
+            if let Some(result) = self.cache.lookup(&key) {
                 self.stats.cache_hits += 1;
                 self.obs.cache_hits.inc();
                 match &result {
@@ -990,7 +1220,7 @@ impl Solver {
         // subsumes). Checking after the O(1) cache probe keeps the linear
         // subset scan off the repeated-query path; the no-good answer is
         // itself not cached, same purity reason as prefix short-circuits.
-        if self.nogoods.capacity() > 0 && self.nogoods.subsumes(&key) {
+        if self.nogoods.capacity() > 0 && NoGoodStore::subsumed(&self.nogoods, &key) {
             self.stats.nogood_hits += 1;
             self.obs.nogood_hits.inc();
             self.stats.unsat += 1;
@@ -999,11 +1229,61 @@ impl Solver {
         if self.config.incremental {
             self.deps.sync(pool);
         }
-        let live = &key.0;
-        let vars = self.query_vars(pool, live);
+        // Content-canonical answer order: the solver *answers* every
+        // query with constraints iterated in content-digest order (ties
+        // by id), unconditionally — fleet on or off. With the bounded
+        // node budget, iteration order is observable in `Unknown`
+        // cutoffs and in `Sat` witness models, so answering in an
+        // id-independent order is what makes each verdict a pure
+        // function of constraint *content* — the contract that lets a
+        // fleet-cached verdict from another process stand in for a local
+        // search bit-for-bit.
+        self.digests.sync(pool);
+        let live = self.digests.sort_by_content(pool, &key.0);
+        // The fleet key: sorted content digests + the domain/knob digest.
+        let fleet_key: Option<FleetKey> = self.fleet.as_ref().map(|_| {
+            let mut digests = self.digests.of_terms(pool, &live);
+            digests.sort_unstable();
+            (digests, fleet_domain_digest(pool, domains, &self.config))
+        });
+        if let (Some(fleet), Some(fkey)) = (self.fleet.clone(), fleet_key.as_ref()) {
+            if let Some(verdict) = fleet.lookup_verdict(fkey) {
+                if let Some(result) = self.resolve_fleet_verdict(pool, &live, verdict) {
+                    fleet.tally_hit();
+                    self.stats.fleet_hits += 1;
+                    self.obs.fleet_hits.inc();
+                    match &result {
+                        SatResult::Sat(_) => self.stats.sat += 1,
+                        SatResult::Unsat => self.stats.unsat += 1,
+                        SatResult::Unknown => self.stats.unknown += 1,
+                    }
+                    // Promote into the in-process cache: sound because
+                    // the stored verdict is the same pure function of
+                    // the canonical key the local search computes.
+                    if caching {
+                        self.cache.record(key, result.clone());
+                    }
+                    return result;
+                }
+            }
+            fleet.tally_miss();
+            self.stats.fleet_misses += 1;
+            self.obs.fleet_misses.inc();
+            // Fleet no-goods, by digest-subset subsumption: sound by the
+            // same monotone-refutation argument as in-process no-goods,
+            // and not promoted into the in-process cache (same purity
+            // discipline as prefix short-circuits).
+            if fleet.nogood_subsumed(fkey) {
+                self.stats.fleet_nogood_hits += 1;
+                self.obs.fleet_nogood_hits.inc();
+                self.stats.unsat += 1;
+                return SatResult::Unsat;
+            }
+        }
+        let vars = self.query_vars(pool, &live);
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         let mut budget = self.config.max_nodes;
-        let result = self.search(pool, live, &mut vbox, &mut budget);
+        let result = self.search(pool, &live, &mut vbox, &mut budget);
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
@@ -1013,16 +1293,62 @@ impl Solver {
         // no-good: the minimal subset of its constraints that the root
         // contraction pass already contradicts.
         if result.is_unsat() && self.config.max_nodes - budget == 1 && self.nogoods.capacity() > 0 {
-            self.learn_nogood(pool, &key, domains);
+            self.learn_nogood(pool, &key, &live, domains, fleet_key.as_ref().map(|k| k.1));
         }
         if caching {
-            self.cache.lock().expect("query cache poisoned").insert(
-                key,
-                result.clone(),
-                self.config.cache_capacity,
-            );
+            self.cache.record(key, result.clone());
+        }
+        // Persist the fresh verdict — `Unknown` included: the node budget
+        // is folded into the key's domain digest and the answer order is
+        // content-canonical, so a budget cutoff is just as much a pure
+        // function of the key as a decision is, and the capped searches
+        // are the most expensive ones to redo in every job.
+        if let (Some(fleet), Some(fkey)) = (&self.fleet, fleet_key) {
+            let stored = match &result {
+                SatResult::Sat(m) => FleetVerdict::Sat(named_model(pool, m)),
+                SatResult::Unsat => FleetVerdict::Unsat,
+                SatResult::Unknown => FleetVerdict::Unknown,
+            };
+            fleet.record_verdict(fkey, stored);
+            self.stats.fleet_stores += 1;
+            self.obs.fleet_stores.inc();
         }
         result
+    }
+
+    /// Turns a fleet verdict back into a [`SatResult`] against this
+    /// pool, or `None` (treat as a miss) when it cannot be validated.
+    /// `Unsat` and `Unknown` need no validation (`Unknown` is sound by
+    /// vacuity, `Unsat` carries the store's authority like the in-process
+    /// no-good store does). A `Sat` model is re-resolved by variable name
+    /// and **re-checked against the live constraints**: a fleet hit never
+    /// asserts satisfiability on the store's authority, only on the
+    /// model's own evidence — so a corrupt or colliding entry can cost a
+    /// lookup, never a wrong verdict.
+    fn resolve_fleet_verdict(
+        &self,
+        pool: &TermPool,
+        live: &[TermId],
+        verdict: FleetVerdict,
+    ) -> Option<SatResult> {
+        match verdict {
+            FleetVerdict::Unsat => Some(SatResult::Unsat),
+            FleetVerdict::Unknown => Some(SatResult::Unknown),
+            FleetVerdict::Sat(named) => {
+                let mut model = Model::new();
+                for (name, value) in &named {
+                    model.set(pool.find_var(name)?, *value);
+                }
+                let vars = self.query_vars(pool, live);
+                if !vars.iter().all(|&v| model.get(v).is_some()) {
+                    return None;
+                }
+                if !model.satisfies(pool, live) {
+                    return None;
+                }
+                Some(SatResult::Sat(model))
+            }
+        }
     }
 
     /// Collects the variables of a canonical query in first-occurrence
@@ -1066,14 +1392,32 @@ impl Solver {
     /// a no-good in the store is *proof-carrying*: subsumption answers are
     /// backed by an actual root refutation, never by the minimization
     /// argument alone.
-    fn learn_nogood(&mut self, pool: &TermPool, key: &QueryKey, domains: &Domains) {
-        let Some(minimal) = self.minimize_conflict(pool, &key.0, domains) else {
+    fn learn_nogood(
+        &mut self,
+        pool: &TermPool,
+        key: &QueryKey,
+        live: &[TermId],
+        domains: &Domains,
+        fleet_domain: Option<u64>,
+    ) {
+        let Some(minimal) = self.minimize_conflict(pool, live, domains) else {
             return;
         };
         if !self.refute_root(pool, &minimal, domains) {
             return;
         }
-        if self.nogoods.insert((minimal, key.1)) {
+        // Proof-carrying either way: the digest set recorded to the
+        // fleet names the same verified root-refutable subset, keyed by
+        // content so any process can subsume against it.
+        if let (Some(fleet), Some(domain)) = (&self.fleet, fleet_domain) {
+            let mut digests = self.digests.of_terms(pool, &minimal);
+            digests.sort_unstable();
+            if fleet.record_nogood((digests, domain)) {
+                self.stats.fleet_stores += 1;
+                self.obs.fleet_stores.inc();
+            }
+        }
+        if self.nogoods.learn((minimal, key.1)) {
             self.obs.nogood_learned.inc();
         }
     }
@@ -1152,15 +1496,19 @@ impl Solver {
                 break;
             }
         }
-        // `live` is sorted, and filtering preserves order, so the minimal
-        // set is already canonical.
-        Some(
-            live.iter()
-                .enumerate()
-                .filter(|(i, _)| in_conflict[*i])
-                .map(|(_, &c)| c)
-                .collect(),
-        )
+        // `live` arrives in content-canonical (answer) order — the order
+        // the root pass actually ran in — not id order, so the minimal
+        // set must be re-sorted by id before it can serve as an
+        // `UnsatPrefixStore` entry (the subset merge walk requires
+        // sorted, deduplicated ids).
+        let mut minimal: Vec<TermId> = live
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| in_conflict[*i])
+            .map(|(_, &c)| c)
+            .collect();
+        minimal.sort_unstable();
+        Some(minimal)
     }
 
     /// Counts the models of the conjunction over all variables occurring in

@@ -843,7 +843,7 @@ impl TermPool {
     }
 }
 
-fn cmp_op_tag(op: CmpOp) -> u8 {
+pub(crate) fn cmp_op_tag(op: CmpOp) -> u8 {
     match op {
         CmpOp::Eq => 0,
         CmpOp::Ne => 1,
@@ -871,7 +871,7 @@ fn read_cmp_op(r: &mut crate::wire::ByteReader<'_>) -> Result<CmpOp, crate::wire
     })
 }
 
-fn arith_op_tag(op: ArithOp) -> u8 {
+pub(crate) fn arith_op_tag(op: ArithOp) -> u8 {
     match op {
         ArithOp::Add => 0,
         ArithOp::Sub => 1,

@@ -542,6 +542,11 @@ pub fn write_solver_stats(w: &mut ByteWriter, s: &SolverStats) {
     w.u64(s.trail_restores);
     w.u64(s.nogood_hits);
     w.u64(s.batched_queries);
+    w.u64(s.fleet_hits);
+    w.u64(s.fleet_misses);
+    w.u64(s.fleet_nogood_hits);
+    w.u64(s.fleet_stores);
+    w.u64(s.fleet_load_errors);
 }
 
 /// Reads [`SolverStats`] counters.
@@ -559,6 +564,11 @@ pub fn read_solver_stats(r: &mut ByteReader<'_>) -> Result<SolverStats, WireErro
         trail_restores: r.u64("stats trail restores")?,
         nogood_hits: r.u64("stats nogood hits")?,
         batched_queries: r.u64("stats batched queries")?,
+        fleet_hits: r.u64("stats fleet hits")?,
+        fleet_misses: r.u64("stats fleet misses")?,
+        fleet_nogood_hits: r.u64("stats fleet nogood hits")?,
+        fleet_stores: r.u64("stats fleet stores")?,
+        fleet_load_errors: r.u64("stats fleet load errors")?,
     })
 }
 
@@ -775,6 +785,11 @@ mod tests {
             trail_restores: 34,
             nogood_hits: 8,
             batched_queries: 6,
+            fleet_hits: 11,
+            fleet_misses: 12,
+            fleet_nogood_hits: 13,
+            fleet_stores: 14,
+            fleet_load_errors: 1,
         };
         let mut w = ByteWriter::new();
         write_solver_stats(&mut w, &s);
@@ -787,6 +802,11 @@ mod tests {
         assert_eq!(s2.trail_restores, 34);
         assert_eq!(s2.nogood_hits, 8);
         assert_eq!(s2.batched_queries, 6);
+        assert_eq!(s2.fleet_hits, 11);
+        assert_eq!(s2.fleet_misses, 12);
+        assert_eq!(s2.fleet_nogood_hits, 13);
+        assert_eq!(s2.fleet_stores, 14);
+        assert_eq!(s2.fleet_load_errors, 1);
     }
 
     #[test]

@@ -42,6 +42,9 @@ echo "==> observability: every allowlisted metric documented in DESIGN.md"
 while IFS= read -r metric; do
   case "$metric" in ''|'#'*|'['*) continue;; esac
   subsystem="${metric%%.*}"
+  # Fleet-cache metrics get the stricter two-level prefix: a bare
+  # mention of `solver.` must not vouch for the solver.fleet.* family.
+  case "$metric" in solver.fleet.*) subsystem="solver.fleet";; esac
   grep -q -e "$metric" -e "\`$subsystem\." DESIGN.md || {
     echo "metric $metric is in docs/metrics_allowlist.txt but DESIGN.md never mentions it or its subsystem"
     exit 1
@@ -53,5 +56,8 @@ cargo run --release -q -p cpr-bench --bin bench_obs -- --check
 
 echo "==> incremental solving: bench_reduce --check (pool/stats/query identity across cache, thread, and incremental configs)"
 cargo run --release -q -p cpr-bench --bin bench_reduce -- --check
+
+echo "==> fleet cache: bench_cache --check (report identity with the persistent solver cache absent, cold, and warm)"
+cargo run --release -q -p cpr-bench --bin bench_cache -- --check
 
 echo "verify: OK"

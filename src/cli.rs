@@ -48,6 +48,10 @@ USAGE:
         --emit               print the repaired program (top patch applied)
         --metrics-out FILE   write the run's metrics (solver, phases) to
                              FILE as one JSON line after the repair
+        --cache-dir DIR      persistent fleet solver cache: warm-load
+                             solver verdicts from DIR before the repair
+                             and flush what this run learned back after
+                             (identical reports either way, often faster)
 
       Exhausting either budget is a normal stop: the anytime algorithm
       reports the ranked pool it has at that point.
@@ -55,10 +59,13 @@ USAGE:
   cpr subjects [--benchmark extractfix|manybugs|svcomp] [--run <name>]
       List the benchmark registry, or repair one registry subject.
 
-  cpr serve [--addr host:port] [--workers N] [--state-dir DIR] [--stdio]
+  cpr serve [--addr host:port] [--workers N] [--state-dir DIR]
+            [--cache-dir DIR] [--stdio]
       Start the repair job server (JSON-lines protocol, DESIGN.md §4.7).
       Defaults: --addr 127.0.0.1:7411, --workers 4, --state-dir
-      .cpr-serve. With --stdio, serves one session on stdin/stdout
+      .cpr-serve. With --cache-dir, every job shares a persistent fleet
+      solver cache warm-loaded from DIR at startup and flushed at each
+      checkpoint. With --stdio, serves one session on stdin/stdout
       instead of TCP.
 
   cpr submit <subject> [--addr host:port] [--max-iterations N]
@@ -340,6 +347,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             "time-budget-ms",
             "top",
             "metrics-out",
+            "cache-dir",
         ],
         &["no-logic", "emit"],
     )?;
@@ -425,7 +433,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
     // `--max-iterations` / `--time-budget-ms` are the service-style
     // spellings of `--iters` / `--ms`; either works, the long spelling
     // wins when both are given.
-    let config = RepairConfig {
+    let mut config = RepairConfig {
         max_iterations: opts
             .value("max-iterations")
             .or_else(|| opts.value("iters"))
@@ -441,6 +449,15 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         ),
         ..RepairConfig::default()
     };
+    config.solver.cache_dir = opts.value("cache-dir").map(std::path::PathBuf::from);
+    // Hold the fleet cache open for the whole run (the solver resolves the
+    // same instance through the per-directory registry), then flush once
+    // at the end so what this run learned is durable for the next one.
+    let fleet = config
+        .solver
+        .cache_dir
+        .as_deref()
+        .map(|dir| cpr_smt::FleetCache::open_shared(dir, config.solver.fleet_capacity));
     let top: usize = opts
         .value("top")
         .map(|v| v.parse().map_err(|_| "invalid --top"))
@@ -449,6 +466,11 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
 
     problem.validate()?;
     let report = repair(&problem, &config);
+    if let Some(fleet) = &fleet {
+        if fleet.flush().is_err() {
+            eprintln!("warning: could not flush the fleet solver cache (report unaffected)");
+        }
+    }
     print_report(&report, top);
     if let Some(path) = opts.value("metrics-out") {
         // The repair recorded into the process-wide registry
@@ -546,17 +568,22 @@ fn parse_opt_num<T: std::str::FromStr>(opts: &Opts<'_>, name: &str) -> Result<Op
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["addr", "workers", "state-dir"], &["stdio"])?;
+    let opts = Opts::parse(
+        args,
+        &["addr", "workers", "state-dir", "cache-dir"],
+        &["stdio"],
+    )?;
     if !opts.positional.is_empty() {
         return Err(
-            "usage: cpr serve [--addr host:port] [--workers N] [--state-dir DIR] [--stdio]".into(),
+            "usage: cpr serve [--addr host:port] [--workers N] [--state-dir DIR] [--cache-dir DIR] [--stdio]".into(),
         );
     }
     let workers: usize = parse_opt_num(&opts, "workers")?.unwrap_or(4);
     let state_dir = opts.value("state-dir").unwrap_or(".cpr-serve");
     let store = cpr_serve::SnapshotStore::open(state_dir)
         .map_err(|e| format!("cannot open state dir {state_dir}: {e}"))?;
-    let scheduler = cpr_serve::Scheduler::new(workers, store);
+    let cache_dir = opts.value("cache-dir").map(std::path::PathBuf::from);
+    let scheduler = cpr_serve::Scheduler::with_cache(workers, store, cache_dir);
     if opts.has("stdio") {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

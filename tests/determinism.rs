@@ -5,6 +5,8 @@
 //! store). This is the end-to-end guarantee behind `RepairConfig::threads` —
 //! wall-clock is the only observable difference.
 
+use std::path::Path;
+
 use cpr_core::{repair, RepairConfig, RepairDriver, RepairReport, StepStatus};
 use cpr_obs::MetricsRegistry;
 use cpr_subjects::all_subjects;
@@ -333,6 +335,109 @@ fn each_incremental_knob_is_independently_inert() {
     for (label, mutate) in variants {
         assert_eq!(baseline, run(mutate), "{name}: {label} changed the report");
     }
+}
+
+/// A scratch fleet-cache directory, cleaned before use.
+fn fleet_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cpr_determinism_fleet_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fleet_cache_never_changes_the_repair_report() {
+    // The persistent fleet cache must be a pure accelerator with the
+    // *full* report — query counters included — bit-identical across:
+    // no cache, a cold cache (fresh directory, populated as the run
+    // goes), and a warm cache (a second run over the store the first one
+    // flushed), at 1 and 4 threads. This is the determinism contract that
+    // makes the store safe to share across jobs and restarts: a
+    // fleet-cached verdict replays exactly what a cold search would have
+    // computed, because verdicts are content-addressed and answered in
+    // content-canonical order.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        let run = |threads: usize, cache_dir: Option<&std::path::Path>| {
+            let mut config = RepairConfig::quick();
+            config.max_iterations = 12;
+            config.threads = threads;
+            config.solver.cache_dir = cache_dir.map(Path::to_path_buf);
+            report_key(&repair(&problem, &config))
+        };
+        let baseline = run(1, None);
+        for threads in [1, 4] {
+            let dir = fleet_dir(&format!("{name}_{threads}"));
+            let cold = run(threads, Some(&dir));
+            assert_eq!(
+                baseline, cold,
+                "{name}: a cold fleet cache changed the report at {threads} threads"
+            );
+            let warm = run(threads, Some(&dir));
+            assert_eq!(
+                baseline, warm,
+                "{name}: a warm fleet cache changed the report at {threads} threads"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
+fn corrupted_fleet_cache_falls_back_to_cold_and_identical() {
+    // A damaged store must never panic, never alter a verdict, and never
+    // move a report field: the load degrades to a cold start (the typed
+    // error is surfaced in `SolverStats::fleet_load_errors`) and the
+    // first flush rewrites the file wholesale. Garbage that fails the
+    // magic check and a bit-flipped record that fails its checksum both
+    // take that path.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("at least one supported subject");
+    let name = subject.name();
+    let problem = subject.problem();
+    let run = |threads: usize, cache_dir: Option<&std::path::Path>| {
+        let mut config = RepairConfig::quick();
+        config.max_iterations = 12;
+        config.threads = threads;
+        config.solver.cache_dir = cache_dir.map(Path::to_path_buf);
+        report_key(&repair(&problem, &config))
+    };
+    let baseline = run(1, None);
+    let dir = fleet_dir("corrupt");
+    // Populate a real store first, then damage it two different ways.
+    assert_eq!(baseline, run(1, Some(&dir)), "{name}: cold run diverged");
+    let log = dir.join("cache.log");
+    let good = std::fs::read(&log).expect("populated cache.log");
+    for threads in [1, 4] {
+        // Foreign bytes: fails the magic check.
+        std::fs::write(&log, b"not a fleet cache at all").unwrap();
+        assert_eq!(
+            baseline,
+            run(threads, Some(&dir)),
+            "{name}: a garbage store changed the report at {threads} threads"
+        );
+        // Bit flip mid-record: fails that record's checksum.
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        std::fs::write(&log, &flipped).unwrap();
+        assert_eq!(
+            baseline,
+            run(threads, Some(&dir)),
+            "{name}: a bit-flipped store changed the report at {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
