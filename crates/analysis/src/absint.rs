@@ -116,9 +116,17 @@ impl AbsVal {
             (a, b) => a.join(b),
         }
     }
+
+    fn narrow(self, next: AbsVal) -> AbsVal {
+        match (self, next) {
+            (AbsVal::Int(a), AbsVal::Int(b)) => AbsVal::Int(narrow_interval(a, b)),
+            (AbsVal::Array(a), AbsVal::Array(b)) => AbsVal::Array(narrow_interval(a, b)),
+            (a, _) => a,
+        }
+    }
 }
 
-fn widen_interval(cur: Interval, next: Interval) -> Interval {
+pub(crate) fn widen_interval(cur: Interval, next: Interval) -> Interval {
     let lo = if next.lo() < cur.lo() {
         Interval::MIN_BOUND
     } else {
@@ -130,6 +138,22 @@ fn widen_interval(cur: Interval, next: Interval) -> Interval {
         cur.hi()
     };
     Interval::of(lo, hi)
+}
+
+/// Narrowing: only endpoints the widening pushed to the clamping bounds are
+/// pulled back to `next`'s (still sound) endpoint.
+pub(crate) fn narrow_interval(cur: Interval, next: Interval) -> Interval {
+    let lo = if cur.lo() == Interval::MIN_BOUND {
+        next.lo()
+    } else {
+        cur.lo()
+    };
+    let hi = if cur.hi() == Interval::MAX_BOUND {
+        next.hi()
+    } else {
+        cur.hi()
+    };
+    Interval::of(lo.min(hi), lo.max(hi))
 }
 
 /// An abstract program state: every visible variable's abstract value.
@@ -175,6 +199,16 @@ impl AbsState {
         }
         AbsState { env }
     }
+
+    fn narrow(&self, next: &AbsState) -> AbsState {
+        let mut env = self.env.clone();
+        for (k, v) in &next.env {
+            if let Some(cur) = env.get(k) {
+                env.insert(k.clone(), cur.narrow(*v));
+            }
+        }
+        AbsState { env }
+    }
 }
 
 fn join_opt(a: Option<AbsState>, b: Option<AbsState>) -> Option<AbsState> {
@@ -206,6 +240,8 @@ pub struct AbsSummary {
 const MAX_LOOP_ROUNDS: usize = 16;
 /// Exact rounds before bounds that still move are widened.
 const WIDEN_AFTER: usize = 3;
+/// Bounded narrowing rounds after the widened state stabilises.
+const NARROW_ROUNDS: usize = 2;
 
 struct AbsInterp {
     cond_verdicts: BTreeMap<(usize, usize), AbsBool>,
@@ -315,8 +351,10 @@ impl AbsInterp {
                 join_opt(then_out, else_out)
             }
             Stmt::While { cond, body, .. } => {
+                let entry = state.clone();
                 let mut cur = state;
                 let mut exits: Option<AbsState> = None;
+                let mut converged = false;
                 for round in 0..MAX_LOOP_ROUNDS {
                     let verdict = eval_bool(&cur, cond);
                     self.record(cond.span(), verdict);
@@ -336,7 +374,8 @@ impl AbsInterp {
                     };
                     let next = cur.join(&body_out);
                     if next == cur {
-                        return exits;
+                        converged = true;
+                        break;
                     }
                     cur = if round >= WIDEN_AFTER {
                         cur.widen(&next)
@@ -344,9 +383,34 @@ impl AbsInterp {
                         next
                     };
                 }
-                // Widening guarantees convergence long before the round
-                // budget; fall back to the sound exit join regardless.
-                join_opt(exits, refine(cur, cond, false))
+                if !converged {
+                    // Round budget exhausted without a proven invariant: the
+                    // accumulated exit join is the only sound answer.
+                    return join_opt(exits, refine(cur, cond, false));
+                }
+                // `cur` is an invariant. Bounded narrowing pulls endpoints
+                // the widening pushed to the clamping bounds back to the
+                // recomputed post-state, which is itself an invariant
+                // (entry ⊔ F(cur) for cur ⊇ lfp stays ⊇ lfp).
+                for _ in 0..NARROW_ROUNDS {
+                    let body_in = match refine(cur.clone(), cond, true) {
+                        Some(s) => s,
+                        None => break,
+                    };
+                    let body_out = match self.exec_block(body, Some(body_in)) {
+                        Some(s) => s,
+                        None => break,
+                    };
+                    let next = entry.join(&body_out);
+                    let narrowed = cur.narrow(&next);
+                    if narrowed == cur {
+                        break;
+                    }
+                    cur = narrowed;
+                }
+                // The invariant subsumes every reachable head state, so its
+                // false refinement replaces the round-by-round exit join.
+                refine(cur, cond, false)
             }
             Stmt::Return { value, .. } => {
                 let _ = eval(&state, value);
@@ -444,21 +508,21 @@ pub fn eval_bool(state: &AbsState, e: &Expr) -> AbsBool {
     as_bool(eval(state, e))
 }
 
-fn as_interval(v: AbsVal) -> Interval {
+pub(crate) fn as_interval(v: AbsVal) -> Interval {
     match v {
         AbsVal::Int(i) | AbsVal::Array(i) => i,
         AbsVal::Bool(_) => Interval::of(0, 1),
     }
 }
 
-fn as_bool(v: AbsVal) -> AbsBool {
+pub(crate) fn as_bool(v: AbsVal) -> AbsBool {
     match v {
         AbsVal::Bool(b) => b,
         _ => AbsBool::Unknown,
     }
 }
 
-fn abs_interval(a: Interval) -> Interval {
+pub(crate) fn abs_interval(a: Interval) -> Interval {
     if a.lo() >= 0 {
         a
     } else if a.hi() <= 0 {
@@ -468,7 +532,7 @@ fn abs_interval(a: Interval) -> Interval {
     }
 }
 
-fn compare(op: BinOp, a: Interval, b: Interval) -> AbsBool {
+pub(crate) fn compare(op: BinOp, a: Interval, b: Interval) -> AbsBool {
     match op {
         BinOp::Lt => {
             if a.hi() < b.lo() {
@@ -505,7 +569,7 @@ fn compare(op: BinOp, a: Interval, b: Interval) -> AbsBool {
 }
 
 /// Negates a comparison operator (for refining under a false polarity).
-fn negate_cmp(op: BinOp) -> BinOp {
+pub(crate) fn negate_cmp(op: BinOp) -> BinOp {
     match op {
         BinOp::Lt => BinOp::Ge,
         BinOp::Le => BinOp::Gt,
@@ -680,6 +744,32 @@ mod tests {
         // spec cannot be decided after widening.
         assert_eq!(verdicts(&s), vec![AbsBool::Unknown]);
         assert!(s.bug_reached);
+    }
+
+    #[test]
+    fn narrowing_keeps_bounded_loop_counters_finite() {
+        // `i` is widened to MAX_BOUND while the loop stabilises; the
+        // narrowing pass must pull it back to the bound the condition
+        // implies, so the state after the loop keeps a finite range.
+        let s = summary(
+            "program p {
+               input n in [0, 8];
+               var i: int = 0;
+               while (i < n) { i = i + 1; }
+               bug b requires (i >= 0);
+               return i;
+             }",
+        );
+        assert!(s.bug_reached);
+        assert_eq!(s.bug_spec, Some(AbsBool::True));
+        let state = s.bug_state.as_ref().unwrap();
+        match state.get("i") {
+            AbsVal::Int(iv) => {
+                assert!(iv.hi() <= 8, "widened bound survived narrowing: {iv:?}");
+                assert!(iv.lo() >= 0);
+            }
+            other => panic!("unexpected abstract value {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,853 @@
+//! Independent replay checker for screening certificates.
+//!
+//! The static screen (see [`crate::screen`]) may substitute an `Unsat`
+//! verdict for a solver query only when the solver's root pass refutes it.
+//! That pass emits a [`ScreenCertificate`] — the exact deduction sequence
+//! that closed the query — and **this module replays it before the screen
+//! is allowed to act**. The replayer is deliberately written against
+//! `cpr_smt`'s *public* term/interval API only: it shares none of the
+//! solver's contraction, enclosure, or zone-decomposition code, so a bug
+//! in the solver's inference cannot silently vouch for itself. A failed
+//! replay demotes the decision back to the real solver (costing speed,
+//! never soundness) and bumps the `screen.cert_rejected` counter.
+//!
+//! # Acceptance rules
+//!
+//! The checker maintains its own box (variable → interval map, seeded
+//! from the query's domains exactly as the solver seeds its search box)
+//! and walks the certificate steps:
+//!
+//! * **Narrow** — re-derives the narrowing with its own HC4 revision and
+//!   accepts iff every claimed interval *contains* the checker-derived
+//!   one (`claimed ⊇ derived`); since the derived box over-approximates
+//!   the query's solutions, any claimed superset of it does too, so
+//!   applying the claimed writes keeps the replay box sound.
+//! * **Empty / FalseEnclosure** — the checker's own revision must empty a
+//!   domain (resp. its own enclosure must evaluate to `false`).
+//! * **NegativeCycle** — every edge is re-derived: constraint edges by
+//!   the checker's own difference decomposition (including the
+//!   saturation guard), bound edges against the replay box; then the
+//!   edges must chain into a cycle with a negative weight sum.
+//! * **ConstFalse / Complement** — purely structural re-checks.
+//!
+//! Every step must name constraints actually asserted by the query — a
+//! certificate can never smuggle in facts the caller did not assert.
+
+use std::collections::BTreeMap;
+
+use cpr_smt::{
+    ArithOp, CertStep, CmpOp, Domains, EdgeOrigin, Interval, ScreenCertificate, Sort, TermData,
+    TermId, TermPool, VarId, ZoneEdge,
+};
+
+/// Three-valued truth, local to the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// The checker's replay box: a sorted variable → interval map.
+type ReplayBox = BTreeMap<VarId, Interval>;
+
+/// Signals an emptied domain during the checker's own revision.
+struct EmptiedDomain;
+
+/// Replays `cert` against the query `(constraints, domains)` and returns
+/// whether the certificate justifies an `Unsat` verdict. `default` is the
+/// solver's default domain for unbounded integer variables (pass
+/// `solver.config().default_domain` so both sides seed identically).
+pub fn replay(
+    pool: &TermPool,
+    constraints: &[TermId],
+    domains: &Domains,
+    default: Interval,
+    cert: &ScreenCertificate,
+) -> bool {
+    let asserted = |t: TermId| constraints.contains(&t);
+    let mut rbox: ReplayBox = BTreeMap::new();
+    for &c in constraints {
+        for v in pool.vars_of(c) {
+            rbox.entry(v).or_insert_with(|| match pool.var_sort(v) {
+                Sort::Bool => Interval::of(0, 1),
+                Sort::Int => domains.get(v).unwrap_or(default),
+            });
+        }
+    }
+    for step in &cert.steps {
+        match step {
+            CertStep::ConstFalse { constraint } => {
+                return asserted(*constraint)
+                    && pool.data(*constraint) == TermData::BoolConst(false);
+            }
+            CertStep::Complement { a, b } => {
+                return asserted(*a) && asserted(*b) && complementary(pool, *a, *b);
+            }
+            CertStep::Narrow { constraint, writes } => {
+                if !asserted(*constraint) {
+                    return false;
+                }
+                let mut derived = rbox.clone();
+                match revise(pool, *constraint, true, &mut derived) {
+                    // The checker's own revision already refutes the box:
+                    // stronger than what the step claims, so accept.
+                    Err(EmptiedDomain) => return true,
+                    Ok(()) => {
+                        for (v, claimed) in writes {
+                            let Some(j) = derived.get(v) else {
+                                return false;
+                            };
+                            if !claimed.contains_interval(*j) {
+                                return false;
+                            }
+                            rbox.insert(*v, *claimed);
+                        }
+                    }
+                }
+            }
+            CertStep::Empty { constraint } => {
+                return asserted(*constraint)
+                    && revise(pool, *constraint, true, &mut rbox.clone()).is_err();
+            }
+            CertStep::FalseEnclosure { constraint } => {
+                return asserted(*constraint) && truth_of(pool, *constraint, &rbox) == Truth::False;
+            }
+            CertStep::NegativeCycle { edges } => {
+                return cycle_justified(pool, constraints, &rbox, edges);
+            }
+        }
+    }
+    // Steps exhausted without a refuting step: nothing was proven.
+    false
+}
+
+/// Structural complement check (`a = ¬b`, `b = ¬a`, or the same
+/// comparison under negated operators) — the checker's own version of
+/// the solver's fast-path test.
+fn complementary(pool: &TermPool, a: TermId, b: TermId) -> bool {
+    match (pool.data(a), pool.data(b)) {
+        (TermData::Not(x), _) if x == b => true,
+        (_, TermData::Not(y)) if y == a => true,
+        (TermData::Cmp(op1, x1, y1), TermData::Cmp(op2, x2, y2)) => {
+            x1 == x2 && y1 == y2 && op1.negate() == op2
+        }
+        _ => false,
+    }
+}
+
+/// Forward enclosure of an integer term under the replay box. Variables
+/// missing from the box (ill-formed certificates) enclose to the widest
+/// interval, which can only make the checker *more* conservative.
+fn enclose(pool: &TermPool, t: TermId, rbox: &ReplayBox) -> Interval {
+    match pool.data(t) {
+        TermData::IntConst(v) => Interval::point(v),
+        TermData::Var(v) => rbox.get(&v).copied().unwrap_or(Interval::TOP),
+        TermData::Arith(op, a, b) => {
+            let ia = enclose(pool, a, rbox);
+            let ib = enclose(pool, b, rbox);
+            match op {
+                ArithOp::Add => ia.add(ib),
+                ArithOp::Sub => ia.sub(ib),
+                ArithOp::Mul => ia.mul(ib),
+                ArithOp::Div => ia.div_total(ib),
+                ArithOp::Rem => ia.rem_total(ib),
+            }
+        }
+        TermData::Neg(a) => enclose(pool, a, rbox).neg(),
+        TermData::Ite(c, a, b) => match truth_of(pool, c, rbox) {
+            Truth::True => enclose(pool, a, rbox),
+            Truth::False => enclose(pool, b, rbox),
+            Truth::Unknown => enclose(pool, a, rbox).hull(enclose(pool, b, rbox)),
+        },
+        _ => Interval::point(0),
+    }
+}
+
+/// Three-valued truth of a boolean term under the replay box.
+fn truth_of(pool: &TermPool, t: TermId, rbox: &ReplayBox) -> Truth {
+    match pool.data(t) {
+        TermData::BoolConst(true) => Truth::True,
+        TermData::BoolConst(false) => Truth::False,
+        TermData::Var(v) => {
+            let iv = rbox.get(&v).copied().unwrap_or(Interval::of(0, 1));
+            if iv.is_point() {
+                if iv.lo() == 0 {
+                    Truth::False
+                } else {
+                    Truth::True
+                }
+            } else {
+                Truth::Unknown
+            }
+        }
+        TermData::Not(a) => truth_of(pool, a, rbox).not(),
+        TermData::And(a, b) => truth_of(pool, a, rbox).and(truth_of(pool, b, rbox)),
+        TermData::Or(a, b) => truth_of(pool, a, rbox).or(truth_of(pool, b, rbox)),
+        TermData::Cmp(op, a, b) => {
+            let ia = enclose(pool, a, rbox);
+            let ib = enclose(pool, b, rbox);
+            cmp_truth(op, ia, ib)
+        }
+        _ => Truth::Unknown,
+    }
+}
+
+fn cmp_truth(op: CmpOp, a: Interval, b: Interval) -> Truth {
+    match op {
+        CmpOp::Lt => {
+            if a.hi() < b.lo() {
+                Truth::True
+            } else if a.lo() >= b.hi() {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Le => {
+            if a.hi() <= b.lo() {
+                Truth::True
+            } else if a.lo() > b.hi() {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Gt => cmp_truth(CmpOp::Lt, b, a),
+        CmpOp::Ge => cmp_truth(CmpOp::Le, b, a),
+        CmpOp::Eq => {
+            if a.is_point() && b.is_point() && a.lo() == b.lo() {
+                Truth::True
+            } else if a.intersect(b).is_none() {
+                Truth::False
+            } else {
+                Truth::Unknown
+            }
+        }
+        CmpOp::Ne => cmp_truth(CmpOp::Eq, a, b).not(),
+    }
+}
+
+fn narrow(rbox: &mut ReplayBox, v: VarId, iv: Interval) -> Result<(), EmptiedDomain> {
+    let cur = rbox.get(&v).copied().unwrap_or(Interval::TOP);
+    match cur.intersect(iv) {
+        Some(n) => {
+            rbox.insert(v, n);
+            Ok(())
+        }
+        None => Err(EmptiedDomain),
+    }
+}
+
+/// The checker's HC4 revision of one asserted boolean term: requires `t`
+/// to hold with the given polarity and narrows the box in place. Matches
+/// the solver's contraction *semantics* (it must be at least as tight,
+/// or sound certificates would be rejected), but is written independently
+/// against the public interval API.
+fn revise(
+    pool: &TermPool,
+    t: TermId,
+    required: bool,
+    rbox: &mut ReplayBox,
+) -> Result<(), EmptiedDomain> {
+    match pool.data(t) {
+        TermData::BoolConst(b) => {
+            if b == required {
+                Ok(())
+            } else {
+                Err(EmptiedDomain)
+            }
+        }
+        TermData::Var(v) => {
+            let target = i64::from(required);
+            narrow(rbox, v, Interval::point(target))
+        }
+        TermData::Not(a) => revise(pool, a, !required, rbox),
+        TermData::And(a, b) => {
+            if required {
+                revise(pool, a, true, rbox)?;
+                revise(pool, b, true, rbox)
+            } else {
+                revise_disjunct(pool, (a, false), (b, false), rbox)
+            }
+        }
+        TermData::Or(a, b) => {
+            if required {
+                revise_disjunct(pool, (a, true), (b, true), rbox)
+            } else {
+                revise(pool, a, false, rbox)?;
+                revise(pool, b, false, rbox)
+            }
+        }
+        TermData::Cmp(op, a, b) => {
+            let eff = if required { op } else { op.negate() };
+            revise_cmp(pool, eff, a, b, rbox)
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Union-hull revision through a disjunction: each disjunct revises a
+/// copy of the box; surviving copies are hulled per variable.
+fn revise_disjunct(
+    pool: &TermPool,
+    (a, ra): (TermId, bool),
+    (b, rb): (TermId, bool),
+    rbox: &mut ReplayBox,
+) -> Result<(), EmptiedDomain> {
+    let mut box_a = rbox.clone();
+    let ok_a = revise(pool, a, ra, &mut box_a).is_ok();
+    let mut box_b = rbox.clone();
+    let ok_b = revise(pool, b, rb, &mut box_b).is_ok();
+    match (ok_a, ok_b) {
+        (false, false) => Err(EmptiedDomain),
+        (true, false) => {
+            *rbox = box_a;
+            Ok(())
+        }
+        (false, true) => {
+            *rbox = box_b;
+            Ok(())
+        }
+        (true, true) => {
+            for (v, iv) in rbox.iter_mut() {
+                let ha = box_a.get(v).copied().unwrap_or(*iv);
+                let hb = box_b.get(v).copied().unwrap_or(*iv);
+                *iv = ha.hull(hb);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn revise_cmp(
+    pool: &TermPool,
+    op: CmpOp,
+    a: TermId,
+    b: TermId,
+    rbox: &mut ReplayBox,
+) -> Result<(), EmptiedDomain> {
+    let ia = enclose(pool, a, rbox);
+    let ib = enclose(pool, b, rbox);
+    match op {
+        CmpOp::Eq => {
+            let meet = ia.intersect(ib).ok_or(EmptiedDomain)?;
+            push(pool, a, meet, rbox)?;
+            push(pool, b, meet, rbox)
+        }
+        CmpOp::Ne => {
+            if ia.is_point() && ib.is_point() && ia.lo() == ib.lo() {
+                return Err(EmptiedDomain);
+            }
+            if ib.is_point() {
+                let na = ia.remove_endpoint(ib.lo()).ok_or(EmptiedDomain)?;
+                push(pool, a, na, rbox)?;
+            }
+            if ia.is_point() {
+                let nb = ib.remove_endpoint(ia.lo()).ok_or(EmptiedDomain)?;
+                push(pool, b, nb, rbox)?;
+            }
+            Ok(())
+        }
+        CmpOp::Lt => {
+            let na = ia.below_strict(ib).ok_or(EmptiedDomain)?;
+            let nb = ib.above_strict(ia).ok_or(EmptiedDomain)?;
+            push(pool, a, na, rbox)?;
+            push(pool, b, nb, rbox)
+        }
+        CmpOp::Le => {
+            let na = ia.below(ib).ok_or(EmptiedDomain)?;
+            let nb = ib.above(ia).ok_or(EmptiedDomain)?;
+            push(pool, a, na, rbox)?;
+            push(pool, b, nb, rbox)
+        }
+        CmpOp::Gt => revise_cmp(pool, CmpOp::Lt, b, a, rbox),
+        CmpOp::Ge => revise_cmp(pool, CmpOp::Le, b, a, rbox),
+    }
+}
+
+/// Backward push: requires the integer term `t` to take a value inside
+/// `iv`, narrowing the box.
+fn push(
+    pool: &TermPool,
+    t: TermId,
+    iv: Interval,
+    rbox: &mut ReplayBox,
+) -> Result<(), EmptiedDomain> {
+    match pool.data(t) {
+        TermData::IntConst(v) => {
+            if iv.contains(v) {
+                Ok(())
+            } else {
+                Err(EmptiedDomain)
+            }
+        }
+        TermData::Var(v) => narrow(rbox, v, iv),
+        TermData::Neg(a) => push(pool, a, iv.neg(), rbox),
+        TermData::Arith(op, a, b) => {
+            let ia = enclose(pool, a, rbox);
+            let ib = enclose(pool, b, rbox);
+            match op {
+                ArithOp::Add => {
+                    let na = Interval::back_add(iv, ib, ia).ok_or(EmptiedDomain)?;
+                    let nb = Interval::back_add(iv, ia, ib).ok_or(EmptiedDomain)?;
+                    push(pool, a, na, rbox)?;
+                    push(pool, b, nb, rbox)
+                }
+                ArithOp::Sub => {
+                    let na = Interval::back_sub_lhs(iv, ib, ia).ok_or(EmptiedDomain)?;
+                    let nb = Interval::back_sub_rhs(iv, ia, ib).ok_or(EmptiedDomain)?;
+                    push(pool, a, na, rbox)?;
+                    push(pool, b, nb, rbox)
+                }
+                ArithOp::Mul => {
+                    let na = Interval::back_mul(iv, ib, ia).ok_or(EmptiedDomain)?;
+                    push(pool, a, na, rbox)?;
+                    let nb = Interval::back_mul(iv, ia, ib).ok_or(EmptiedDomain)?;
+                    push(pool, b, nb, rbox)
+                }
+                // Division/remainder contract forward-only.
+                ArithOp::Div | ArithOp::Rem => Ok(()),
+            }
+        }
+        TermData::Ite(c, a, b) => match truth_of(pool, c, rbox) {
+            Truth::True => push(pool, a, iv, rbox),
+            Truth::False => push(pool, b, iv, rbox),
+            Truth::Unknown => {
+                let ia = enclose(pool, a, rbox);
+                let ib = enclose(pool, b, rbox);
+                match (ia.intersect(iv), ib.intersect(iv)) {
+                    (None, None) => Err(EmptiedDomain),
+                    (Some(_), None) => {
+                        revise(pool, c, true, rbox)?;
+                        push(pool, a, iv, rbox)
+                    }
+                    (None, Some(_)) => {
+                        revise(pool, c, false, rbox)?;
+                        push(pool, b, iv, rbox)
+                    }
+                    (Some(_), Some(_)) => Ok(()),
+                }
+            }
+        },
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Negative-cycle verification
+// ---------------------------------------------------------------------
+
+/// The checker's own linear view of an integer term: `±pos ∓ neg + k`,
+/// with the exact `i128` range of the node under the replay box (the
+/// saturation guard: concrete evaluation saturates at `i64`, so a
+/// decomposition is only faithful when no node can leave `i64`).
+#[derive(Clone, Copy)]
+struct LinView {
+    pos: Option<VarId>,
+    neg: Option<VarId>,
+    k: i128,
+    lo: i128,
+    hi: i128,
+}
+
+impl LinView {
+    fn constant(v: i128) -> LinView {
+        LinView {
+            pos: None,
+            neg: None,
+            k: v,
+            lo: v,
+            hi: v,
+        }
+    }
+
+    fn negated(self) -> LinView {
+        LinView {
+            pos: self.neg,
+            neg: self.pos,
+            k: -self.k,
+            lo: -self.hi,
+            hi: -self.lo,
+        }
+    }
+
+    fn add(self, other: LinView) -> Option<LinView> {
+        let mut pos: Vec<VarId> = [self.pos, other.pos].into_iter().flatten().collect();
+        let mut neg: Vec<VarId> = [self.neg, other.neg].into_iter().flatten().collect();
+        let mut i = 0;
+        while i < pos.len() {
+            if let Some(j) = neg.iter().position(|&v| v == pos[i]) {
+                pos.remove(i);
+                neg.remove(j);
+            } else {
+                i += 1;
+            }
+        }
+        if pos.len() > 1 || neg.len() > 1 {
+            return None;
+        }
+        Some(LinView {
+            pos: pos.first().copied(),
+            neg: neg.first().copied(),
+            k: self.k + other.k,
+            lo: self.lo + other.lo,
+            hi: self.hi + other.hi,
+        })
+    }
+}
+
+fn lin_view(pool: &TermPool, t: TermId, rbox: &ReplayBox) -> Option<LinView> {
+    let out = match pool.data(t) {
+        TermData::IntConst(v) => LinView::constant(v as i128),
+        TermData::Var(v) => {
+            let iv = *rbox.get(&v)?;
+            LinView {
+                pos: Some(v),
+                neg: None,
+                k: 0,
+                lo: iv.lo() as i128,
+                hi: iv.hi() as i128,
+            }
+        }
+        TermData::Neg(a) => lin_view(pool, a, rbox)?.negated(),
+        TermData::Arith(ArithOp::Add, a, b) => {
+            lin_view(pool, a, rbox)?.add(lin_view(pool, b, rbox)?)?
+        }
+        TermData::Arith(ArithOp::Sub, a, b) => {
+            lin_view(pool, a, rbox)?.add(lin_view(pool, b, rbox)?.negated())?
+        }
+        TermData::Arith(ArithOp::Mul, a, b) => {
+            let la = lin_view(pool, a, rbox)?;
+            let lb = lin_view(pool, b, rbox)?;
+            let scale = |l: LinView, c: i128| -> Option<LinView> {
+                match c {
+                    0 => Some(LinView::constant(0)),
+                    1 => Some(l),
+                    -1 => Some(l.negated()),
+                    _ if l.pos.is_none() && l.neg.is_none() => {
+                        Some(LinView::constant(l.k.checked_mul(c)?))
+                    }
+                    _ => None,
+                }
+            };
+            if la.pos.is_none() && la.neg.is_none() {
+                scale(lb, la.k)?
+            } else if lb.pos.is_none() && lb.neg.is_none() {
+                scale(la, lb.k)?
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    if out.lo < i64::MIN as i128 || out.hi > i64::MAX as i128 {
+        return None;
+    }
+    Some(out)
+}
+
+/// A difference fact `dst - src ≤ weight` derived by the checker.
+#[derive(PartialEq, Eq)]
+struct Derived {
+    src: Option<VarId>,
+    dst: Option<VarId>,
+    weight: i128,
+}
+
+fn derive_edges(
+    pool: &TermPool,
+    t: TermId,
+    polarity: bool,
+    rbox: &ReplayBox,
+    out: &mut Vec<Derived>,
+) {
+    match pool.data(t) {
+        TermData::BoolConst(b) if b != polarity => {
+            out.push(Derived {
+                src: None,
+                dst: None,
+                weight: -1,
+            });
+        }
+        TermData::Var(v) if rbox.contains_key(&v) => {
+            let d = if polarity {
+                Derived {
+                    src: Some(v),
+                    dst: None,
+                    weight: -1,
+                }
+            } else {
+                Derived {
+                    src: None,
+                    dst: Some(v),
+                    weight: 0,
+                }
+            };
+            out.push(d);
+        }
+        TermData::Not(a) => derive_edges(pool, a, !polarity, rbox, out),
+        TermData::And(a, b) if polarity => {
+            derive_edges(pool, a, true, rbox, out);
+            derive_edges(pool, b, true, rbox, out);
+        }
+        TermData::Or(a, b) if !polarity => {
+            derive_edges(pool, a, false, rbox, out);
+            derive_edges(pool, b, false, rbox, out);
+        }
+        TermData::Cmp(op, a, b) => {
+            let op = if polarity { op } else { op.negate() };
+            let (Some(la), Some(lb)) = (lin_view(pool, a, rbox), lin_view(pool, b, rbox)) else {
+                return;
+            };
+            let mut le = |l: LinView, r: LinView, slack: i128| {
+                if let Some(d) = l.add(r.negated()) {
+                    out.push(Derived {
+                        src: d.neg,
+                        dst: d.pos,
+                        weight: slack - d.k,
+                    });
+                }
+            };
+            match op {
+                CmpOp::Le => le(la, lb, 0),
+                CmpOp::Lt => le(la, lb, -1),
+                CmpOp::Ge => le(lb, la, 0),
+                CmpOp::Gt => le(lb, la, -1),
+                CmpOp::Eq => {
+                    le(la, lb, 0);
+                    le(lb, la, 0);
+                }
+                CmpOp::Ne => {}
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Verifies a claimed negative cycle: the edges must chain (each `dst` is
+/// the next `src`), telescope to a strictly negative sum, and each edge
+/// must be independently justified — constraint edges by re-deriving the
+/// decomposition of an *asserted* constraint (any derived weight at most
+/// the claimed one justifies it), bound edges against the replay box.
+fn cycle_justified(
+    pool: &TermPool,
+    constraints: &[TermId],
+    rbox: &ReplayBox,
+    edges: &[ZoneEdge],
+) -> bool {
+    if edges.is_empty() {
+        return false;
+    }
+    let chained = edges
+        .iter()
+        .zip(edges.iter().cycle().skip(1))
+        .all(|(e, next)| e.dst == next.src);
+    if !chained {
+        return false;
+    }
+    if edges.iter().map(|e| e.weight).sum::<i128>() >= 0 {
+        return false;
+    }
+    edges.iter().all(|e| match e.origin {
+        EdgeOrigin::Constraint(t) => {
+            if !constraints.contains(&t) {
+                return false;
+            }
+            let mut derived = Vec::new();
+            derive_edges(pool, t, true, rbox, &mut derived);
+            derived
+                .iter()
+                .any(|d| d.src == e.src && d.dst == e.dst && d.weight <= e.weight)
+        }
+        EdgeOrigin::UpperBound(v) => {
+            e.src.is_none()
+                && e.dst == Some(v)
+                && rbox.get(&v).is_some_and(|iv| e.weight >= iv.hi() as i128)
+        }
+        EdgeOrigin::LowerBound(v) => {
+            e.dst.is_none()
+                && e.src == Some(v)
+                && rbox
+                    .get(&v)
+                    .is_some_and(|iv| e.weight >= -(iv.lo() as i128))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpr_smt::{SatResult, Solver, SolverConfig};
+
+    fn setup() -> (TermPool, Solver, Domains) {
+        let pool = TermPool::new();
+        let solver = Solver::new(SolverConfig::default());
+        (pool, solver, Domains::new())
+    }
+
+    fn certified_and_replayed(
+        pool: &TermPool,
+        solver: &Solver,
+        q: &[TermId],
+        domains: &Domains,
+        zones: bool,
+    ) -> Option<bool> {
+        let cert = solver.refute_root_certified(pool, q, domains, zones)?;
+        Some(replay(
+            pool,
+            q,
+            domains,
+            solver.config().default_domain,
+            &cert,
+        ))
+    }
+
+    #[test]
+    fn interval_certificates_replay() {
+        let (mut pool, solver, mut domains) = setup();
+        let x = pool.var("x", Sort::Int);
+        let xv = pool.var_term(x);
+        let c5 = pool.int(5);
+        let c3 = pool.int(3);
+        domains.bound(x, -100, 100);
+        // x > 5 && x < 3: narrows then empties / falsifies.
+        let g = pool.gt(xv, c5);
+        let l = pool.lt(xv, c3);
+        assert_eq!(
+            certified_and_replayed(&pool, &solver, &[g, l], &domains, false),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn zone_certificates_replay() {
+        let (mut pool, solver, mut domains) = setup();
+        let x = pool.var("x", Sort::Int);
+        let y = pool.var("y", Sort::Int);
+        let xv = pool.var_term(x);
+        let yv = pool.var_term(y);
+        domains.bound(x, -1_000_000, 1_000_000);
+        domains.bound(y, -1_000_000, 1_000_000);
+        let a = pool.lt(xv, yv);
+        let b = pool.lt(yv, xv);
+        let cert = solver
+            .refute_root_certified(&pool, &[a, b], &domains, true)
+            .expect("x<y && y<x is zone-refutable");
+        assert!(cert.uses_zones());
+        assert!(replay(
+            &pool,
+            &[a, b],
+            &domains,
+            solver.config().default_domain,
+            &cert
+        ));
+        // The interval-only pass alone cannot close this query.
+        assert!(solver
+            .refute_root_certified(&pool, &[a, b], &domains, false)
+            .is_none());
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected() {
+        let (mut pool, solver, mut domains) = setup();
+        let x = pool.var("x", Sort::Int);
+        let y = pool.var("y", Sort::Int);
+        let xv = pool.var_term(x);
+        let yv = pool.var_term(y);
+        domains.bound(x, -1000, 1000);
+        domains.bound(y, -1000, 1000);
+        let a = pool.lt(xv, yv);
+        let b = pool.lt(yv, xv);
+        let cert = solver
+            .refute_root_certified(&pool, &[a, b], &domains, true)
+            .unwrap();
+        // Replaying against a query that never asserted `b` must fail:
+        // certificates cannot smuggle in constraints.
+        assert!(!replay(
+            &pool,
+            &[a],
+            &domains,
+            solver.config().default_domain,
+            &cert
+        ));
+        // Corrupting a cycle weight must fail the telescoping check.
+        let mut bad = cert.clone();
+        if let Some(CertStep::NegativeCycle { edges }) = bad.steps.last_mut() {
+            for e in edges.iter_mut() {
+                e.weight += 1_000;
+            }
+        }
+        assert!(!replay(
+            &pool,
+            &[a, b],
+            &domains,
+            solver.config().default_domain,
+            &bad
+        ));
+    }
+
+    #[test]
+    fn certified_refutations_agree_with_check() {
+        // Every certificate the solver emits must replay, and the real
+        // search must agree with Unsat — across a small query zoo.
+        let (mut pool, mut solver, mut domains) = setup();
+        let x = pool.var("x", Sort::Int);
+        let y = pool.var("y", Sort::Int);
+        let xv = pool.var_term(x);
+        let yv = pool.var_term(y);
+        domains.bound(x, -50, 50);
+        domains.bound(y, -50, 50);
+        let c0 = pool.int(0);
+        let c7 = pool.int(7);
+        let sum = pool.add(xv, yv);
+        let diff = pool.sub(xv, yv);
+        let queries: Vec<Vec<TermId>> = vec![
+            vec![pool.lt(xv, yv), pool.lt(yv, xv)],
+            vec![pool.gt(xv, c7), pool.lt(xv, c0)],
+            vec![pool.le(sum, c0), pool.gt(sum, c7)],
+            vec![pool.eq(diff, c7), pool.lt(xv, yv)],
+            vec![pool.ge(xv, c0), pool.le(yv, c7)],
+            vec![pool.ne(xv, xv)],
+        ];
+        for q in &queries {
+            if let Some(cert) = solver.refute_root_certified(&pool, q, &domains, true) {
+                assert!(
+                    replay(&pool, q, &domains, solver.config().default_domain, &cert),
+                    "certificate for {q:?} must replay"
+                );
+                assert_eq!(
+                    solver.check(&pool, q, &domains),
+                    SatResult::Unsat,
+                    "screened query {q:?} must be solver-Unsat"
+                );
+            }
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //! example, code after a `return` in the same block) stay disconnected and
 //! are reported as unreachable by [`Cfg::reachable`].
 
+use std::collections::BTreeMap;
+
 use cpr_lang::{Expr, Program, Span, Stmt};
 
 /// Index of a node inside a [`Cfg`].
@@ -86,6 +88,9 @@ pub struct Cfg {
     nodes: Vec<CfgNode>,
     bug: Option<NodeId>,
     hole: Option<NodeId>,
+    /// Assume-edges: `(branch, arm-entry) → polarity` for edges that carry
+    /// the branch/loop condition as a path assumption.
+    assume: BTreeMap<(NodeId, NodeId), bool>,
 }
 
 /// Collects the variable names an expression reads into `out` (array names
@@ -122,6 +127,7 @@ impl Cfg {
             ],
             bug: None,
             hole: None,
+            assume: BTreeMap::new(),
         };
         let open = cfg.lower_block(&program.body, vec![ENTRY]);
         // Falling off the end of the program is a normal exit.
@@ -154,6 +160,19 @@ impl Cfg {
     /// The node of the statement containing the patch hole, if any.
     pub fn hole_node(&self) -> Option<NodeId> {
         self.hole
+    }
+
+    /// The path assumption an edge carries: `Some(true)` when traversing
+    /// `from → to` asserts `from`'s condition, `Some(false)` when it asserts
+    /// the negation, `None` for plain control flow.
+    ///
+    /// Only edges into a *materialised* arm are annotated: the fallthrough
+    /// edge of an `if` with no `else` block and a loop's exit edge join the
+    /// continuation directly, so their false-assumption is implicit. This is
+    /// the edge contract the zone interpreter's branch refinement mirrors
+    /// (it constrains the DBM on both arms, including the implicit ones).
+    pub fn assume_edge(&self, from: NodeId, to: NodeId) -> Option<bool> {
+        self.assume.get(&(from, to)).copied()
     }
 
     /// Per-node reachability from the entry node.
@@ -255,11 +274,17 @@ impl Cfg {
                 expr_uses(cond, &mut self.nodes[id].uses);
                 self.nodes[id].has_hole = cond.contains_hole();
                 self.note_hole(id);
+                let then_entry = self.nodes.len();
                 let mut out = self.lower_block(then_body, vec![id]);
+                if !then_body.is_empty() {
+                    self.assume.insert((id, then_entry), true);
+                }
                 if else_body.is_empty() {
                     out.push(id);
                 } else {
+                    let else_entry = self.nodes.len();
                     out.extend(self.lower_block(else_body, vec![id]));
+                    self.assume.insert((id, else_entry), false);
                 }
                 out
             }
@@ -268,7 +293,11 @@ impl Cfg {
                 expr_uses(cond, &mut self.nodes[id].uses);
                 self.nodes[id].has_hole = cond.contains_hole();
                 self.note_hole(id);
+                let body_entry = self.nodes.len();
                 let back = self.lower_block(body, vec![id]);
+                if !body.is_empty() {
+                    self.assume.insert((id, body_entry), true);
+                }
                 for p in back {
                     self.edge(p, id);
                 }
@@ -415,6 +444,49 @@ mod tests {
             .unwrap();
         assert_eq!(assign.defs, vec!["y".to_owned()]);
         assert_eq!(assign.uses, vec!["x".to_owned()]);
+    }
+
+    #[test]
+    fn assume_edges_annotate_branch_arms_and_loop_bodies() {
+        let cfg = cfg_of(
+            "program p {
+               input x in [0, 8];
+               var s: int = 0;
+               if (x > 3) { s = 1; } else { s = 2; }
+               while (s > 0) { s = s - 1; }
+               return s;
+             }",
+        );
+        let branch = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::Branch)
+            .unwrap();
+        let arms: Vec<Option<bool>> = cfg.nodes()[branch]
+            .succs
+            .iter()
+            .map(|&s| cfg.assume_edge(branch, s))
+            .collect();
+        assert!(arms.contains(&Some(true)));
+        assert!(arms.contains(&Some(false)));
+
+        let head = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == NodeKind::LoopHead)
+            .unwrap();
+        let body_edges: Vec<Option<bool>> = cfg.nodes()[head]
+            .succs
+            .iter()
+            .map(|&s| cfg.assume_edge(head, s))
+            .collect();
+        // The body-entry edge assumes the condition; the exit edge's false
+        // assumption is implicit (no annotation).
+        assert!(body_edges.contains(&Some(true)));
+        assert!(body_edges.iter().any(|p| p.is_none()));
+
+        // Plain sequential edges carry no assumption.
+        assert_eq!(cfg.assume_edge(cfg.entry(), 2), None);
     }
 
     #[test]

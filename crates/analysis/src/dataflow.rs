@@ -146,6 +146,74 @@ mod tests {
     }
 
     #[test]
+    fn array_element_writes_are_weak_updates() {
+        // `a[i] = x` must keep `a` alive ABOVE the write: the untouched
+        // elements still flow into the later read, so the write cannot kill
+        // the array. This pins the defs∪uses contract the zone domain's
+        // element-summary treatment relies on.
+        let p = program(
+            "program p {
+               input x in [0, 4];
+               input i in [0, 3];
+               var a: int[4];
+               a[i] = x;
+               return a[0];
+             }",
+        );
+        let cfg = Cfg::build(&p);
+        let write = cfg
+            .nodes()
+            .iter()
+            .position(|n| n.kind == crate::cfg::NodeKind::AssignIndex)
+            .unwrap();
+        let node = &cfg.nodes()[write];
+        assert!(node.defs.contains(&"a".to_owned()));
+        assert!(node.uses.contains(&"a".to_owned()));
+        let live = liveness(&cfg);
+        // Weak update: `a` stays live through and above the write.
+        assert!(live.live_out[write].contains("a"));
+        assert!(live.live_in[write].contains("a"));
+        // The index and the stored value are ordinary uses.
+        assert!(live.live_in[write].contains("i"));
+        assert!(live.live_in[write].contains("x"));
+    }
+
+    #[test]
+    fn scalar_assignments_still_kill_but_array_writes_do_not() {
+        // Contrast case: a full scalar def kills liveness above it, while
+        // the weak array update in the same program does not.
+        let p = program(
+            "program p {
+               input x in [0, 4];
+               var s: int = 0;
+               var a: int[2];
+               a[0] = s;
+               s = x;
+               a[1] = s;
+               return a[0] + a[1] + s;
+             }",
+        );
+        let cfg = Cfg::build(&p);
+        let live = liveness(&cfg);
+        let kill = cfg
+            .nodes()
+            .iter()
+            .position(|n| {
+                n.kind == crate::cfg::NodeKind::Assign && n.defs.contains(&"s".to_owned())
+            })
+            .unwrap();
+        // The scalar redefinition kills `s` above it…
+        assert!(!live.live_in[kill].contains("s"));
+        assert!(live.live_out[kill].contains("s"));
+        // …while both weak array writes keep `a` live above themselves.
+        for (id, n) in cfg.nodes().iter().enumerate() {
+            if n.kind == crate::cfg::NodeKind::AssignIndex {
+                assert!(live.live_in[id].contains("a"), "weak update killed `a`");
+            }
+        }
+    }
+
+    #[test]
     fn dead_variables_are_declared_but_never_read() {
         let p = program(
             "program p {

@@ -21,13 +21,16 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod certify;
 pub mod cfg;
 pub mod dataflow;
 pub mod lint;
 pub mod screen;
+pub mod zones;
 
 pub use absint::{analyze, AbsBool, AbsState, AbsSummary, AbsVal};
 pub use cfg::{Cfg, CfgNode, NodeId, NodeKind};
 pub use dataflow::{dead_variables, liveness, Liveness};
 pub use lint::{lint_program, lint_source, Diagnostic};
-pub use screen::{alpha_equivalent, statically_unsat};
+pub use screen::{alpha_equivalent, screened_unsat, statically_unsat, ScreenDomain};
+pub use zones::{analyze_zones, LoopHeadStats, Zone, ZoneSummary};

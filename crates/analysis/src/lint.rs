@@ -19,12 +19,17 @@
 //! * `dead-variable` — a declared variable that is never read.
 //! * `constant-condition` — an `if`/`while` condition that is the same on
 //!   every visit (always true or always false).
+//! * `possible-division-by-zero` — a `/` or `%` site whose divisor the zone
+//!   analysis cannot prove nonzero on every reachable path.
+//! * `possible-index-out-of-bounds` — an array read or write whose index is
+//!   not provably within `[0, len)` (relational `idx - len$a` facts count).
 
 use cpr_lang::{check, parse, LangError, Program, Span};
 
 use crate::absint::{analyze, AbsBool};
 use crate::cfg::{Cfg, NodeKind};
 use crate::dataflow::dead_variables;
+use crate::zones::analyze_zones;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +166,22 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
         });
     }
 
+    let zsummary = analyze_zones(program);
+    for &span in &zsummary.possible_div_zero {
+        out.push(Diagnostic {
+            code: "possible-division-by-zero",
+            span,
+            message: "divisor may be zero on a reachable path".to_owned(),
+        });
+    }
+    for (span, name, len) in &zsummary.possible_oob {
+        out.push(Diagnostic {
+            code: "possible-index-out-of-bounds",
+            span: *span,
+            message: format!("index into `{name}` may fall outside [0, {len})"),
+        });
+    }
+
     if program.bug().is_some() && (bug_unreachable || !summary.bug_reached) {
         let span = cfg
             .bug_node()
@@ -257,6 +278,55 @@ mod tests {
         );
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
         assert_eq!(codes, vec!["unreachable-bug"]);
+    }
+
+    #[test]
+    fn unguarded_division_is_flagged_and_guarded_is_not() {
+        assert_eq!(
+            codes(
+                "program p {
+                   input x in [-10, 10];
+                   return 100 / x;
+                 }"
+            ),
+            vec!["possible-division-by-zero"]
+        );
+        // The `bug … requires (x != 0)` fallthrough proves the divisor.
+        assert!(codes(
+            "program p {
+               input x in [-10, 10];
+               bug d requires (x != 0);
+               return 100 / x;
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unproven_index_is_flagged_and_relational_one_is_not() {
+        let diags = lint_source(
+            "program p {
+               input i in [0, 10];
+               var a: int[4];
+               a[i] = 1;
+               return a[0];
+             }",
+        );
+        let found: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(found, vec!["possible-index-out-of-bounds"]);
+
+        // A loop counter bounded by a symbolic length is provably in
+        // bounds only through the relational `i - len` fact.
+        assert!(codes(
+            "program p {
+               input len in [1, 64];
+               var a: int[64];
+               var i: int = 0;
+               while (i < len) { a[i] = i; i = i + 1; }
+               return a[0];
+             }"
+        )
+        .is_empty());
     }
 
     #[test]

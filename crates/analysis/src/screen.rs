@@ -22,6 +22,95 @@
 
 use cpr_smt::{ArithOp, CmpOp, Domains, Solver, TermData, TermId, TermPool};
 
+use crate::certify;
+
+/// Which abstract domain the screening layer runs before delegating a query
+/// to the solver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScreenDomain {
+    /// No screening: every query goes to the solver.
+    Off,
+    /// Certified interval screen (constant/complementary fast paths plus
+    /// the bounded HC4 contraction fixpoint).
+    Interval,
+    /// Certified interval screen plus the relational zone pass
+    /// (difference-constraint negative-cycle detection). Refutes a superset
+    /// of [`ScreenDomain::Interval`] by construction.
+    #[default]
+    Zones,
+}
+
+impl ScreenDomain {
+    /// Stable lowercase name (CLI value and report label).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScreenDomain::Off => "off",
+            ScreenDomain::Interval => "interval",
+            ScreenDomain::Zones => "zones",
+        }
+    }
+}
+
+impl std::str::FromStr for ScreenDomain {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ScreenDomain::Off),
+            "interval" => Ok(ScreenDomain::Interval),
+            "zones" => Ok(ScreenDomain::Zones),
+            other => Err(format!(
+                "unknown screen domain `{other}` (expected off, interval, or zones)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ScreenDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The certified screen: asks the solver's root-level static pass for a
+/// refutation **certificate**, replays it through the independent
+/// [`certify`] checker, and only then refutes.
+///
+/// A rejected replay (checker and inference disagreeing — a screening bug)
+/// demotes the query to the solver and bumps `screen.cert_rejected`, so a
+/// defective screen costs throughput, never soundness. Successful replays
+/// bump `screen.refuted.interval` / `screen.refuted.zones` and time the
+/// replay into `screen.cert_replay_nanos`.
+///
+/// Guarantee (same as [`statically_unsat`]): a `true` answer implies
+/// `solver.check(pool, query, domains)` returns [`cpr_smt::SatResult::Unsat`].
+pub fn screened_unsat(
+    solver: &Solver,
+    pool: &TermPool,
+    query: &[TermId],
+    domains: &Domains,
+    domain: ScreenDomain,
+) -> bool {
+    if domain == ScreenDomain::Off {
+        return false;
+    }
+    let Some(cert) =
+        solver.refute_root_certified(pool, query, domains, domain == ScreenDomain::Zones)
+    else {
+        return false;
+    };
+    let started = solver.screen_replay_timer();
+    let ok = certify::replay(pool, query, domains, solver.config().default_domain, &cert);
+    solver.note_screen_replay_done(started);
+    if ok {
+        solver.note_screen_refuted(cert.uses_zones());
+        true
+    } else {
+        solver.note_screen_cert_rejected();
+        false
+    }
+}
+
 /// Whether `query` (a conjunction of boolean terms) is refutable purely by
 /// the solver's root-level static pass — constant/complementary fast paths
 /// plus one bounded interval-contraction fixpoint over `domains`.
@@ -112,6 +201,69 @@ mod tests {
             SatResult::Unsat
         ));
         assert!(!statically_unsat(&solver, &pool, &[lt], &domains));
+    }
+
+    #[test]
+    fn screened_unsat_domains_form_a_hierarchy() {
+        let mut pool = TermPool::new();
+        let x = pool.named_var("x", Sort::Int);
+        let y = pool.named_var("y", Sort::Int);
+        let z = pool.named_var("z", Sort::Int);
+        let five = pool.int(5);
+        let mut domains = Domains::new();
+        for name in ["x", "y", "z"] {
+            domains.set(pool.find_var(name).unwrap(), cpr_smt::Interval::of(-50, 50));
+        }
+        let solver = Solver::new(Default::default());
+
+        // Interval-refutable: x < 5 ∧ x > 5.
+        let iv_query = [pool.lt(x, five), pool.gt(x, five)];
+        // Relational-only: x ≤ y ∧ y ≤ z ∧ x > z (every projection stays
+        // full-range; only the difference constraints close a cycle).
+        let zone_query = [pool.le(x, y), pool.le(y, z), pool.gt(x, z)];
+
+        assert!(!screened_unsat(
+            &solver,
+            &pool,
+            &iv_query,
+            &domains,
+            ScreenDomain::Off
+        ));
+        assert!(screened_unsat(
+            &solver,
+            &pool,
+            &iv_query,
+            &domains,
+            ScreenDomain::Interval
+        ));
+        assert!(screened_unsat(
+            &solver,
+            &pool,
+            &iv_query,
+            &domains,
+            ScreenDomain::Zones
+        ));
+
+        assert!(!screened_unsat(
+            &solver,
+            &pool,
+            &zone_query,
+            &domains,
+            ScreenDomain::Interval
+        ));
+        assert!(screened_unsat(
+            &solver,
+            &pool,
+            &zone_query,
+            &domains,
+            ScreenDomain::Zones
+        ));
+        // And the screen's verdict must agree with the real solver.
+        let mut solver = solver;
+        assert!(matches!(
+            solver.check(&pool, &zone_query, &domains),
+            SatResult::Unsat
+        ));
     }
 
     #[test]

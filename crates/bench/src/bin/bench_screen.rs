@@ -1,23 +1,32 @@
 //! Static-screening benchmark: `reduce` (Algorithm 2) over a 500-patch
-//! pool with [`RepairConfig::static_screening`] off vs on.
+//! pool with [`RepairConfig::screen_domain`] off vs interval vs zones.
 //!
-//! The pool mixes the synthesized candidates for the subject with two
+//! The pool mixes the synthesized candidates for the subject with three
 //! hand-built families:
 //!
 //! * a *hard* nonlinear family whose refinement queries genuinely need the
-//!   solver's branch-and-prune search, and
+//!   solver's branch-and-prune search,
+//! * a *relational guard* family `x >= y - j`: the executed partition
+//!   re-targets each entry to `¬θ = x < y - j`, which contradicts the
+//!   path constraint `x >= y` of three of the four partitions — but only
+//!   through the difference bound `x - y ≥ 0` that no interval holds.
+//!   These are the zone domain's bread and butter; the interval screen
+//!   must pass them through to the solver, and
 //! * an *out-of-range guard* family `x <= a + K` with `K` far above the
-//!   input domain: the executed partition re-targets each entry to
-//!   `¬θ = x > a + K`, which root-level interval contraction refutes
-//!   without a search — the screening layer's bread and butter.
+//!   input domain: the re-targeted `¬θ = x > a + K` is refuted by plain
+//!   root-level interval contraction, so both screening domains catch it.
 //!
 //! Because the screen substitutes verdicts one-for-one, every screened
 //! query is exactly one the unscreened configuration issues: the benchmark
 //! asserts `issued_on + screened_on == issued_off` per reduce call, on top
-//! of bit-identical pools, regions, and scores.
+//! of bit-identical pools, regions, and scores across all domains and
+//! thread counts — and that every certificate replay succeeded
+//! (`screen.cert_rejected == 0`).
 //!
 //! Writes `BENCH_screen.json` into the current directory (the repo root
-//! when run via `cargo run -p cpr-bench --bin bench_screen`).
+//! when run via `cargo run -p cpr-bench --bin bench_screen`). With
+//! `--check` the run is CI-sized (one round, no JSON file) but every
+//! assertion above still applies.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,9 +34,10 @@ use std::time::Instant;
 use cpr_concolic::{ConcolicExecutor, ConcolicResult, HolePatch};
 use cpr_core::{
     build_patch_pool, reduce, test_input, PoolEntry, ReduceStats, RepairConfig, RepairProblem,
-    Session,
+    ScreenDomain, Session,
 };
 use cpr_lang::{check, parse};
+use cpr_obs::MetricsRegistry;
 use cpr_smt::{Model, Region, Sort};
 use cpr_synth::{AbstractPatch, ComponentSet, SynthConfig};
 
@@ -39,16 +49,20 @@ const SRC: &str = "program bench_screen {
     var w: int = 0;
     if (x > 0) { w = 1; } else { w = 2; }
     if (y > 0) { w = w + 10; }
+    if (x < y) { w = w + 100; }
     bug nonlinear_identity requires (x * y != z * z + 1);
     return w;
   }";
 
 /// Hard-family cap: beyond this the pool is padded with screenable guards.
-const HARD_POOL: usize = 150;
+const HARD_POOL: usize = 80;
+/// Relational-family cap: relationally screenable guards up to here.
+const RELATIONAL_POOL: usize = 400;
 const POOL: usize = 500;
 
 /// The benchmark pool: synthesized candidates, then the nonlinear family
-/// up to [`HARD_POOL`], then out-of-range guards up to [`POOL`].
+/// up to [`HARD_POOL`], then relational guards up to [`RELATIONAL_POOL`],
+/// then out-of-range guards up to [`POOL`].
 fn build_pool(
     sess: &mut Session,
     problem: &RepairProblem,
@@ -84,11 +98,31 @@ fn build_pool(
         push(&mut entries, t);
         c += 1;
     }
+    // Relational guards `x >= y - j || y >= x - j` — true over the whole
+    // box, but only through the difference lattice (the zone analogue of
+    // the out-of-range family below, which is true over the interval
+    // lattice). The executed partition has the patch guard false, so every
+    // re-targeted φ starts with `x < y - j ∧ y < x - j`: a two-edge
+    // negative cycle `x - y ≤ -j-1, y - x ≤ -j-1` the zone screen (and
+    // the solver's root zone pass) refutes on sight. Interval contraction
+    // only catches it on partitions whose path facts separate the x and y
+    // boxes (x > 0 ∧ y ≤ 0 and its mirror); where the boxes overlap, the
+    // query reaches the solver. Distinct offsets keep the terms (and
+    // their cache keys) distinct.
+    let mut j = 0i64;
+    while entries.len() < RELATIONAL_POOL {
+        let k = sess.pool.int(j);
+        let yj = sess.pool.sub(y, k);
+        let xj = sess.pool.sub(x, k);
+        let left = sess.pool.ge(x, yj);
+        let right = sess.pool.ge(y, xj);
+        let t = sess.pool.or(left, right);
+        push(&mut entries, t);
+        j += 1;
+    }
     // Out-of-range guards `x <= a + K_j`, `K_j` past the input domain. The
-    // partition was executed with the guard false, so every re-targeted φ
-    // starts with `x > a + K_j` — infeasible by plain interval evaluation
-    // (x ≤ 100000 < a + K_j), which the static screen refutes at the root.
-    // Distinct constants keep the terms (and their cache keys) distinct.
+    // re-targeted `x > a + K_j` is infeasible by plain interval evaluation
+    // (x ≤ 100000 < a + K_j), so both screening domains refute it.
     let mut j = 0i64;
     while entries.len() < POOL {
         let k = sess.pool.int(200_050 + j);
@@ -107,8 +141,9 @@ fn runs_for(sess: &mut Session, problem: &RepairProblem) -> Vec<ConcolicResult> 
         params: Model::new(),
     };
     let exec = ConcolicExecutor::new();
-    // One run per partition of the (x > 0) x (y > 0) branching; two of the
-    // four violate the specification (x*y == z*z + 1).
+    // One run per partition of the (x > 0) x (y > 0) branching; all but
+    // the third take the `x >= y` side of the relational branch, and two
+    // of the four violate the specification (x*y == z*z + 1).
     [(1, 1, 0), (7, -2, 3), (-4, 5, 2), (-1, -1, 0)]
         .iter()
         .map(|&(xv, yv, zv)| {
@@ -124,12 +159,15 @@ fn runs_for(sess: &mut Session, problem: &RepairProblem) -> Vec<ConcolicResult> 
 struct Outcome {
     label: String,
     threads: usize,
-    screening: bool,
+    domain: ScreenDomain,
     millis: f64,
     stats: Vec<ReduceStats>,
     pool_after: usize,
     queries: u64,
     screened: u64,
+    refuted_interval: u64,
+    refuted_zones: u64,
+    cert_rejected: u64,
     snapshot: String,
 }
 
@@ -142,7 +180,7 @@ fn outcome_fields(stats: &[ReduceStats]) -> Vec<(usize, usize, usize)> {
         .collect()
 }
 
-fn run_config(label: &str, screening: bool, threads: usize, rounds: usize) -> Outcome {
+fn run_config(label: &str, domain: ScreenDomain, threads: usize, rounds: usize) -> Outcome {
     let program = parse(SRC).unwrap();
     check(&program).unwrap();
     let problem = RepairProblem::new(
@@ -150,25 +188,27 @@ fn run_config(label: &str, screening: bool, threads: usize, rounds: usize) -> Ou
         program,
         ComponentSet::new()
             .with_all_comparisons()
-            .with_logic()
             .with_variables(["x", "y", "z"]),
         SynthConfig::default(),
         vec![test_input(&[("x", 7), ("y", 0)])],
     );
     let mut config = RepairConfig::quick();
     config.threads = threads;
-    config.static_screening = screening;
+    config.screen_domain = domain;
     // Bound the per-query search: the nonlinear spec makes single queries
     // arbitrarily hard for branch-and-prune, and a budget-capped verdict
     // (`Unknown`) is still deterministic and cacheable.
     config.solver.max_nodes = 4_000;
     // Bound the refinement depth per entry visit: the benchmark measures
     // the walk's query stream, not counterexample-splitting depth, and the
-    // budget (like every config knob) applies identically to both the
-    // screened and the unscreened configuration.
-    config.max_refine_calls = 8;
+    // budget (like every config knob) applies identically to all
+    // configurations.
+    config.max_refine_calls = 4;
 
-    let mut sess = Session::new(&problem, &config);
+    // A private registry per configuration so the screen counters
+    // (certificate replays, rejections) can be asserted in isolation.
+    let registry = MetricsRegistry::new();
+    let mut sess = Session::with_metrics(&problem, &config, &registry);
     let mut entries = build_pool(&mut sess, &problem, &config);
     let pool_size = entries.len();
     assert!(pool_size >= POOL, "pool too small: {pool_size}");
@@ -199,41 +239,53 @@ fn run_config(label: &str, screening: bool, threads: usize, rounds: usize) -> Ou
     }
     eprintln!(
         "[bench_screen] {label}: pool {pool_size} -> {}, {} reduce calls, {:.0} ms, \
-         {queries} queries issued, {screened} screened",
+         {queries} queries issued, {screened} screened (interval {} / zones {})",
         entries.len(),
         stats.len(),
         millis,
+        registry.counter("screen.refuted.interval").get(),
+        registry.counter("screen.refuted.zones").get(),
     );
     Outcome {
         label: label.to_owned(),
         threads,
-        screening,
+        domain,
         millis,
         stats,
         pool_after: entries.len(),
         queries,
         screened,
+        refuted_interval: registry.counter("screen.refuted.interval").get(),
+        refuted_zones: registry.counter("screen.refuted.zones").get(),
+        cert_rejected: registry.counter("screen.cert_rejected").get(),
         snapshot,
     }
 }
 
 fn main() {
+    let checking = std::env::args().any(|a| a == "--check");
     let rounds: usize = std::env::var("CPR_BENCH_ROUNDS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+        .unwrap_or(if checking { 1 } else { 2 });
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let par_threads = cpus.max(4);
 
-    let off = run_config("screen-off", false, 1, rounds);
-    let on = run_config("screen-on", true, 1, rounds);
-    let on_par = run_config("screen-on-parallel", true, par_threads, rounds);
+    let off = run_config("screen-off", ScreenDomain::Off, 1, rounds);
+    let interval = run_config("screen-interval", ScreenDomain::Interval, 1, rounds);
+    let zones = run_config("screen-zones", ScreenDomain::Zones, 1, rounds);
+    let zones_par = run_config(
+        "screen-zones-parallel",
+        ScreenDomain::Zones,
+        par_threads,
+        rounds,
+    );
 
     // Identical outcomes: same pools, same regions, same scores, same
     // reduction decisions — screening only moves the query counters.
-    for other in [&on, &on_par] {
+    for other in [&interval, &zones, &zones_par] {
         assert_eq!(
             outcome_fields(&off.stats),
             outcome_fields(&other.stats),
@@ -247,27 +299,63 @@ fn main() {
         );
     }
     assert_eq!(off.screened, 0, "screening counter moved while off");
-    // Verdict replacement is one-for-one: every screened query is exactly
-    // one the unscreened configuration issued.
-    for (o, s) in off.stats.iter().zip(&on.stats) {
+    // Every screened verdict passed its certificate replay — in every
+    // configuration. A rejection would demote the query to the solver
+    // (still sound), but on this corpus it means a screen bug.
+    for o in [&off, &interval, &zones, &zones_par] {
         assert_eq!(
-            s.solver_calls + s.screened,
-            o.solver_calls,
-            "screened + issued must equal the unscreened query count"
+            o.cert_rejected, 0,
+            "{}: certificate replay rejected a screen verdict",
+            o.label
         );
     }
-
-    let avoided_ratio = on.screened as f64 / off.queries.max(1) as f64;
+    // The interval configuration must never take the zone route.
+    assert_eq!(
+        interval.refuted_zones, 0,
+        "interval screening produced a zone certificate"
+    );
     assert!(
-        avoided_ratio >= 0.20,
-        "screening should avoid >= 20% of reduce-phase queries, got {:.1}% \
+        zones.refuted_zones > 0,
+        "zones screening never used a relational certificate"
+    );
+    // Verdict replacement is one-for-one: every screened query is exactly
+    // one the unscreened configuration issued.
+    for (label, on) in [("interval", &interval), ("zones", &zones)] {
+        for (o, s) in off.stats.iter().zip(&on.stats) {
+            assert_eq!(
+                s.solver_calls + s.screened,
+                o.solver_calls,
+                "{label}: screened + issued must equal the unscreened query count"
+            );
+        }
+    }
+
+    let interval_ratio = interval.screened as f64 / off.queries.max(1) as f64;
+    let zones_ratio = zones.screened as f64 / off.queries.max(1) as f64;
+    assert!(
+        zones.screened >= interval.screened,
+        "zones must screen a superset: {} < {}",
+        zones.screened,
+        interval.screened
+    );
+    assert!(
+        interval_ratio >= 0.20,
+        "interval screening should avoid >= 20% of reduce-phase queries, got {:.1}% \
          ({} of {})",
-        avoided_ratio * 100.0,
-        on.screened,
+        interval_ratio * 100.0,
+        interval.screened,
+        off.queries
+    );
+    assert!(
+        zones_ratio >= 0.45,
+        "zone screening should avoid >= 45% of reduce-phase queries, got {:.1}% \
+         ({} of {})",
+        zones_ratio * 100.0,
+        zones.screened,
         off.queries
     );
 
-    let speedup = off.millis / on.millis;
+    let speedup = off.millis / zones.millis;
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"screen\",");
     let _ = writeln!(json, "  \"pool_size\": {},", POOL.max(off.pool_after));
@@ -277,31 +365,49 @@ fn main() {
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"identical_outcomes\": true,");
     let _ = writeln!(json, "  \"configs\": [");
-    let outs = [&off, &on, &on_par];
+    let outs = [&off, &interval, &zones, &zones_par];
     for (i, o) in outs.iter().enumerate() {
         let comma = if i + 1 < outs.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"label\": \"{}\", \"threads\": {}, \"static_screening\": {}, \
-             \"millis\": {:.1}, \"queries_issued\": {}, \"queries_screened\": {}}}{comma}",
-            o.label, o.threads, o.screening, o.millis, o.queries, o.screened
+            "    {{\"label\": \"{}\", \"threads\": {}, \"screen_domain\": \"{}\", \
+             \"millis\": {:.1}, \"queries_issued\": {}, \"queries_screened\": {}, \
+             \"refuted_interval\": {}, \"refuted_zones\": {}, \"cert_rejected\": {}}}{comma}",
+            o.label,
+            o.threads,
+            o.domain,
+            o.millis,
+            o.queries,
+            o.screened,
+            o.refuted_interval,
+            o.refuted_zones,
+            o.cert_rejected
         );
     }
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"queries_unscreened\": {},", off.queries);
-    let _ = writeln!(json, "  \"queries_screened\": {},", on.screened);
-    let _ = writeln!(json, "  \"avoided_ratio\": {avoided_ratio:.4},");
-    let _ = writeln!(json, "  \"speedup_screen_on_vs_off\": {speedup:.2}");
+    let _ = writeln!(
+        json,
+        "  \"queries_screened_interval\": {},",
+        interval.screened
+    );
+    let _ = writeln!(json, "  \"queries_screened_zones\": {},", zones.screened);
+    let _ = writeln!(json, "  \"avoided_ratio_interval\": {interval_ratio:.4},");
+    let _ = writeln!(json, "  \"avoided_ratio_zones\": {zones_ratio:.4},");
+    let _ = writeln!(json, "  \"speedup_zones_vs_off\": {speedup:.2}");
     json.push_str("}\n");
 
-    std::fs::write("BENCH_screen.json", &json).expect("write BENCH_screen.json");
+    if !checking {
+        std::fs::write("BENCH_screen.json", &json).expect("write BENCH_screen.json");
+    }
     println!("{json}");
     println!(
-        "reduce phase: {:.1}% of {} solver queries screened out \
-         ({:.1} ms -> {:.1} ms, {speedup:.2}x serial)",
-        avoided_ratio * 100.0,
+        "reduce phase: {:.1}% of {} solver queries screened out by zones \
+         (interval: {:.1}%; {:.1} ms -> {:.1} ms, {speedup:.2}x serial)",
+        zones_ratio * 100.0,
         off.queries,
+        interval_ratio * 100.0,
         off.millis,
-        on.millis
+        zones.millis
     );
 }

@@ -245,7 +245,7 @@ pub fn expand(
     let threads = config.threads.clamp(1, n);
     let base_terms = sess.pool.len();
     let counter = AtomicUsize::new(0);
-    let screening = config.static_screening;
+    let screen_domain = config.screen_domain;
     let pool = &sess.pool;
     let domains = &sess.domains;
     let store = &sess.unsat_prefixes;
@@ -270,7 +270,7 @@ pub fn expand(
                             store,
                             &tasks[i],
                             reuse_models,
-                            screening,
+                            screen_domain,
                         );
                         done.push((i, outcome));
                     }
@@ -331,7 +331,7 @@ fn process_flip(
     store: &cpr_smt::UnsatPrefixStore,
     task: &FlipTask,
     reuse_models: &[Option<Model>],
-    screening: bool,
+    screen_domain: cpr_analysis::ScreenDomain,
 ) -> FlipOutcome {
     let mut out = FlipOutcome::default();
     // Stage A: the patch-independent skeleton. UNSAT here refutes every
@@ -352,7 +352,7 @@ fn process_flip(
     let use_frames = solver.config().incremental && solver.config().batch_candidates;
     let mut frames: Option<FrameSession> = None;
     if let Some(skeleton) = &task.skeleton {
-        let refuted = screening && cpr_analysis::statically_unsat(solver, pool, skeleton, domains);
+        let refuted = cpr_analysis::screened_unsat(solver, pool, skeleton, domains, screen_domain);
         if refuted {
             out.static_refutations += 1;
         }
@@ -391,7 +391,7 @@ fn process_flip(
                 break;
             }
         }
-        let verdict = if screening && cpr_analysis::statically_unsat(solver, pool, query, domains) {
+        let verdict = if cpr_analysis::screened_unsat(solver, pool, query, domains, screen_domain) {
             out.static_refutations += 1;
             SatResult::Unsat
         } else if let Some(f) = frames.as_mut() {

@@ -194,8 +194,9 @@ pub fn reduce(
 }
 
 /// A solver check behind the static screening layer. With
-/// [`RepairConfig::static_screening`] on, a query refuted by root-level
-/// interval contraction is answered `Unsat` without a search — and without
+/// [`RepairConfig::screen_domain`] not `Off`, a query refuted by the
+/// certified root-level contraction (intervals or zones) is answered
+/// `Unsat` without a search — and without
 /// touching the solver's cache or statistics. The screen is an
 /// under-approximation of [`Solver::check`], so the verdict (and everything
 /// downstream of it) is identical either way; only the issued-query count
@@ -215,7 +216,7 @@ fn check_screened(
     frames: Option<&mut FrameSession>,
     prefix: &[TermId],
     extras: &[TermId],
-    screening: bool,
+    domain: cpr_analysis::ScreenDomain,
     screened: &mut u64,
 ) -> SatResult {
     let full = || {
@@ -224,9 +225,9 @@ fn check_screened(
         q.extend_from_slice(extras);
         q
     };
-    if screening {
+    if domain != cpr_analysis::ScreenDomain::Off {
         let q = full();
-        if cpr_analysis::statically_unsat(solver, pool, &q, domains) {
+        if cpr_analysis::screened_unsat(solver, pool, &q, domains, domain) {
             *screened += 1;
             return SatResult::Unsat;
         }
@@ -285,7 +286,7 @@ fn process_entry(
         frames.as_mut(),
         phi,
         &[t_term],
-        config.static_screening,
+        config.screen_domain,
         &mut outcome.screened,
     )
     .is_sat()
@@ -418,7 +419,7 @@ fn deletion_like(
             None,
             &q,
             &[],
-            config.static_screening,
+            config.screen_domain,
             screened,
         ),
         SatResult::Unsat
@@ -477,7 +478,7 @@ fn refine_patch_impl(
         // timeout in the original tool).
         return region.clone();
     }
-    let screening = config.static_screening;
+    let screen_domain = config.screen_domain;
     let region_term = region.to_term(pool);
     let not_sigma = pool.not(sigma);
 
@@ -492,7 +493,7 @@ fn refine_patch_impl(
         frames.as_deref_mut(),
         phi,
         &[sigma],
-        screening,
+        screen_domain,
         screened,
     )
     .is_sat()
@@ -506,7 +507,7 @@ fn refine_patch_impl(
             frames.as_deref_mut(),
             phi,
             &[region_term, sigma],
-            screening,
+            screen_domain,
             screened,
         )
         .is_unsat()
@@ -525,7 +526,7 @@ fn refine_patch_impl(
         frames.as_deref_mut(),
         phi,
         &[region_term, not_sigma],
-        screening,
+        screen_domain,
         screened,
     ) {
         SatResult::Sat(model) => {
@@ -556,7 +557,7 @@ fn refine_patch_impl(
                     frames.as_deref_mut(),
                     phi,
                     &[r_term],
-                    screening,
+                    screen_domain,
                     screened,
                 ) {
                     SatResult::Sat(_) | SatResult::Unknown => {

@@ -49,7 +49,7 @@ pub fn build_patch_pool(
     // The buggy expression at the hole, as a pool term for the
     // alpha-equivalence screen. Interned unconditionally — not only when
     // screening is on — so term ids (and everything downstream of them)
-    // are independent of [`RepairConfig::static_screening`]. A condition
+    // are independent of [`RepairConfig::screen_domain`]. A condition
     // hole with no recorded baseline behaves as `false`.
     let baseline: Option<TermId> = match problem.baseline_expr.as_deref() {
         Some(src) => crate::lower::lower_expr_src(&mut sess.pool, src).ok(),
@@ -158,7 +158,10 @@ fn validate_candidate(
                     // refinement below is guaranteed to end in rejection.
                     // Replicate refinement's interning (the region term and
                     // ¬σ) and reject without its solver queries.
-                    if config.static_screening && failed && cand.params.is_empty() {
+                    if config.screen_domain != cpr_analysis::ScreenDomain::Off
+                        && failed
+                        && cand.params.is_empty()
+                    {
                         if let Some(base) = baseline {
                             if alpha_equivalent(&sess.pool, cand.theta, base) {
                                 patch.constraint.to_term(&mut sess.pool);

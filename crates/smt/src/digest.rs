@@ -205,6 +205,14 @@ pub(crate) fn fleet_domain_digest(
     config: &SolverConfig,
 ) -> u64 {
     let mut w = ByteWriter::new();
+    // Version of the `check` semantics themselves: bumped whenever the
+    // search can answer differently on identical content + knobs (e.g.
+    // v2 added the relational zone pass at the root, turning some
+    // budget-capped `Unknown`s into `Unsat`). Folding it into every
+    // fleet key retires stale persisted verdicts wholesale instead of
+    // replaying them.
+    const CHECK_SEMANTICS_VERSION: u32 = 2;
+    w.u32(CHECK_SEMANTICS_VERSION);
     w.u64(config.max_nodes);
     w.u32(config.max_contraction_rounds);
     w.i64(config.default_domain.lo());

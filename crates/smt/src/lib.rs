@@ -63,6 +63,7 @@ mod solver;
 mod term;
 mod trail;
 pub mod wire;
+pub mod zone;
 
 pub use deps::DepGraph;
 pub use fleet::{fsync_dir, FleetCache, FleetError, FleetKey, FleetVerdict, FlushStats};
@@ -76,3 +77,4 @@ pub use solver::{
 };
 pub use term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
 pub use trail::FrameSession;
+pub use zone::{CertStep, EdgeOrigin, ScreenCertificate, ZoneEdge};

@@ -24,6 +24,7 @@ use crate::interval::Interval;
 use crate::model::{Model, Value};
 use crate::term::{ArithOp, CmpOp, Sort, TermData, TermId, TermPool, VarId};
 use crate::trail::FrameSession;
+use crate::zone::{self, CertStep, ScreenCertificate};
 
 /// Initial variable domains for a query.
 ///
@@ -575,6 +576,10 @@ struct SolverObs {
     fleet_load_errors: Counter,
     solve_nanos: Histogram,
     frame_contract_nanos: Histogram,
+    screen_refuted_interval: Counter,
+    screen_refuted_zones: Counter,
+    screen_cert_rejected: Counter,
+    screen_replay_nanos: Histogram,
 }
 
 impl SolverObs {
@@ -600,6 +605,10 @@ impl SolverObs {
             fleet_load_errors: reg.counter("solver.fleet.load_errors"),
             solve_nanos: reg.histogram("solver.solve_nanos"),
             frame_contract_nanos: reg.histogram("solver.frames.contract_nanos"),
+            screen_refuted_interval: reg.counter("screen.refuted.interval"),
+            screen_refuted_zones: reg.counter("screen.refuted.zones"),
+            screen_cert_rejected: reg.counter("screen.cert_rejected"),
+            screen_replay_nanos: reg.histogram("screen.cert_replay_nanos"),
         }
     }
 }
@@ -824,6 +833,38 @@ impl Solver {
     /// The solver configuration.
     pub fn config(&self) -> &SolverConfig {
         &self.config
+    }
+
+    /// Records a screened refutation in the `screen.*` metrics, split by
+    /// the abstract domain that closed the query. The screening layer
+    /// itself lives in `cpr-analysis` (which carries no `cpr-obs`
+    /// dependency); the handles live here because the solver is the one
+    /// object already threaded through every reduce/expand worker.
+    pub fn note_screen_refuted(&self, zones: bool) {
+        if zones {
+            self.obs.screen_refuted_zones.inc();
+        } else {
+            self.obs.screen_refuted_interval.inc();
+        }
+    }
+
+    /// Records a certificate the independent checker refused to replay;
+    /// the caller demotes the decision to a full solver query.
+    pub fn note_screen_cert_rejected(&self) {
+        self.obs.screen_cert_rejected.inc();
+    }
+
+    /// Starts the certificate-replay latency clock. `None` when metrics
+    /// are detached; hand the value back to
+    /// [`Solver::note_screen_replay_done`] either way.
+    pub fn screen_replay_timer(&self) -> Option<std::time::Instant> {
+        self.obs.screen_replay_nanos.start()
+    }
+
+    /// Stops the clock started by [`Solver::screen_replay_timer`] and
+    /// records the elapsed time in the replay-latency histogram.
+    pub fn note_screen_replay_done(&self, started: Option<std::time::Instant>) {
+        self.obs.screen_replay_nanos.stop(started);
     }
 
     /// Checks satisfiability of the conjunction of `constraints` under the
@@ -1103,8 +1144,106 @@ impl Solver {
                 break;
             }
         }
-        live.iter()
+        if live
+            .iter()
             .any(|&c| enclose_bool(pool, c, &vbox) == Bool3::False)
+        {
+            return true;
+        }
+        // The relational tail of the root node, in lockstep with
+        // `search`: a negative difference-constraint cycle over the
+        // contracted box. (When the search would have answered `Sat`
+        // here — all enclosures true — the pass finds no cycle by
+        // soundness, so skipping the `all_true` short-circuit cannot
+        // break the guarantee.)
+        zone::zone_refute(pool, &live, &vbox).is_some()
+    }
+
+    /// [`Solver::refute_root`] with a replayable proof: runs the same
+    /// pass (interval-only when `zones` is `false`, interval-then-zone
+    /// when `true`) while recording every deduction, and returns the
+    /// [`ScreenCertificate`] when the pass refutes. The certificate is
+    /// designed for an *independent* checker — each step names the
+    /// constraint it derives from and the claimed effect, so a replayer
+    /// sharing no code with this solver can verify it from the term pool
+    /// and initial domains alone.
+    ///
+    /// The same one-directional guarantee applies: `Some(_)` implies
+    /// [`Solver::check`] answers `Unsat` on the same query (with
+    /// `zones: false` this holds a fortiori — the interval pass is a
+    /// prefix of the full root pass).
+    pub fn refute_root_certified(
+        &self,
+        pool: &TermPool,
+        constraints: &[TermId],
+        domains: &Domains,
+        zones: bool,
+    ) -> Option<ScreenCertificate> {
+        let mut steps: Vec<CertStep> = Vec::new();
+        let Some(mut live) = filter_live(pool, constraints) else {
+            let c = constraints
+                .iter()
+                .copied()
+                .find(|&c| pool.data(c) == TermData::BoolConst(false))?;
+            steps.push(CertStep::ConstFalse { constraint: c });
+            return Some(ScreenCertificate { steps });
+        };
+        if has_complementary_pair(pool, &live) {
+            let (a, b) = live.iter().enumerate().find_map(|(i, &a)| {
+                live[i + 1..]
+                    .iter()
+                    .find(|&&b| pool.complementary(a, b))
+                    .map(|&b| (a, b))
+            })?;
+            steps.push(CertStep::Complement { a, b });
+            return Some(ScreenCertificate { steps });
+        }
+        if self.config.max_nodes == 0 {
+            return None;
+        }
+        live.sort_unstable();
+        live.dedup();
+        let live = self.digests.sort_by_content(pool, &live);
+        let vars = self.query_vars(pool, &live);
+        let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
+        for _ in 0..self.config.max_contraction_rounds {
+            vbox.clear_changed();
+            for &c in &live {
+                let before = vbox.snapshot_ivs();
+                if contract_bool(pool, c, true, &mut vbox).is_err() {
+                    steps.push(CertStep::Empty { constraint: c });
+                    return Some(ScreenCertificate { steps });
+                }
+                let writes: Vec<(VarId, Interval)> = vbox
+                    .diff_slots(&before)
+                    .into_iter()
+                    .map(|s| (vars[s], vbox.get(vars[s])))
+                    .collect();
+                if !writes.is_empty() {
+                    steps.push(CertStep::Narrow {
+                        constraint: c,
+                        writes,
+                    });
+                }
+            }
+            if !vbox.take_changed() {
+                break;
+            }
+        }
+        if let Some(&c) = live
+            .iter()
+            .find(|&&c| enclose_bool(pool, c, &vbox) == Bool3::False)
+        {
+            steps.push(CertStep::FalseEnclosure { constraint: c });
+            return Some(ScreenCertificate { steps });
+        }
+        if zones {
+            if let Some(edges) = zone::zone_refute(pool, &live, &vbox) {
+                steps.push(CertStep::NegativeCycle { edges });
+                return Some(ScreenCertificate { steps });
+            }
+        }
+        None
     }
 
     fn check_with_store(
@@ -1283,7 +1422,7 @@ impl Solver {
         let vars = self.query_vars(pool, &live);
         let mut vbox = VarBox::new(pool, &vars, domains, self.config.default_domain);
         let mut budget = self.config.max_nodes;
-        let result = self.search(pool, &live, &mut vbox, &mut budget);
+        let result = self.search(pool, &live, &mut vbox, &mut budget, true);
         match &result {
             SatResult::Sat(_) => self.stats.sat += 1,
             SatResult::Unsat => self.stats.unsat += 1,
@@ -1423,10 +1562,12 @@ impl Solver {
     }
 
     /// The replay-and-close step of [`Solver::learn_nogood`]. Returns the
-    /// minimal subset in sorted order, or `None` when the root pass does
-    /// not actually refute `live` — the one UNSAT-in-one-node case that is
-    /// *not* root-refutable is the point-box concrete-check fallback, whose
-    /// verdict depends on every constraint and must never be generalized.
+    /// minimal subset in sorted order, or `None` when the *interval* root
+    /// pass does not refute `live` on its own — which covers the two
+    /// UNSAT-in-one-node cases that must not be generalized from this
+    /// trace: the point-box concrete-check fallback (whose verdict depends
+    /// on every constraint) and a zone-pass negative cycle (refutable, but
+    /// not witnessed by any interval write this closure could follow).
     fn minimize_conflict(
         &self,
         pool: &TermPool,
@@ -1630,6 +1771,7 @@ impl Solver {
         constraints: &[TermId],
         vbox: &mut VarBox,
         budget: &mut u64,
+        root: bool,
     ) -> SatResult {
         if *budget == 0 {
             return SatResult::Unknown;
@@ -1670,6 +1812,17 @@ impl Solver {
             return SatResult::Sat(vbox.midpoint_model());
         }
 
+        // Relational pass, at the root only: a negative cycle in the
+        // difference-constraint graph refutes the whole box — catching
+        // `x < y ∧ y < x`-shaped conjunctions the per-variable interval
+        // contraction above cannot see. Root-only keeps the cost to one
+        // Bellman–Ford scan per query; [`Solver::refute_root`] mirrors
+        // this pass exactly, which is what keeps the screening guarantee
+        // ("refute_root implies check says Unsat") valid for zones too.
+        if root && zone::zone_refute(pool, constraints, vbox).is_some() {
+            return SatResult::Unsat;
+        }
+
         // Branch on a variable of an unknown constraint.
         let branch_var = self.pick_branch_var(pool, unknown_constraint.unwrap(), vbox);
         let Some(v) = branch_var else {
@@ -1694,7 +1847,7 @@ impl Solver {
         for child in children.into_iter().flatten() {
             let mut sub = vbox.clone();
             sub.set(v, child);
-            match self.search(pool, constraints, &mut sub, budget) {
+            match self.search(pool, constraints, &mut sub, budget, false) {
                 SatResult::Sat(m) => return SatResult::Sat(m),
                 SatResult::Unsat => {}
                 SatResult::Unknown => saw_unknown = true,
@@ -1842,6 +1995,12 @@ impl VarBox {
     /// Number of variables in the box.
     pub(crate) fn len(&self) -> usize {
         self.vars.len()
+    }
+
+    /// The variables of the box, in slot order (the deterministic
+    /// iteration order the zone pass derives its bound edges in).
+    pub(crate) fn vars(&self) -> &[VarId] {
+        &self.vars
     }
 
     /// A copy of the intervals (for before/after diffing).

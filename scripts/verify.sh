@@ -32,6 +32,17 @@ cargo test -q
 echo "==> static lint of shipped subjects (cpr-lint, zero diagnostics expected)"
 cargo run --release -q -p cpr-analysis --bin cpr-lint programs/*.cpr
 
+echo "==> static lint fixtures: each must fire exactly its expected diagnostic"
+for fixture in div_zero:possible-division-by-zero index_oob:possible-index-out-of-bounds; do
+  name="${fixture%%:*}"
+  code="${fixture#*:}"
+  out="$(cargo run --release -q -p cpr-analysis --bin cpr-lint "programs/lint_fixtures/$name.cpr" || true)"
+  echo "$out" | grep -q "\"code\":\"$code\"" || {
+    echo "fixture $name.cpr did not report $code"
+    exit 1
+  }
+done
+
 echo "==> serve subsystem: loopback server smoke tests (incl. stats verb + metrics allowlist)"
 cargo test -q --release -p cpr-serve --test server_smoke
 
@@ -53,6 +64,9 @@ done < docs/metrics_allowlist.txt
 
 echo "==> observability: bench_obs --check (outcome identity + <3% overhead)"
 cargo run --release -q -p cpr-bench --bin bench_obs -- --check
+
+echo "==> relational screening: bench_screen --check (report identity across off/interval/zones + zones rate floor)"
+cargo run --release -q -p cpr-bench --bin bench_screen -- --check
 
 echo "==> incremental solving: bench_reduce --check (pool/stats/query identity across cache, thread, and incremental configs)"
 cargo run --release -q -p cpr-bench --bin bench_reduce -- --check

@@ -48,6 +48,10 @@ USAGE:
         --emit               print the repaired program (top patch applied)
         --metrics-out FILE   write the run's metrics (solver, phases) to
                              FILE as one JSON line after the repair
+        --screen-domain D    static-screening domain: off, interval, or
+                             zones (default). Every domain produces the
+                             same report; narrower ones issue more
+                             solver queries
         --cache-dir DIR      persistent fleet solver cache: warm-load
                              solver verdicts from DIR before the repair
                              and flush what this run learned back after
@@ -348,6 +352,7 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
             "top",
             "metrics-out",
             "cache-dir",
+            "screen-domain",
         ],
         &["no-logic", "emit"],
     )?;
@@ -449,6 +454,11 @@ fn cmd_repair(args: &[String]) -> Result<(), String> {
         ),
         ..RepairConfig::default()
     };
+    if let Some(d) = opts.value("screen-domain") {
+        config.screen_domain = d
+            .parse()
+            .map_err(|_| "invalid --screen-domain (expected off, interval, or zones)")?;
+    }
     config.solver.cache_dir = opts.value("cache-dir").map(std::path::PathBuf::from);
     // Hold the fleet cache open for the whole run (the solver resolves the
     // same instance through the per-directory registry), then flush once

@@ -442,32 +442,37 @@ fn corrupted_fleet_cache_falls_back_to_cold_and_identical() {
 
 #[test]
 fn static_screening_never_changes_the_repair_report() {
-    // The `cpr-analysis` screening layer (root interval refutations in
-    // reduce/expand, alpha-equivalence candidate rejection in pool
-    // construction) is an under-approximation of solver refutation:
-    // substituting its verdict for a solver call must leave every report
-    // field untouched except the query counts — same patches, same
-    // ranking, same history — at any thread count.
+    // The `cpr-analysis` screening layer (certified root interval/zone
+    // refutations in reduce/expand, alpha-equivalence candidate rejection
+    // in pool construction) is an under-approximation of solver
+    // refutation: substituting its verdict for a solver call must leave
+    // every report field untouched except the query counts — same
+    // patches, same ranking, same history — for every screen domain at
+    // any thread count.
+    use cpr_core::ScreenDomain;
     let subjects = all_subjects();
     let mut checked = 0;
     for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
         let name = subject.name();
         let problem = subject.problem();
-        let run = |threads: usize, screening: bool| {
+        let run = |threads: usize, domain: ScreenDomain| {
             let mut config = RepairConfig::quick();
             config.max_iterations = 12;
             config.threads = threads;
-            config.static_screening = screening;
+            config.screen_domain = domain;
             repair(&problem, &config)
         };
         for threads in [1, 4] {
-            let on = run(threads, true);
-            let off = run(threads, false);
-            assert_eq!(
-                strip_queries(&report_key(&on)),
-                strip_queries(&report_key(&off)),
-                "{name}: static screening changed the report at {threads} threads"
-            );
+            let off = run(threads, ScreenDomain::Off);
+            let baseline = strip_queries(&report_key(&off));
+            for domain in [ScreenDomain::Interval, ScreenDomain::Zones] {
+                let on = run(threads, domain);
+                assert_eq!(
+                    strip_queries(&report_key(&on)),
+                    baseline,
+                    "{name}: {domain} screening changed the report at {threads} threads"
+                );
+            }
             assert_eq!(
                 off.queries_screened, 0,
                 "{name}: screening counter moved while screening was off"
