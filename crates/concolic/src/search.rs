@@ -123,6 +123,15 @@ impl Ord for CandidateInput {
 /// locations — and flips beyond the patch branch — are preferred (§3.4,
 /// "ranked based on how often they trigger the execution of the patch and
 /// bug location").
+///
+/// Ties on that location evidence are broken by whether the parent path
+/// actually *captured* the buggy expression — a specification `σ` or an
+/// executed assertion ([`ConcolicResult::spec_observed`]). Such paths are
+/// the ones whose children can reduce the patch space (Algorithm 2 needs a
+/// specification to refute anything), so at equal coverage evidence they
+/// rank strictly first. The whole score is shifted left one bit and the
+/// evidence bit occupies the low bit, so the tie-break can never reorder
+/// candidates the coverage evidence already separates.
 pub fn score_candidate(parent: &ConcolicResult, flip: &PrefixFlip) -> i64 {
     let mut score = 0;
     if parent.hit_patch {
@@ -139,7 +148,9 @@ pub fn score_candidate(parent: &ConcolicResult, flip: &PrefixFlip) -> i64 {
     }
     // Deep flips stay close to the parent path.
     score += (flip.flipped_index.min(31)) as i64 / 8;
-    score
+    // Evidence-weighted tie-break: parents holding a captured specification
+    // outrank evidence-free parents with the same coverage score.
+    score * 2 + i64::from(parent.spec_observed())
 }
 
 /// Max-priority queue of candidate inputs awaiting exploration.
@@ -407,5 +418,103 @@ mod tests {
         let shallow = &flips[3]; // flipped_index 0, before the patch branch
         assert!(score_candidate(&parent_hit, deep) > score_candidate(&parent_hit, shallow));
         assert!(score_candidate(&parent_hit, deep) > score_candidate(&parent_miss, deep));
+    }
+
+    /// The evidence tie-break prefers parents that captured the buggy
+    /// expression (σ or an assert) but never reorders candidates the
+    /// coverage evidence already separates: it lives strictly in the low
+    /// bit of the score.
+    #[test]
+    fn sigma_evidence_breaks_ties_without_reordering_coverage() {
+        let mut pool = TermPool::new();
+        let path = fake_path(&mut pool, 4);
+        let x = pool.named_var("x", Sort::Int);
+        let zero = pool.int(0);
+        let sigma = pool.ne(x, zero);
+        let base = ConcolicResult {
+            path: path.clone(),
+            sigma: None,
+            hit_patch: true,
+            hit_bug: true,
+            outcome: Outcome::Returned(0),
+            inputs: Model::new(),
+            steps: 4,
+            observations: Vec::new(),
+            asserts: Vec::new(),
+        };
+        let with_sigma = ConcolicResult {
+            sigma: Some(sigma),
+            ..base.clone()
+        };
+        let flips = prefix_flips(&mut pool, &path);
+        for flip in &flips {
+            // Same coverage evidence: σ wins by exactly the low bit.
+            assert_eq!(
+                score_candidate(&with_sigma, flip),
+                score_candidate(&base, flip) + 1
+            );
+        }
+        // A coverage advantage always dominates the σ bit.
+        let no_coverage_with_sigma = ConcolicResult {
+            hit_patch: false,
+            hit_bug: false,
+            sigma: Some(sigma),
+            ..base.clone()
+        };
+        assert!(
+            score_candidate(&base, &flips[0]) > score_candidate(&no_coverage_with_sigma, &flips[0])
+        );
+    }
+
+    /// Seeded determinism: scoring is a pure function of the parent
+    /// evidence and flip, so any seeded stream of synthetic parents/flips
+    /// scores identically across passes and never reaches the provided-seed
+    /// band (`score >= 50`) the repair driver reserves for non-generated
+    /// inputs.
+    #[test]
+    fn scoring_is_deterministic_for_a_seeded_parent_stream() {
+        // Tiny xorshift64* so the test needs no external RNG crate.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut pool = TermPool::new();
+        let path = fake_path(&mut pool, 6);
+        let flips = prefix_flips(&mut pool, &path);
+        let score_stream = |draws: &[u64]| -> Vec<i64> {
+            draws
+                .iter()
+                .map(|&d| {
+                    let parent = ConcolicResult {
+                        path: path.clone(),
+                        sigma: None,
+                        hit_patch: d & 1 != 0,
+                        hit_bug: d & 2 != 0,
+                        outcome: Outcome::Returned(0),
+                        inputs: Model::new(),
+                        steps: 6,
+                        observations: Vec::new(),
+                        asserts: if d & 4 != 0 {
+                            vec![path[0].constraint]
+                        } else {
+                            Vec::new()
+                        },
+                    };
+                    let flip = &flips[(d >> 3) as usize % flips.len()];
+                    score_candidate(&parent, flip)
+                })
+                .collect()
+        };
+        let draws: Vec<u64> = (0..256).map(|_| next()).collect();
+        let first = score_stream(&draws);
+        let second = score_stream(&draws);
+        assert_eq!(first, second);
+        assert!(first.iter().all(|&s| (0..50).contains(&s)));
+        // The σ bit is visible in the stream: both parities occur.
+        assert!(first.iter().any(|s| s % 2 == 1));
+        assert!(first.iter().any(|s| s % 2 == 0));
     }
 }

@@ -53,10 +53,17 @@ use crate::synthesize::build_patch_pool;
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"CPRS";
 /// Current snapshot format version. Bumped to 2 when `SolverStats` gained
 /// the incremental-solving counters (frames, trail restores, no-goods,
-/// batched queries), and to 3 when it gained the fleet-cache counters
-/// (hits, misses, no-good hits, stores, load errors) — each change altered
-/// the embedded stats codec shape.
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// batched queries), to 3 when it gained the fleet-cache counters (hits,
+/// misses, no-good hits, stores, load errors) — each change altered the
+/// embedded stats codec shape — and to 4 when the payload gained the
+/// injected-inputs log ([`RepairDriver::inject_input`]).
+pub const SNAPSHOT_VERSION: u32 = 4;
+
+/// Oldest snapshot format version [`RepairDriver::resume`] still loads.
+/// Version 3 predates the injected-inputs log; such snapshots load with an
+/// empty injection log (there was nothing to inject back then) and
+/// re-encode as the current version.
+pub const MIN_SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be loaded. Loading never panics: every
 /// malformed, truncated, or mismatched input maps to one of these.
@@ -172,7 +179,24 @@ pub struct RepairDriver {
     /// Nanoseconds spent in the driver overall (reported wall clock).
     elapsed_nanos: u64,
     stop: Option<StopReason>,
+    /// Inputs injected between steps ([`RepairDriver::inject_input`]), as
+    /// sorted `(name, value)` pairs in arrival order. Part of the snapshot
+    /// payload (format v4), so injection count — and with it the score of
+    /// the *next* injection — survives a park/resume cycle.
+    injected: Vec<Vec<(String, i64)>>,
 }
+
+/// Priority band for injected inputs: strictly below the provided seeds
+/// (scored `100 - i`) and strictly above everything generational search
+/// can produce (`score_candidate < 50`). As long as an injection arrives
+/// while inputs of the provided band are still queued, the run is
+/// bit-identical to one where the same input was injected up front — the
+/// determinism contract `tests/determinism.rs` proves.
+const INJECTED_SCORE_BASE: i64 = 80;
+
+/// Floor of the injected band; also the driver's provided/generated
+/// boundary (a candidate scoring below this counts as generated).
+const INJECTED_SCORE_FLOOR: i64 = 50;
 
 impl RepairDriver {
     /// Phase 1: builds the patch pool and seeds the input queue with the
@@ -244,7 +268,79 @@ impl RepairDriver {
             explore_nanos: 0,
             elapsed_nanos: t0.elapsed().as_nanos() as u64,
             stop: None,
+            injected: Vec::new(),
         }
+    }
+
+    /// Injects a failing (or passing) input into the live run, between
+    /// `step`s — the continuous-repair entry point: a fuzzing front end
+    /// that keeps discovering inputs can stream them into an in-flight
+    /// job and every subsequent step's patch-space reduction sees them.
+    ///
+    /// The input joins the queue in the injected priority band (below the
+    /// provided seeds, above all generated candidates) with a score that
+    /// decreases per injection, and is logged in the snapshot payload so
+    /// a park/resume cycle preserves both the pending candidate and the
+    /// next injection's score — the determinism contract holds across
+    /// inject-then-snapshot-then-resume.
+    ///
+    /// # Errors
+    ///
+    /// Rejects injections after the run has stopped, inputs naming
+    /// unknown variables, missing a declared input, or out of declared
+    /// range — the same well-formedness provided tests are validated for.
+    pub fn inject_input(&mut self, input: &crate::problem::TestInput) -> Result<(), String> {
+        if let Some(reason) = self.stop {
+            return Err(format!(
+                "run already stopped ({}): injection would never be explored",
+                reason.name()
+            ));
+        }
+        let mut pairs: Vec<(String, i64)> = Vec::with_capacity(input.len());
+        for decl in &self.problem.program.inputs {
+            let Some(&value) = input.get(&decl.name) else {
+                return Err(format!("injected input is missing \"{}\"", decl.name));
+            };
+            if value < decl.lo || value > decl.hi {
+                return Err(format!(
+                    "injected value {}={} is outside the declared range [{}, {}]",
+                    decl.name, value, decl.lo, decl.hi
+                ));
+            }
+            pairs.push((decl.name.clone(), value));
+        }
+        if input.len() > pairs.len() {
+            let declared: std::collections::HashSet<&str> = self
+                .problem
+                .program
+                .inputs
+                .iter()
+                .map(|d| d.name.as_str())
+                .collect();
+            let unknown = input
+                .keys()
+                .find(|k| !declared.contains(k.as_str()))
+                .cloned()
+                .unwrap_or_default();
+            return Err(format!(
+                "injected input names unknown variable \"{unknown}\""
+            ));
+        }
+        pairs.sort();
+        let score = (INJECTED_SCORE_BASE - self.injected.len() as i64).max(INJECTED_SCORE_FLOOR);
+        let model = self.sess.input_model(input);
+        self.queue.push(CandidateInput {
+            model,
+            score,
+            flipped_index: 0,
+        });
+        self.injected.push(pairs);
+        Ok(())
+    }
+
+    /// Number of inputs injected so far (including ones already explored).
+    pub fn injected_inputs(&self) -> usize {
+        self.injected.len()
     }
 
     /// Runs one iteration of the repair loop (Algorithm 1, lines 2–11):
@@ -288,7 +384,7 @@ impl RepairDriver {
             return self.stop_with(StopReason::InputsExhausted);
         };
         self.iterations += 1;
-        let is_generated = candidate.score < 50;
+        let is_generated = candidate.score < INJECTED_SCORE_FLOOR;
 
         // Pick the best-ranked patch compatible with this candidate's
         // parameters; if the stored parameters died with refinement, fall
@@ -601,6 +697,17 @@ impl RepairDriver {
             Some(StopReason::InputsExhausted) => 4,
         });
 
+        // Injected-inputs log (format v4): arrival order, pairs pre-sorted
+        // at injection time, so the bytes are stable.
+        p.usize(self.injected.len());
+        for pairs in &self.injected {
+            p.usize(pairs.len());
+            for (name, value) in pairs {
+                p.str(name);
+                p.i64(*value);
+            }
+        }
+
         let payload = p.into_bytes();
         let mut out = ByteWriter::new();
         out.raw(SNAPSHOT_MAGIC);
@@ -623,7 +730,7 @@ impl RepairDriver {
         bytes: &[u8],
     ) -> Result<RepairDriver, SnapshotError> {
         let trunc = |_: WireError| SnapshotError::Truncated;
-        let mut r = check_snapshot_header(&problem, bytes)?;
+        let (version, mut r) = check_snapshot_header(&problem, bytes)?;
         let plen = r.u64("payload length").map_err(trunc)? as usize;
         if r.remaining() < plen + 8 {
             return Err(SnapshotError::Truncated);
@@ -746,6 +853,24 @@ impl RepairDriver {
             }
         };
 
+        // Injected-inputs log: absent before v4 — a v3 snapshot predates
+        // injection, so it loads with an empty log (forward compat).
+        let mut injected = Vec::new();
+        if version >= 4 {
+            let ninj = p.seq_len("injected inputs", 8)?;
+            injected.reserve(ninj);
+            for _ in 0..ninj {
+                let npairs = p.seq_len("injected input pairs", 16)?;
+                let mut pairs = Vec::with_capacity(npairs);
+                for _ in 0..npairs {
+                    let name = p.str("injected input name")?;
+                    let value = p.i64("injected input value")?;
+                    pairs.push((name, value));
+                }
+                injected.push(pairs);
+            }
+        }
+
         // Rebuild the session from problem + config, then verify the
         // restored pool extends the session's base pool: if the config
         // disagrees with the one the snapshot was taken under (different
@@ -782,6 +907,7 @@ impl RepairDriver {
             explore_nanos,
             elapsed_nanos,
             stop,
+            injected,
         })
     }
 }
@@ -790,12 +916,14 @@ impl RepairDriver {
 /// against `problem` without decoding the payload. Cheap — a submit-time
 /// guard for services adopting a stored snapshot, so a wrong-subject or
 /// wrong-version file is rejected up front instead of failing the job
-/// later. Returns a reader positioned at the payload length for
-/// [`RepairDriver::resume`] to continue from.
+/// later. Returns the format version (any in
+/// [`MIN_SNAPSHOT_VERSION`]`..=`[`SNAPSHOT_VERSION`] is accepted) and a
+/// reader positioned at the payload length for [`RepairDriver::resume`]
+/// to continue from.
 pub fn check_snapshot_header<'a>(
     problem: &RepairProblem,
     bytes: &'a [u8],
-) -> Result<ByteReader<'a>, SnapshotError> {
+) -> Result<(u32, ByteReader<'a>), SnapshotError> {
     let trunc = |_: WireError| SnapshotError::Truncated;
     let mut r = ByteReader::new(bytes);
     let magic = r.raw(4, "magic").map_err(trunc)?;
@@ -803,14 +931,14 @@ pub fn check_snapshot_header<'a>(
         return Err(SnapshotError::BadMagic);
     }
     let version = r.u32("version").map_err(trunc)?;
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let digest = r.u64("subject digest").map_err(trunc)?;
     if digest != subject_digest(problem) {
         return Err(SnapshotError::SubjectMismatch);
     }
-    Ok(r)
+    Ok((version, r))
 }
 
 /// Digest identifying the subject a snapshot belongs to: name, program
@@ -1058,6 +1186,129 @@ mod tests {
         assert!(matches!(
             RepairDriver::resume(other, config(), &snap),
             Err(SnapshotError::PoolMismatch)
+        ));
+    }
+
+    #[test]
+    fn inject_validates_inputs_and_rejects_finished_runs() {
+        let mut d = RepairDriver::new(problem(), config());
+        let err = d
+            .inject_input(&test_input(&[("x", 3)]))
+            .expect_err("missing y");
+        assert!(err.contains("missing \"y\""), "{err}");
+        let err = d
+            .inject_input(&test_input(&[("x", 3), ("y", 99)]))
+            .expect_err("y out of range");
+        assert!(err.contains("outside the declared range"), "{err}");
+        let err = d
+            .inject_input(&test_input(&[("x", 3), ("y", 2), ("z", 1)]))
+            .expect_err("z undeclared");
+        assert!(err.contains("unknown variable \"z\""), "{err}");
+        assert_eq!(d.injected_inputs(), 0);
+        while d.step() == StepStatus::Running {}
+        let err = d
+            .inject_input(&test_input(&[("x", 0), ("y", 3)]))
+            .expect_err("run is done");
+        assert!(err.contains("already stopped"), "{err}");
+    }
+
+    #[test]
+    fn injected_inputs_outrank_generated_candidates_but_not_provided_seeds() {
+        let mut d = RepairDriver::new(problem(), config());
+        for i in 0..3 {
+            d.inject_input(&test_input(&[("x", i), ("y", 3)])).unwrap();
+        }
+        let scores: Vec<i64> = d.queue.snapshot_order().map(|c| c.score).collect();
+        // The provided seed keeps its 100-band score; injections fill the
+        // 50..=80 band below it, decreasing so earlier injections explore
+        // first; nothing enters the generated band (< 50).
+        assert!(scores.contains(&100));
+        assert!(scores.contains(&80) && scores.contains(&79) && scores.contains(&78));
+        assert!(scores.iter().all(|&s| s >= INJECTED_SCORE_FLOOR));
+    }
+
+    #[test]
+    fn injection_enters_the_snapshot_and_roundtrips() {
+        let mut d = RepairDriver::new(problem(), config());
+        d.step();
+        d.inject_input(&test_input(&[("x", 0), ("y", 3)])).unwrap();
+        d.inject_input(&test_input(&[("x", 2), ("y", 0)])).unwrap();
+        let snap = d.snapshot();
+        let mut r = RepairDriver::resume(problem(), config(), &snap).unwrap();
+        // Same state — including the injection log — and same bytes.
+        assert_eq!(r.injected_inputs(), 2);
+        assert_eq!(r.snapshot(), snap);
+        // Both continue to the same report.
+        while d.step() == StepStatus::Running {}
+        while r.step() == StepStatus::Running {}
+        let a = d.finish();
+        let b = r.finish();
+        assert_eq!(a.p_final, b.p_final);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.solver_queries, b.solver_queries);
+        assert_eq!(
+            a.ranked.iter().map(|p| &p.display).collect::<Vec<_>>(),
+            b.ranked.iter().map(|p| &p.display).collect::<Vec<_>>()
+        );
+    }
+
+    /// Rebuilds a current-version snapshot with no injections as the
+    /// version-3 wire image: the injection log (a trailing empty count)
+    /// did not exist, so stripping it and re-stamping version + length +
+    /// checksum reproduces the old format byte-for-byte.
+    fn downgrade_to_v3(snap: &[u8]) -> Vec<u8> {
+        let plen = u64::from_le_bytes(snap[16..24].try_into().unwrap()) as usize;
+        let payload = &snap[24..24 + plen];
+        assert_eq!(
+            &payload[plen - 8..],
+            &0u64.to_le_bytes(),
+            "fixture requires an empty injection log"
+        );
+        let stripped = &payload[..plen - 8];
+        let mut w = ByteWriter::new();
+        w.raw(SNAPSHOT_MAGIC);
+        w.u32(3);
+        w.raw(&snap[8..16]); // subject digest, verbatim
+        w.u64(stripped.len() as u64);
+        let checksum = wire::fnv1a(stripped);
+        w.raw(stripped);
+        w.u64(checksum);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn resume_accepts_a_version_3_snapshot_with_an_empty_injection_log() {
+        let mut d = RepairDriver::new(problem(), config());
+        d.step();
+        d.step();
+        let v3 = downgrade_to_v3(&d.snapshot());
+        assert_eq!(u32::from_le_bytes(v3[4..8].try_into().unwrap()), 3);
+        assert!(check_snapshot_header(&problem(), &v3).is_ok());
+        let mut r = RepairDriver::resume(problem(), config(), &v3).unwrap();
+        assert_eq!(r.injected_inputs(), 0);
+        // Re-snapshotting writes the current version, not the old one.
+        assert_eq!(r.snapshot(), d.snapshot());
+        while d.step() == StepStatus::Running {}
+        while r.step() == StepStatus::Running {}
+        let a = d.finish();
+        let b = r.finish();
+        assert_eq!(a.p_final, b.p_final);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.solver_queries, b.solver_queries);
+    }
+
+    #[test]
+    fn resume_rejects_a_truncated_version_3_snapshot() {
+        let mut d = RepairDriver::new(problem(), config());
+        d.step();
+        let v3 = downgrade_to_v3(&d.snapshot());
+        // Chop inside the payload: the checksum no longer matches (or the
+        // byte reader runs dry) — either way a typed error, never a panic.
+        let err = RepairDriver::resume(problem(), config(), &v3[..v3.len() - 9])
+            .expect_err("truncated v3 snapshot must not load");
+        assert!(matches!(
+            err,
+            SnapshotError::Truncated | SnapshotError::ChecksumMismatch
         ));
     }
 

@@ -66,7 +66,7 @@ pub use apply::{apply_patch, term_to_expr};
 pub use cpr_analysis::ScreenDomain;
 pub use driver::{
     check_snapshot_header, subject_digest, RepairDriver, SnapshotError, StepStatus, StopReason,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use expand::{expand, ExpandOutcome, ExpandStats};
 pub use lower::{lower_expr, lower_expr_src, LowerError};

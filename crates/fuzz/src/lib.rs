@@ -34,7 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concolic;
 pub mod rng;
+
+pub use concolic::{
+    register_fuzz_metrics, ConcolicFuzzConfig, ConcolicFuzzResult, ConcolicFuzzer, CorpusStore,
+    CrashSignature, FuzzFinding,
+};
 
 use std::collections::HashMap;
 

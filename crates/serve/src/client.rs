@@ -90,6 +90,18 @@ impl Client {
         self.request(&Request::Resume(job))
     }
 
+    /// Streams an input into a live job (the continuous-repair verb);
+    /// returns the job's total injection count.
+    pub fn inject(&mut self, job: u64, input: &[(String, i64)]) -> Result<u64, String> {
+        let v = self.request(&Request::Inject {
+            job,
+            input: input.to_vec(),
+        })?;
+        v.get("injections")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "inject response missing injections".into())
+    }
+
     /// The final report of a completed job.
     pub fn report(&mut self, job: u64) -> Result<Json, String> {
         let v = self.request(&Request::Report(job))?;

@@ -6,8 +6,8 @@
 //! step/snapshot/resume state machine into exactly that:
 //!
 //! * [`protocol`] — a versioned JSON-lines protocol (`submit`, `status`,
-//!   `cancel`, `pause`, `resume`, `report`, `stats`, `shutdown`) with a
-//!   dependency-free [`json`] value type underneath;
+//!   `cancel`, `pause`, `resume`, `inject`, `report`, `stats`,
+//!   `shutdown`) with a dependency-free [`json`] value type underneath;
 //! * [`scheduler`] — a bounded worker pool driving jobs step-wise, with
 //!   per-job iteration / wall-clock budgets and cooperative cancellation;
 //! * [`store`] — a durable snapshot store (atomic write, one file per

@@ -77,6 +77,15 @@ pub enum Request {
     Resume(u64),
     /// The final report of a completed job.
     Report(u64),
+    /// Stream an input into a live job's driver between steps — the
+    /// continuous-repair verb (`cpr fuzz` uses it to feed freshly found
+    /// failing inputs into an in-flight repair).
+    Inject {
+        /// Target job id; must not be terminal.
+        job: u64,
+        /// Input valuation, name → value, canonically sorted by name.
+        input: Vec<(String, i64)>,
+    },
     /// Process-wide metrics plus per-job observability tallies (see
     /// [`crate::stats`] for the response shape).
     Stats,
@@ -152,9 +161,37 @@ impl Request {
             "pause" => Ok(Request::Pause(job(true)?.unwrap())),
             "resume" => Ok(Request::Resume(job(true)?.unwrap())),
             "report" => Ok(Request::Report(job(true)?.unwrap())),
+            "inject" => {
+                let id = job(true)?.unwrap();
+                let obj = v
+                    .get("input")
+                    .ok_or("\"inject\" needs an \"input\" object")?;
+                let Json::Obj(fields) = obj else {
+                    return Err("\"input\" must be an object of integer values".into());
+                };
+                let mut input = Vec::with_capacity(fields.len());
+                for (name, value) in fields {
+                    let value = value
+                        .as_i64()
+                        .ok_or(format!("input value \"{name}\" must be an integer"))?;
+                    input.push((name.clone(), value));
+                }
+                input.sort();
+                Ok(Request::Inject { job: id, input })
+            }
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
-            other => Err(format!("unknown command \"{other}\"")),
+            other => {
+                // Echo at most a fixed prefix of the unknown verb: error
+                // responses go back over the wire, and an attacker-sized
+                // verb must not be reflected in full.
+                const VERB_ECHO_CAP: usize = 32;
+                let mut shown: String = other.chars().take(VERB_ECHO_CAP).collect();
+                if other.chars().count() > VERB_ECHO_CAP {
+                    shown.push('…');
+                }
+                Err(format!("unknown command \"{shown}\""))
+            }
         }
     }
 
@@ -191,6 +228,15 @@ impl Request {
             Request::Pause(id) => push_job(&mut pairs, "pause", *id),
             Request::Resume(id) => push_job(&mut pairs, "resume", *id),
             Request::Report(id) => push_job(&mut pairs, "report", *id),
+            Request::Inject { job, input } => {
+                push_job(&mut pairs, "inject", *job);
+                let mut sorted = input.clone();
+                sorted.sort();
+                pairs.push((
+                    "input",
+                    Json::Obj(sorted.into_iter().map(|(k, v)| (k, Json::Int(v))).collect()),
+                ));
+            }
             Request::Stats => pairs.push(("cmd", Json::Str("stats".into()))),
             Request::Shutdown => pairs.push(("cmd", Json::Str("shutdown".into()))),
         }
@@ -311,6 +357,10 @@ mod tests {
             Request::Pause(2),
             Request::Resume(3),
             Request::Report(9),
+            Request::Inject {
+                job: 5,
+                input: vec![("x".into(), -3), ("y".into(), 0)],
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -339,11 +389,47 @@ mod tests {
                 r#"{"v":1,"cmd":"submit","subject":"s","resume_from":-2}"#,
                 "resume_from",
             ),
+            (r#"{"v":1,"cmd":"inject"}"#, "needs a \"job\""),
+            (
+                r#"{"v":1,"cmd":"inject","job":"seven","input":{"x":1}}"#,
+                "non-negative",
+            ),
+            (r#"{"v":1,"cmd":"inject","job":3}"#, "needs an \"input\""),
+            (
+                r#"{"v":1,"cmd":"inject","job":3,"input":[1,2]}"#,
+                "must be an object",
+            ),
+            (
+                r#"{"v":1,"cmd":"inject","job":3,"input":{"x":"zero"}}"#,
+                "must be an integer",
+            ),
         ];
         for (line, needle) in cases {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn inject_canonicalizes_input_order() {
+        let a = Request::parse(r#"{"v":1,"cmd":"inject","job":1,"input":{"y":2,"x":1}}"#).unwrap();
+        let b = Request::parse(r#"{"v":1,"cmd":"inject","job":1,"input":{"x":1,"y":2}}"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_line(), b.to_line());
+    }
+
+    #[test]
+    fn unknown_verbs_are_echoed_truncated() {
+        let long = "x".repeat(4096);
+        let err = Request::parse(&format!(r#"{{"v":1,"cmd":"{long}"}}"#)).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(
+            err.len() < 80,
+            "oversized verb must not be reflected in full: {} bytes",
+            err.len()
+        );
+        assert!(err.contains(&"x".repeat(32)));
+        assert!(!err.contains(&"x".repeat(33)));
     }
 
     #[test]

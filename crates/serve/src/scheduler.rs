@@ -134,6 +134,12 @@ struct Job {
     error: Option<String>,
     cancel_requested: bool,
     pause_requested: bool,
+    /// Inputs injected by clients but not yet applied to the driver. A
+    /// running job's worker drains this between steps; a parked or queued
+    /// job drains it right after the driver is (re)built. The buffer is
+    /// in-memory only — injections delivered to a parked job are applied
+    /// on resume within this process, not across a server restart.
+    inbox: Vec<Vec<(String, i64)>>,
     /// When the job last entered the queue (submit or resume).
     queued_at: Instant,
     /// Observability tallies, surfaced by the `stats` verb. They never
@@ -150,6 +156,7 @@ struct JobObs {
     snapshots_written: u64,
     snapshot_bytes: u64,
     snapshot_fsync_nanos: u64,
+    injections: u64,
 }
 
 impl JobObs {
@@ -170,6 +177,7 @@ impl JobObs {
                 "snapshot_fsync_nanos",
                 Json::Int(clamp_i64(self.snapshot_fsync_nanos)),
             ),
+            ("injections", Json::Int(clamp_i64(self.injections))),
         ]
     }
 }
@@ -189,12 +197,19 @@ struct ServeObs {
     jobs_done: Counter,
     jobs_failed: Counter,
     snapshots_written: Counter,
+    inject_accepted: Counter,
+    inject_rejected: Counter,
+    inject_applied: Counter,
     fleet_flushes: Counter,
     fleet_store_bytes: Gauge,
 }
 
 impl ServeObs {
     fn new(reg: &cpr_obs::MetricsRegistry) -> ServeObs {
+        // The `fuzz.*` family rides along for the same reason as the
+        // fleet metrics below: campaigns usually run client-side, but the
+        // stats response promises the full documented metric set.
+        cpr_fuzz::register_fuzz_metrics(reg);
         ServeObs {
             queue_wait: reg.histogram("serve.queue_wait_nanos"),
             step: reg.histogram("serve.step_nanos"),
@@ -204,6 +219,9 @@ impl ServeObs {
             jobs_done: reg.counter("serve.jobs_done"),
             jobs_failed: reg.counter("serve.jobs_failed"),
             snapshots_written: reg.counter("serve.snapshots_written"),
+            inject_accepted: reg.counter("serve.inject.accepted"),
+            inject_rejected: reg.counter("serve.inject.rejected"),
+            inject_applied: reg.counter("serve.inject.applied"),
             // Registered even when no fleet cache is configured, so the
             // stats verb (and the allowlist smoke test) always see the
             // names, at zero.
@@ -400,6 +418,7 @@ impl Scheduler {
                 error: None,
                 cancel_requested: false,
                 pause_requested: false,
+                inbox: Vec::new(),
                 queued_at: Instant::now(),
                 obs: JobObs::default(),
             },
@@ -513,6 +532,65 @@ impl Scheduler {
         }
     }
 
+    /// Streams an input into a live job — the continuous-repair entry
+    /// point behind the protocol's `inject` verb. The input is validated
+    /// against the subject's declared inputs here, so a malformed
+    /// injection fails this call instead of the job. Valid inputs are
+    /// buffered in the job's inbox; a running job's worker applies them
+    /// between driver steps, and a queued/parked job applies them as soon
+    /// as its driver is (re)built — in both cases through
+    /// [`RepairDriver::inject_input`], so the injected-band determinism
+    /// contract holds.
+    ///
+    /// Returns the number of injections delivered to this job so far
+    /// (including ones still in the inbox).
+    pub fn inject(&self, id: u64, input: &[(String, i64)]) -> Result<u64, String> {
+        let reject = |msg: String| {
+            self.inner.obs.inject_rejected.inc();
+            Err(msg)
+        };
+        let spec = {
+            let st = lock(&self.inner.state);
+            let Some(job) = st.jobs.get(&id) else {
+                return reject(format!("no job {id}"));
+            };
+            if matches!(job.state, JobState::Done | JobState::Failed) {
+                return reject(format!(
+                    "job {id} is {}; cannot inject into a finished run",
+                    job.state.name()
+                ));
+            }
+            job.spec.clone()
+        };
+        // Resolve the subject outside the lock (it parses the program) and
+        // validate the valuation against its declared inputs.
+        let problem = match job_problem(&spec) {
+            Ok(p) => p,
+            Err(e) => return reject(e),
+        };
+        if let Err(e) = validate_injection(&problem, input) {
+            return reject(e);
+        }
+        let mut st = lock(&self.inner.state);
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return reject(format!("no job {id}"));
+        };
+        // Re-check: the job may have finished while the lock was released.
+        if matches!(job.state, JobState::Done | JobState::Failed) {
+            return reject(format!(
+                "job {id} is {}; cannot inject into a finished run",
+                job.state.name()
+            ));
+        }
+        let mut pairs: Vec<(String, i64)> = input.to_vec();
+        pairs.sort();
+        job.inbox.push(pairs);
+        job.obs.injections += 1;
+        let total = job.obs.injections;
+        self.inner.obs.inject_accepted.inc();
+        Ok(total)
+    }
+
     /// The final report of a completed job, as protocol JSON.
     pub fn report(&self, id: u64) -> Result<Json, String> {
         let st = lock(&self.inner.state);
@@ -620,6 +698,36 @@ impl Scheduler {
             let _ = h.join();
         }
     }
+}
+
+/// Checks an injected valuation against the subject's declared inputs:
+/// every declared input present and in range, no unknown names. Mirrors
+/// [`RepairDriver::inject_input`]'s validation so malformed injections
+/// fail at the protocol boundary instead of inside the worker.
+fn validate_injection(problem: &RepairProblem, input: &[(String, i64)]) -> Result<(), String> {
+    for decl in &problem.program.inputs {
+        let Some(&(_, value)) = input.iter().find(|(name, _)| *name == decl.name) else {
+            return Err(format!("injected input is missing \"{}\"", decl.name));
+        };
+        if value < decl.lo || value > decl.hi {
+            return Err(format!(
+                "injected value {}={} is outside the declared range [{}, {}]",
+                decl.name, value, decl.lo, decl.hi
+            ));
+        }
+    }
+    if input.len() > problem.program.inputs.len() {
+        let unknown = input
+            .iter()
+            .map(|(name, _)| name)
+            .find(|name| !problem.program.inputs.iter().any(|d| &&d.name == name))
+            .cloned()
+            .unwrap_or_default();
+        return Err(format!(
+            "injected input names unknown variable \"{unknown}\""
+        ));
+    }
+    Ok(())
 }
 
 fn status_of(id: u64, job: &Job) -> JobStatus {
@@ -741,6 +849,29 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
         Err(e) => return fail(format!("cannot read snapshot for job {id}: {e}")),
     };
 
+    // Applies buffered injections to the driver — called right after the
+    // driver is built (covers inputs injected while the job was queued or
+    // parked) and between steps (covers a running job). Entries were
+    // validated at the protocol boundary; a driver-side rejection here
+    // (the run stopped in the meantime) only bumps the rejected counter.
+    let drain_inbox = |driver: &mut RepairDriver| {
+        let pending: Vec<Vec<(String, i64)>> = {
+            let mut st = lock(&inner.state);
+            st.jobs
+                .get_mut(&id)
+                .map(|job| std::mem::take(&mut job.inbox))
+                .unwrap_or_default()
+        };
+        for pairs in pending {
+            let input: cpr_core::TestInput = pairs.into_iter().collect();
+            match driver.inject_input(&input) {
+                Ok(()) => inner.obs.inject_applied.inc(),
+                Err(_) => inner.obs.inject_rejected.inc(),
+            }
+        }
+    };
+    drain_inbox(&mut driver);
+
     // Checkpoint helper: times the durable write (create + write + fsync +
     // rename) and records snapshot size, per job and in the aggregates.
     let save_checkpoint = |driver: &RepairDriver| -> Result<(), String> {
@@ -779,6 +910,10 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
             }
         };
         if cancel || pause {
+            // Fold pending injections into the checkpoint so the parked
+            // snapshot carries them durably (the inbox itself is only
+            // in-memory).
+            drain_inbox(&mut driver);
             if let Err(e) = save_checkpoint(&driver) {
                 return fail(e);
             }
@@ -791,6 +926,7 @@ fn run_job_inner(inner: &Inner, id: u64, spec: &JobSpec) {
                 job.iterations = driver.iterations();
             });
         }
+        drain_inbox(&mut driver);
         let t0 = Instant::now();
         let status = driver.step();
         let step_nanos = nanos_u64(t0.elapsed());
@@ -1088,6 +1224,54 @@ mod tests {
         assert!(row.get("snapshots_written").and_then(Json::as_u64).unwrap() > 0);
         assert!(row.get("snapshot_bytes").and_then(Json::as_u64).unwrap() > 0);
         assert!(row.get("queue_wait_nanos").and_then(Json::as_u64).is_some());
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn injections_reach_parked_jobs_and_are_rejected_after_completion() {
+        // One worker: the first job occupies it, the second parks, so the
+        // injection lands in a parked job's inbox and is applied when its
+        // driver is rebuilt on resume.
+        let sched = Scheduler::new(1, temp_store("inject"));
+        let subject = first_subject();
+        let busy = sched.submit(quick_spec(&subject)).unwrap();
+        let parked = sched.submit(quick_spec(&subject)).unwrap();
+        sched.pause(parked).unwrap();
+
+        let problem = job_problem(&quick_spec(&subject)).unwrap();
+        let input: Vec<(String, i64)> = problem
+            .program
+            .inputs
+            .iter()
+            .map(|d| (d.name.clone(), d.lo))
+            .collect();
+        assert_eq!(sched.inject(parked, &input).unwrap(), 1);
+        assert_eq!(sched.inject(parked, &input).unwrap(), 2);
+        // Malformed injections fail at the protocol boundary, not the job.
+        let mut unknown = input.clone();
+        unknown.push(("no_such_input".into(), 0));
+        let err = sched.inject(parked, &unknown).unwrap_err();
+        assert!(err.contains("unknown variable"), "{err}");
+        assert!(sched.inject(99, &input).is_err());
+
+        sched.resume(parked).unwrap();
+        for id in [busy, parked] {
+            let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+            assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        }
+        // Terminal jobs reject injections with a clear reason.
+        let err = sched.inject(parked, &input).unwrap_err();
+        assert!(err.contains("finished run"), "{err}");
+        // The per-job tally counts accepted injections only.
+        let Json::Arr(rows) = sched.job_stats() else {
+            panic!("job_stats is an array")
+        };
+        let row = rows
+            .iter()
+            .find(|r| r.get("job").and_then(Json::as_u64) == Some(parked))
+            .unwrap();
+        assert_eq!(row.get("injections").and_then(Json::as_u64), Some(2));
         sched.shutdown();
         let _ = std::fs::remove_dir_all(sched.store().dir());
     }

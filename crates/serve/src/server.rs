@@ -57,6 +57,16 @@ pub fn handle_line(sched: &Scheduler, line: &str) -> (Json, bool) {
         Request::Cancel(id) => with_status(sched.cancel(id)),
         Request::Pause(id) => with_status(sched.pause(id)),
         Request::Resume(id) => with_status(sched.resume(id)),
+        Request::Inject { job, input } => match sched.inject(job, &input) {
+            Ok(total) => (
+                ok_response(vec![
+                    ("job", Json::Int(job as i64)),
+                    ("injections", Json::Int(total as i64)),
+                ]),
+                false,
+            ),
+            Err(e) => (error_response(&e), false),
+        },
         Request::Report(id) => match sched.report(id) {
             Ok(report) => (
                 ok_response(vec![("job", Json::Int(id as i64)), ("report", report)]),

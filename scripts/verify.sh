@@ -74,4 +74,10 @@ cargo run --release -q -p cpr-bench --bin bench_reduce -- --check
 echo "==> fleet cache: bench_cache --check (report identity with the persistent solver cache absent, cold, and warm)"
 cargo run --release -q -p cpr-bench --bin bench_cache -- --check
 
+echo "==> continuous repair: bench_fuzz --check (campaign determinism + three-way injection identity)"
+cargo run --release -q -p cpr-bench --bin bench_fuzz -- --check
+
+echo "==> continuous repair: E2E loopback (fuzz findings streamed over TCP match an upfront run)"
+cargo test -q --release --test continuous_repair
+
 echo "verify: OK"

@@ -24,8 +24,21 @@ USAGE:
       their range's lower bound); --patch fills the hole.
 
   cpr fuzz <file> [--baseline <expr>] [--max-execs N] [--seed N]
-      Search for a failing input with directed fuzzing; --baseline fills
-      the hole with the original buggy expression (default: false).
+           [--concolic] [--corpus-dir DIR]
+      Search for a failing input; --baseline fills the hole with the
+      original buggy expression (default: false). By default a directed
+      mutation fuzzer; with --concolic (or --corpus-dir), the pure-
+      concolic engine: execute, negate each new branch constraint, solve,
+      re-execute. Found inputs are written to --corpus-dir atomically.
+
+  cpr fuzz --subject <name> [--serve-addr host:port] [--corpus-dir DIR]
+           [--max-execs N] [--seed N] [--max-inputs N] [--cache-dir DIR]
+      Pure-concolic fuzzing of a registry subject (continuous repair,
+      DESIGN.md §4.13). Offline by default; with --serve-addr, streams
+      findings into a running `cpr serve`: the first input with a fresh
+      crash signature submits a repair job, and every finding is injected
+      into its signature's live job between driver steps. --max-inputs
+      stops after N findings; --cache-dir shares the fleet solver cache.
 
   cpr repair <file> --failing k=v[,k=v...] [options]
       Run concolic repair. Options:
@@ -267,11 +280,59 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_fuzz(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["baseline", "max-execs", "seed"], &[])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "baseline",
+            "max-execs",
+            "seed",
+            "subject",
+            "serve-addr",
+            "corpus-dir",
+            "max-inputs",
+            "cache-dir",
+        ],
+        &["concolic"],
+    )?;
+    // Subject mode always runs the pure-concolic engine; file mode does
+    // when asked to (--concolic, or any engine-only flag), and keeps the
+    // directed mutation fuzzer otherwise.
+    if let Some(subject_name) = opts.value("subject") {
+        if !opts.positional.is_empty() {
+            return Err("--subject and a <file> are mutually exclusive".into());
+        }
+        let subjects = cpr_subjects::all_subjects();
+        let s = subjects
+            .iter()
+            .find(|s| s.name() == subject_name || s.bug_id == subject_name)
+            .ok_or_else(|| format!("unknown subject `{subject_name}`"))?;
+        if s.not_supported {
+            return Err(format!("{} is marked N/A (unsupported)", s.name()));
+        }
+        let problem = s.problem();
+        return fuzz_concolic(
+            &problem.program,
+            problem.baseline_expr.as_deref(),
+            Some(&s.name()),
+            &opts,
+        );
+    }
     let [path] = opts.positional.as_slice() else {
-        return Err("usage: cpr fuzz <file> [--baseline <expr>]".into());
+        return Err(
+            "usage: cpr fuzz <file> [--baseline <expr>] | cpr fuzz --subject <name> [--serve-addr host:port]"
+                .into(),
+        );
     };
     let (program, _) = load_program(path)?;
+    if opts.value("serve-addr").is_some() {
+        return Err(
+            "streaming (--serve-addr) needs --subject: the server only runs registry subjects"
+                .into(),
+        );
+    }
+    if opts.has("concolic") || opts.value("corpus-dir").is_some() {
+        return fuzz_concolic(&program, opts.value("baseline"), None, &opts);
+    }
     let mut pool = cpr_smt::TermPool::new();
     let baseline_src = opts.value("baseline").unwrap_or("false");
     let patch = if program.hole().is_some() {
@@ -315,6 +376,117 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
                 r.execs, r.best_score
             );
         }
+    }
+    Ok(())
+}
+
+/// Runs a pure-concolic fuzzing campaign, optionally streaming findings
+/// into a repair server: the first input with a fresh crash signature
+/// auto-submits a repair job for the subject, and every finding (fresh or
+/// repeat) is injected into its signature's job, so the live run's
+/// patch-space reduction sees the new evidence mid-flight.
+fn fuzz_concolic(
+    program: &Program,
+    baseline_expr: Option<&str>,
+    subject: Option<&str>,
+    opts: &Opts<'_>,
+) -> Result<(), String> {
+    let mut config = cpr_fuzz::ConcolicFuzzConfig::default();
+    if let Some(n) = parse_opt_num::<u64>(opts, "max-execs")? {
+        config.max_execs = n;
+    }
+    if let Some(n) = parse_opt_num::<u64>(opts, "seed")? {
+        config.seed = n;
+    }
+    if let Some(n) = parse_opt_num::<usize>(opts, "max-inputs")? {
+        config.max_findings = n;
+    }
+    config.corpus_dir = opts.value("corpus-dir").map(std::path::PathBuf::from);
+    config.solver.cache_dir = opts.value("cache-dir").map(std::path::PathBuf::from);
+    config.metrics = true;
+
+    let mut fuzzer = cpr_fuzz::ConcolicFuzzer::new(program, &config);
+    if program.hole().is_some() {
+        let src = baseline_expr.unwrap_or("false");
+        let theta = cpr_core::lower_expr_src(fuzzer.pool_mut(), src)?;
+        fuzzer.set_baseline(theta, Model::new());
+    }
+
+    let mut client = match opts.value("serve-addr") {
+        Some(addr) => Some(cpr_serve::Client::connect(addr)?),
+        None => None,
+    };
+    let mut sig_jobs: HashMap<u64, u64> = HashMap::new();
+    let mut injected = 0u64;
+    let mut stream_errors = 0u64;
+    let result = fuzzer
+        .run_with(&mut |finding| {
+            let kvs: Vec<String> = finding
+                .input
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!(
+                "[{}] exec {} signature {} ({}): {}",
+                if finding.fresh_signature {
+                    "new"
+                } else {
+                    "dup"
+                },
+                finding.execs,
+                finding.signature.hex(),
+                finding.signature.label,
+                kvs.join(",")
+            );
+            let (Some(client), Some(subject)) = (client.as_mut(), subject) else {
+                return;
+            };
+            let streamed = (|| -> Result<(), String> {
+                let job = match sig_jobs.get(&finding.signature.digest) {
+                    Some(&job) => job,
+                    None => {
+                        let job = client.submit(cpr_serve::JobSpec::new(subject))?;
+                        println!(
+                            "  submitted job {job} for signature {}",
+                            finding.signature.hex()
+                        );
+                        sig_jobs.insert(finding.signature.digest, job);
+                        job
+                    }
+                };
+                client.inject(job, &finding.input)?;
+                injected += 1;
+                Ok(())
+            })();
+            if let Err(e) = streamed {
+                stream_errors += 1;
+                eprintln!("warning: could not stream the finding: {e}");
+            }
+        })
+        .map_err(|e| format!("corpus store: {e}"))?;
+
+    println!(
+        "concolic fuzz: {} execs, {} findings, {} distinct signatures",
+        result.execs,
+        result.findings.len(),
+        result.signatures
+    );
+    println!(
+        "  divergence: {} sat / {} unsat of {} solver queries; frontier {} prefixes, {} candidates still queued",
+        result.diverge_sat,
+        result.diverge_unsat,
+        result.solver_queries,
+        result.frontier_len,
+        result.queue_len
+    );
+    if let Some(execs) = result.first_signature_execs {
+        println!("  first fresh signature after {execs} execs");
+    }
+    if client.is_some() {
+        println!(
+            "  streamed: {} jobs submitted, {injected} inputs injected, {stream_errors} errors",
+            sig_jobs.len()
+        );
     }
     Ok(())
 }
@@ -801,6 +973,60 @@ mod tests {
         assert!(run(&args(&["repair", p, "--failing", "x=99"])).is_err());
         assert!(run(&args(&["repair", p])).is_err());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fuzz_concolic_file_mode_and_flag_validation() {
+        let path = write_demo();
+        let p = path.to_str().unwrap();
+        let corpus =
+            std::env::temp_dir().join(format!("cpr_cli_fuzz_corpus_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&corpus);
+        run(&args(&[
+            "fuzz",
+            p,
+            "--concolic",
+            "--max-execs",
+            "500",
+            "--corpus-dir",
+            corpus.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The demo program's x=0 crash was found and stored atomically.
+        let entries: Vec<_> = std::fs::read_dir(&corpus)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(
+            entries.iter().any(|n| n.ends_with(".corpus")),
+            "corpus dir holds findings: {entries:?}"
+        );
+        // Streaming needs a registry subject, and the flags stay validated.
+        assert!(run(&args(&["fuzz", p, "--serve-addr", "127.0.0.1:9"])).is_err());
+        assert!(run(&args(&["fuzz", "--subject", "no/such-subject"])).is_err());
+        assert!(run(&args(&["fuzz", p, "--subject", "x"])).is_err());
+        assert!(run(&args(&["fuzz", p, "--concolic", "--max-execs", "abc"])).is_err());
+        let _ = std::fs::remove_dir_all(&corpus);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn fuzz_subject_offline_mode_reports_findings() {
+        let subject = cpr_subjects::all_subjects()
+            .iter()
+            .find(|s| !s.not_supported)
+            .unwrap()
+            .name();
+        run(&args(&[
+            "fuzz",
+            "--subject",
+            &subject,
+            "--max-execs",
+            "300",
+            "--max-inputs",
+            "2",
+        ]))
+        .unwrap();
     }
 
     #[test]

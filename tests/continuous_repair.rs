@@ -1,0 +1,193 @@
+//! End-to-end loopback for continuous repair: the pure-concolic fuzz
+//! engine discovers failing inputs on a registry subject, streams them
+//! into a live `cpr serve` job over the real TCP protocol (`inject`), and
+//! the job's final report is bit-identical to a direct driver run that
+//! knew the same inputs upfront.
+//!
+//! This is the whole-system version of the contract proven layer by layer
+//! elsewhere: the engine's campaign determinism (`crates/fuzz`), the
+//! driver's injection determinism (`tests/determinism.rs`), and the
+//! scheduler's parked-job delivery (`crates/serve`).
+
+use std::time::Duration;
+
+use cpr_core::{lower_expr_src, RepairDriver, StepStatus, TestInput};
+use cpr_fuzz::{ConcolicFuzzConfig, ConcolicFuzzer};
+use cpr_serve::{
+    job_config, job_problem, report_fingerprint, report_to_json, serve_tcp, Client, JobSpec,
+    Scheduler, SnapshotStore,
+};
+use cpr_smt::Model;
+use cpr_subjects::all_subjects;
+
+/// A scratch snapshot-store directory, cleaned before use.
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cpr_continuous_repair_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs the seeded concolic campaign against a subject's program and
+/// returns up to `max` discovered failing inputs (deterministic).
+fn fuzz_findings(subject_name: &str, max: usize) -> Vec<Vec<(String, i64)>> {
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| s.name() == subject_name)
+        .expect("subject exists");
+    let problem = subject.problem();
+    let config = ConcolicFuzzConfig {
+        max_execs: 300,
+        ..ConcolicFuzzConfig::default()
+    };
+    let mut fuzzer = ConcolicFuzzer::new(&problem.program, &config);
+    if problem.program.hole().is_some() {
+        let baseline = problem.baseline_expr.as_deref().unwrap_or("false");
+        let theta = lower_expr_src(fuzzer.pool_mut(), baseline).expect("baseline lowers");
+        fuzzer.set_baseline(theta, Model::new());
+    }
+    let result = fuzzer.run().expect("no corpus store, no I/O to fail");
+    result
+        .findings
+        .into_iter()
+        .take(max)
+        .map(|f| f.input)
+        .collect()
+}
+
+#[test]
+fn fuzz_findings_injected_over_tcp_match_an_upfront_run() {
+    // A subject the fuzzer finds failures on within a small budget.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .filter(|s| !s.not_supported)
+        .map(|s| s.name())
+        .find(|name| !fuzz_findings(name, 2).is_empty())
+        .expect("some supported subject yields fuzz findings");
+    let findings = fuzz_findings(&subject, 2);
+
+    let mut spec = JobSpec::new(subject.clone());
+    spec.max_iterations = Some(8);
+    spec.threads = Some(1);
+
+    // One worker: a long-budget blocker job keeps it busy so the target
+    // job can be parked (paused while queued) and injected into before it
+    // ever runs — the service-side analogue of upfront injection.
+    let handle = serve_tcp(
+        "127.0.0.1:0",
+        Scheduler::new(1, SnapshotStore::open(store_dir("loopback")).unwrap()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut blocker_spec = JobSpec::new(subject.clone());
+    blocker_spec.max_iterations = Some(200);
+    blocker_spec.threads = Some(1);
+    let blocker = client.submit(blocker_spec).unwrap();
+    let target = client.submit(spec.clone()).unwrap();
+
+    client.pause(target).unwrap();
+    for (i, finding) in findings.iter().enumerate() {
+        let total = client.inject(target, finding).unwrap();
+        assert_eq!(total, i as u64 + 1, "injection count tracks deliveries");
+    }
+    client.resume(target).unwrap();
+    client.cancel(blocker).unwrap();
+
+    let status = client
+        .wait_terminal(target, Duration::from_secs(120))
+        .unwrap();
+    assert_eq!(
+        status.get("state").and_then(cpr_serve::Json::as_str),
+        Some("done"),
+        "target job finished: {status:?}"
+    );
+    let served = client.report(target).unwrap();
+
+    // Injecting into a finished run is a protocol error, not a silent drop.
+    let err = client.inject(target, &findings[0]).unwrap_err();
+    assert!(err.contains("finished run"), "got: {err}");
+
+    client.shutdown().unwrap();
+    handle.join();
+
+    // The direct run: same spec-derived problem and config, same inputs
+    // known upfront, no server in sight.
+    let problem = job_problem(&spec).unwrap();
+    let config = job_config(&spec);
+    let mut driver = RepairDriver::new(problem, config);
+    for finding in &findings {
+        let input: TestInput = finding.iter().cloned().collect();
+        driver
+            .inject_input(&input)
+            .expect("fuzz finding is a valid injection");
+    }
+    while driver.step() == StepStatus::Running {}
+    let direct = report_to_json(&driver.finish());
+
+    assert_eq!(
+        report_fingerprint(&served),
+        report_fingerprint(&direct),
+        "served job with streamed inputs diverged from the direct upfront run"
+    );
+}
+
+#[test]
+fn injection_into_a_running_job_is_accepted() {
+    // The mid-flight path: a job with a generous budget is running while
+    // the injection arrives; the scheduler queues it into the job's inbox
+    // and applies it at the next step boundary. Acceptance (not identity)
+    // is the contract here — identity across delivery points is proven at
+    // the driver layer, where the step boundary can be pinned exactly.
+    let subjects = all_subjects();
+    let subject = subjects
+        .iter()
+        .find(|s| !s.not_supported)
+        .expect("a supported subject")
+        .name();
+    let findings = fuzz_findings(&subject, 1);
+    let input: Vec<(String, i64)> = if findings.is_empty() {
+        // Fall back to the subject's provided failing input.
+        let problem = job_problem(&JobSpec::new(subject.clone())).unwrap();
+        let mut pairs: Vec<(String, i64)> = problem.failing_inputs[0]
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        pairs.sort();
+        pairs
+    } else {
+        findings[0].clone()
+    };
+
+    let handle = serve_tcp(
+        "127.0.0.1:0",
+        Scheduler::new(1, SnapshotStore::open(store_dir("running")).unwrap()),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let mut spec = JobSpec::new(subject);
+    spec.max_iterations = Some(500);
+    spec.threads = Some(1);
+    let job = client.submit(spec).unwrap();
+
+    // Inject while queued or running — both are live states.
+    let total = client.inject(job, &input).unwrap();
+    assert_eq!(total, 1);
+
+    // A malformed injection is rejected with the driver's validation
+    // message, end to end through the protocol.
+    let err = client
+        .inject(job, &[("no_such_variable".to_owned(), 1)])
+        .unwrap_err();
+    assert!(
+        err.contains("missing") || err.contains("unknown variable"),
+        "got: {err}"
+    );
+
+    client.cancel(job).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}

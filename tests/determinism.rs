@@ -185,6 +185,78 @@ fn snapshot_resume_is_lossless() {
 }
 
 #[test]
+fn injected_inputs_preserve_bit_identical_reports() {
+    // Streaming an input into a live run must be indistinguishable from
+    // having known it upfront: the same input injected (a) before the
+    // first step, (b) between steps mid-run while it still outranks every
+    // generated candidate, and (c) mid-run with a snapshot → bytes →
+    // resume cycle right after the injection, produces a bit-identical
+    // report at 1 and 4 threads. This is the contract that lets `cpr
+    // fuzz` stream findings into running jobs without forking their
+    // state.
+    let subjects = all_subjects();
+    let mut checked = 0;
+    for subject in subjects.iter().filter(|s| !s.not_supported).take(3) {
+        let name = subject.name();
+        let problem = subject.problem();
+        // An in-range input derived from the provided failing seed: the
+        // first declared variable is pinned to its lower bound.
+        let mut injected = problem.failing_inputs[0].clone();
+        let first = &problem.program.inputs[0];
+        injected.insert(first.name.clone(), first.lo);
+        for threads in [1, 4] {
+            let config = {
+                let mut config = RepairConfig::quick();
+                config.max_iterations = 12;
+                config.threads = threads;
+                config
+            };
+            let run = |inject_at: usize, cycle: bool| {
+                let mut d = RepairDriver::new(problem.clone(), config.clone());
+                let cycle_through_bytes = |d: RepairDriver| {
+                    let bytes = d.snapshot();
+                    RepairDriver::resume(problem.clone(), config.clone(), &bytes)
+                        .expect("snapshot with injections must resume")
+                };
+                if inject_at == 0 {
+                    d.inject_input(&injected).expect("injection accepted");
+                    if cycle {
+                        d = cycle_through_bytes(d);
+                    }
+                }
+                let mut steps = 0usize;
+                let mut landed = inject_at == 0;
+                while d.step() == StepStatus::Running {
+                    steps += 1;
+                    if steps == inject_at {
+                        d.inject_input(&injected).expect("injection accepted");
+                        if cycle {
+                            d = cycle_through_bytes(d);
+                        }
+                        landed = true;
+                    }
+                }
+                assert!(landed, "{name}: the run stopped before step {inject_at}");
+                report_key(&d.finish())
+            };
+            let upfront = run(0, false);
+            assert_eq!(
+                upfront,
+                run(1, false),
+                "{name}: mid-run injection diverged at {threads} threads"
+            );
+            assert_eq!(
+                upfront,
+                run(1, true),
+                "{name}: inject → snapshot → resume diverged at {threads} threads"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "expected at least 3 supported subjects");
+}
+
+#[test]
 fn metrics_instrumentation_is_invisible_in_the_report() {
     // The observability layer is write-only: no phase reads a metric or a
     // span to make a decision, so the report must be bit-identical with
