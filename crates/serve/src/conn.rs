@@ -1,0 +1,293 @@
+//! Connection-level buffering for the event loop (and the stdio server):
+//! capped line framing over nonblocking reads, plus per-connection output
+//! queues flushed as the socket accepts them.
+//!
+//! The framing layer is deliberately separate from the socket so the
+//! request-size cap is one piece of code with one set of tests, shared by
+//! the TCP event loop and `serve_lines` — both used to buffer a
+//! newline-less line without bound, a memory-exhaustion vector.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::MAX_REQUEST_BYTES;
+
+/// One framed unit out of a [`LineBuffer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Framed {
+    /// A complete request line (newline stripped, lossy UTF-8).
+    Line(String),
+    /// The current line exceeded [`MAX_REQUEST_BYTES`]. Reported once;
+    /// the buffer then discards until the offending line's newline so a
+    /// line-oriented caller (stdio) can keep serving, while the TCP loop
+    /// closes the connection after responding.
+    TooLarge,
+}
+
+/// Incremental newline framing with a hard per-line byte cap.
+#[derive(Debug, Default)]
+pub(crate) struct LineBuffer {
+    buf: Vec<u8>,
+    /// Set after a cap overrun: incoming bytes are dropped until the next
+    /// newline re-synchronizes the stream.
+    discarding: bool,
+}
+
+impl LineBuffer {
+    pub fn new() -> LineBuffer {
+        LineBuffer::default()
+    }
+
+    /// Feeds raw bytes in. The buffer never holds more than the cap plus
+    /// one read chunk: callers must interleave [`LineBuffer::next`] calls
+    /// (which shed overruns) with pushes, as both servers do.
+    pub fn push(&mut self, mut bytes: &[u8]) {
+        if self.discarding {
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    // Overrun line ends here; resume normal framing after it.
+                    self.discarding = false;
+                    bytes = &bytes[nl + 1..];
+                }
+                None => return,
+            }
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next framed unit, if any.
+    pub fn next(&mut self) -> Option<Framed> {
+        if let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+            if nl <= MAX_REQUEST_BYTES {
+                let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                return Some(Framed::Line(
+                    String::from_utf8_lossy(&line[..nl]).into_owned(),
+                ));
+            }
+            // A complete-but-oversized line: drop it whole.
+            self.buf.drain(..=nl);
+            return Some(Framed::TooLarge);
+        }
+        if self.buf.len() > MAX_REQUEST_BYTES {
+            // Oversized with no newline in sight: drop what is buffered
+            // and discard until the stream re-synchronizes.
+            self.buf.clear();
+            self.discarding = true;
+            return Some(Framed::TooLarge);
+        }
+        None
+    }
+
+    /// Whether a complete line (or a cap overrun awaiting its error
+    /// response) is buffered and ready — used by drain to decide if a
+    /// connection still has in-flight requests.
+    pub fn has_complete_line(&self) -> bool {
+        self.buf.len() > MAX_REQUEST_BYTES || self.buf.contains(&b'\n')
+    }
+
+    /// Drains a trailing unterminated line at EOF (the stdio server
+    /// accepts a final request without a newline, as `BufRead::lines`
+    /// always did).
+    pub fn take_partial(&mut self) -> Option<String> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        Some(line)
+    }
+}
+
+/// What a nonblocking read pass observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadStatus {
+    /// Drained to `WouldBlock`; the connection stays open.
+    Open,
+    /// The peer closed its write side (read returned 0).
+    Eof,
+}
+
+/// One client connection owned by the event loop: the socket, the capped
+/// input framer, and an output queue with a flush cursor.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    stream: TcpStream,
+    input: LineBuffer,
+    output: Vec<u8>,
+    flushed: usize,
+    /// Close once the output queue flushes (EOF seen, request-too-large,
+    /// or a drain-phase goodbye).
+    pub close_after_flush: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, switching it to nonblocking mode.
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            stream,
+            input: LineBuffer::new(),
+            output: Vec::new(),
+            flushed: 0,
+            close_after_flush: false,
+        })
+    }
+
+    /// The underlying socket (for epoll registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads until `WouldBlock` or EOF — the edge-triggered contract: one
+    /// readiness edge is consumed completely or it is lost.
+    pub fn fill(&mut self) -> io::Result<ReadStatus> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(ReadStatus::Eof),
+                Ok(n) => self.input.push(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(ReadStatus::Open),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The next framed request, if a complete one is buffered.
+    pub fn next_frame(&mut self) -> Option<Framed> {
+        self.input.next()
+    }
+
+    /// Queues one response line (newline appended) for flushing.
+    pub fn queue_line(&mut self, line: &str) {
+        self.output.extend_from_slice(line.as_bytes());
+        self.output.push(b'\n');
+    }
+
+    /// Writes queued output until empty or `WouldBlock`. Returns whether
+    /// everything queued so far is on the wire.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.flushed < self.output.len() {
+            match self.stream.write(&self.output[self.flushed..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => self.flushed += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.output.clear();
+        self.flushed = 0;
+        Ok(true)
+    }
+
+    /// Unflushed output bytes remain.
+    pub fn wants_write(&self) -> bool {
+        self.flushed < self.output.len()
+    }
+
+    /// In-flight work: a fully received request not yet answered, or an
+    /// answer not yet on the wire. Graceful drain waits for this to clear.
+    pub fn has_pending(&self) -> bool {
+        self.wants_write() || self.input.has_complete_line()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_split_across_pushes_reassemble() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"{\"v\":1,\"cmd\"");
+        assert_eq!(lb.next(), None);
+        lb.push(b":\"status\"}\n{\"v\":1}\npartial");
+        assert_eq!(
+            lb.next(),
+            Some(Framed::Line("{\"v\":1,\"cmd\":\"status\"}".into()))
+        );
+        assert_eq!(lb.next(), Some(Framed::Line("{\"v\":1}".into())));
+        assert_eq!(lb.next(), None);
+        assert!(!lb.has_complete_line());
+        assert_eq!(lb.take_partial(), Some("partial".into()));
+    }
+
+    #[test]
+    fn a_line_over_the_cap_without_newline_reports_once_and_resyncs() {
+        let mut lb = LineBuffer::new();
+        // Feed past the cap in chunks with no newline anywhere.
+        let chunk = vec![b'x'; 8192];
+        for _ in 0..(MAX_REQUEST_BYTES / chunk.len() + 2) {
+            lb.push(&chunk);
+        }
+        assert!(lb.has_complete_line(), "overrun counts as pending work");
+        assert_eq!(lb.next(), Some(Framed::TooLarge));
+        assert_eq!(lb.next(), None, "reported once, not per chunk");
+        // Everything until the overrun line's newline is discarded; the
+        // next line frames normally.
+        lb.push(b"tail of the huge line\nok\n");
+        assert_eq!(lb.next(), Some(Framed::Line("ok".into())));
+        assert_eq!(lb.next(), None);
+    }
+
+    #[test]
+    fn a_complete_but_oversized_line_is_dropped_whole() {
+        let mut lb = LineBuffer::new();
+        let mut big = vec![b'y'; MAX_REQUEST_BYTES + 1];
+        big.push(b'\n');
+        big.extend_from_slice(b"next\n");
+        lb.push(&big);
+        assert_eq!(lb.next(), Some(Framed::TooLarge));
+        assert_eq!(lb.next(), Some(Framed::Line("next".into())));
+    }
+
+    #[test]
+    fn a_line_exactly_at_the_cap_passes() {
+        let mut lb = LineBuffer::new();
+        let mut line = vec![b'z'; MAX_REQUEST_BYTES];
+        line.push(b'\n');
+        lb.push(&line);
+        match lb.next() {
+            Some(Framed::Line(s)) => assert_eq!(s.len(), MAX_REQUEST_BYTES),
+            other => panic!("expected a line at the cap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conn_round_trips_over_a_nonblocking_socket_pair() {
+        use std::io::Write as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut conn = Conn::new(server).unwrap();
+
+        client.write_all(b"hello\nwor").unwrap();
+        // Give loopback a moment to deliver.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(conn.fill().unwrap(), ReadStatus::Open);
+        assert_eq!(conn.next_frame(), Some(Framed::Line("hello".into())));
+        assert_eq!(conn.next_frame(), None);
+
+        conn.queue_line("reply");
+        assert!(conn.wants_write());
+        assert!(conn.flush().unwrap());
+        assert!(!conn.has_pending());
+
+        let mut buf = [0u8; 16];
+        client
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        let n = std::io::Read::read(&mut client, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"reply\n");
+
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(conn.fill().unwrap(), ReadStatus::Eof);
+    }
+}

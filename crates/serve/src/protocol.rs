@@ -23,6 +23,83 @@ use crate::json::{self, Json};
 /// The protocol version this build speaks.
 pub const PROTOCOL_VERSION: i64 = 1;
 
+/// Hard cap on one request line, newline included. A line that grows past
+/// this without terminating is answered with a typed
+/// [`ERR_REQUEST_TOO_LARGE`] error instead of being buffered without
+/// bound — an unbounded line buffer is a memory-exhaustion vector. Real
+/// requests are tiny (the largest, `submit` and `inject`, stay well under
+/// a kilobyte), so the cap is generous by three orders of magnitude.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Typed error code: the server refused work because a bounded queue
+/// (accepted connections or submitted jobs) is full. Clients should back
+/// off and retry.
+pub const ERR_OVERLOADED: &str = "overloaded";
+
+/// Typed error code: a request line exceeded [`MAX_REQUEST_BYTES`].
+pub const ERR_REQUEST_TOO_LARGE: &str = "request-too-large";
+
+/// A protocol-level failure: a human-readable message plus an optional
+/// machine-readable code (`"overloaded"`, `"request-too-large"`).
+/// Responses for errors without a code are byte-identical to what
+/// protocol v1 always produced; the `code` field is additive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    code: Option<&'static str>,
+    message: String,
+}
+
+impl ServeError {
+    /// An untyped (message-only) error — the protocol v1 shape.
+    pub fn msg(message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: None,
+            message: message.into(),
+        }
+    }
+
+    /// A typed error carrying a machine-readable code.
+    pub fn coded(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError {
+            code: Some(code),
+            message: message.into(),
+        }
+    }
+
+    /// The machine-readable code, when one applies.
+    pub fn code(&self) -> Option<&'static str> {
+        self.code
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Convenience for tests and callers that match on the message.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.message.contains(needle)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for ServeError {
+    fn from(message: String) -> ServeError {
+        ServeError::msg(message)
+    }
+}
+
+impl From<&str> for ServeError {
+    fn from(message: &str) -> ServeError {
+        ServeError::msg(message)
+    }
+}
+
 /// What a client asks a job to be: a registry subject plus optional
 /// budget / parallelism overrides on top of [`cpr_core::RepairConfig`]'s
 /// quick profile.
@@ -260,6 +337,20 @@ pub fn error_response(message: &str) -> Json {
     ])
 }
 
+/// The response for a [`ServeError`]: the v1 error shape, plus a `code`
+/// field when the error carries one.
+pub fn error_response_for(err: &ServeError) -> Json {
+    let mut pairs = vec![
+        ("v", Json::Int(PROTOCOL_VERSION)),
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(err.message().to_owned())),
+    ];
+    if let Some(code) = err.code() {
+        pairs.push(("code", Json::Str(code.to_owned())));
+    }
+    Json::obj(pairs)
+}
+
 fn u128_str(v: u128) -> Json {
     // u128 counters (concrete patch-space sizes) exceed what JSON numbers
     // carry losslessly, so they travel as decimal strings.
@@ -439,6 +530,19 @@ mod tests {
         let err = error_response("nope");
         assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
         assert_eq!(err.get("error").unwrap().as_str(), Some("nope"));
+    }
+
+    #[test]
+    fn typed_errors_carry_a_code_and_untyped_ones_stay_v1_identical() {
+        let typed = error_response_for(&ServeError::coded(ERR_OVERLOADED, "queue full"));
+        assert_eq!(
+            typed.to_line(),
+            r#"{"v":1,"ok":false,"error":"queue full","code":"overloaded"}"#
+        );
+        // Message-only errors serialize exactly as `error_response` always
+        // has — the `code` field is strictly additive for v1 clients.
+        let untyped = error_response_for(&ServeError::msg("nope"));
+        assert_eq!(untyped.to_line(), error_response("nope").to_line());
     }
 
     #[test]

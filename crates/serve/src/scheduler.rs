@@ -1,17 +1,39 @@
-//! The bounded worker-pool scheduler.
+//! The sharded worker-pool scheduler.
 //!
 //! Jobs are repair runs over registry subjects, driven step-wise through
 //! [`RepairDriver`] so the pool can checkpoint, pause, cancel and resume
-//! them at step granularity. A fixed number of worker threads drain one
-//! FIFO queue; everything shared sits behind one mutex + condvar pair
-//! (workers sleep on the condvar, and every terminal state transition
-//! notifies it, which is also what [`Scheduler::wait`] listens to).
+//! them at step granularity. Ready jobs live in per-shard run queues, each
+//! with its own mutex + condvar; a worker drains its home shard first and
+//! steals from the others when idle, so the run queues scale with shard
+//! count instead of serializing on one lock. The global `State` mutex
+//! still exists, but it only guards the job table (the control plane:
+//! status, cancel/pause flags, reports) — the hot submit/claim path takes
+//! it for a table lookup, not for queueing. [`Scheduler::wait`] sleeps on
+//! the global condvar, which every terminal state transition notifies.
+//!
+//! Queue entries are *lazy*: cancel and pause mark the job in the table
+//! and leave the shard-queue entry behind; a worker claiming an entry
+//! re-checks (under the global lock) that the job is still `Queued` before
+//! running it, and skips stale entries. This keeps the control verbs free
+//! of nested locking — no path ever holds a shard lock and the global
+//! lock at once.
+//!
+//! # Admission control
+//!
+//! [`Scheduler::submit`] is bounded: past
+//! [`SchedulerOptions::max_queued_jobs`] waiting jobs it refuses with a
+//! typed [`ERR_OVERLOADED`] error instead of queueing without bound —
+//! clients can distinguish "back off and retry" from a real failure.
 //!
 //! Control is cooperative: `cancel` and `pause` set a flag that the
 //! running worker observes between driver steps, writes a durable snapshot
 //! through the [`SnapshotStore`], and parks the job — so a canceled or
 //! paused job can always be resumed later, bit-identically (the snapshot
-//! differential test in `tests/determinism.rs` is the proof obligation).
+//! differential test in `tests/determinism.rs` is the proof obligation;
+//! its shard-count leg proves the same for 1-shard vs many-shard pools).
+//! A parked job carries no shard affinity: `resume` re-enqueues it on the
+//! least-loaded shard (and [`Scheduler::resume_on`] on an explicit one),
+//! so drained or hot shards shed parked work to the others.
 //! Per-job budgets ride on [`RepairConfig`]: iteration and wall-clock
 //! limits end a run through the driver's own [`StopReason`], producing a
 //! normal report.
@@ -29,6 +51,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,7 +62,7 @@ use cpr_smt::FleetCache;
 use cpr_subjects::all_subjects;
 
 use crate::json::Json;
-use crate::protocol::{report_to_json, JobSpec};
+use crate::protocol::{report_to_json, JobSpec, ServeError, ERR_OVERLOADED};
 use crate::store::SnapshotStore;
 
 /// Locks a mutex, recovering the guard if a previous holder panicked.
@@ -50,6 +73,37 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Default checkpoint cadence (driver steps between durable snapshots)
 /// when a spec does not set one.
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 8;
+
+/// Default bound on waiting (queued) jobs before `submit` answers with a
+/// typed `overloaded` error.
+pub const DEFAULT_MAX_QUEUED_JOBS: usize = 256;
+
+/// How a [`Scheduler`] is shaped: worker count, shard count, and bounds.
+#[derive(Debug, Clone)]
+pub struct SchedulerOptions {
+    /// Worker threads (at least 1).
+    pub workers: usize,
+    /// Run-queue shards. `0` means one shard per worker. Workers are
+    /// assigned home shards round-robin; idle workers steal across shards,
+    /// so any shard count is correct — it only tunes contention.
+    pub shards: usize,
+    /// Fleet solver-cache directory (see [`Scheduler::with_cache`]).
+    pub cache_dir: Option<PathBuf>,
+    /// Admission bound: `submit` refuses (typed `overloaded`) while this
+    /// many jobs are already waiting for a worker.
+    pub max_queued_jobs: usize,
+}
+
+impl Default for SchedulerOptions {
+    fn default() -> SchedulerOptions {
+        SchedulerOptions {
+            workers: 1,
+            shards: 0,
+            cache_dir: None,
+            max_queued_jobs: DEFAULT_MAX_QUEUED_JOBS,
+        }
+    }
+}
 
 /// The lifecycle of a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +196,11 @@ struct Job {
     inbox: Vec<Vec<(String, i64)>>,
     /// When the job last entered the queue (submit or resume).
     queued_at: Instant,
+    /// The shard the job was enqueued on (and, once claimed, the home
+    /// shard of the worker running it — a steal updates this). Pure
+    /// placement bookkeeping, surfaced through `stats`; never a repair
+    /// input, which is how shard count stays determinism-neutral.
+    shard: usize,
     /// Observability tallies, surfaced by the `stats` verb. They never
     /// feed back into scheduling or repair decisions.
     obs: JobObs,
@@ -196,10 +255,14 @@ struct ServeObs {
     jobs_submitted: Counter,
     jobs_done: Counter,
     jobs_failed: Counter,
+    jobs_overloaded: Counter,
     snapshots_written: Counter,
     inject_accepted: Counter,
     inject_rejected: Counter,
     inject_applied: Counter,
+    shard_steals: Counter,
+    shard_rebalanced: Counter,
+    queue_depth: Gauge,
     fleet_flushes: Counter,
     fleet_store_bytes: Gauge,
 }
@@ -218,10 +281,14 @@ impl ServeObs {
             jobs_submitted: reg.counter("serve.jobs_submitted"),
             jobs_done: reg.counter("serve.jobs_done"),
             jobs_failed: reg.counter("serve.jobs_failed"),
+            jobs_overloaded: reg.counter("serve.jobs_overloaded"),
             snapshots_written: reg.counter("serve.snapshots_written"),
             inject_accepted: reg.counter("serve.inject.accepted"),
             inject_rejected: reg.counter("serve.inject.rejected"),
             inject_applied: reg.counter("serve.inject.applied"),
+            shard_steals: reg.counter("serve.shard.steals"),
+            shard_rebalanced: reg.counter("serve.shard.rebalanced"),
+            queue_depth: reg.gauge("serve.shard.queue_depth"),
             // Registered even when no fleet cache is configured, so the
             // stats verb (and the allowlist smoke test) always see the
             // names, at zero.
@@ -231,9 +298,27 @@ impl ServeObs {
     }
 }
 
+/// One run-queue shard: its own lock and sleep channel, plus an idle
+/// count so `submit` can route wakeups to a shard that will actually act
+/// on them (its own workers first, else an idle stealer elsewhere).
+struct Shard {
+    queue: Mutex<VecDeque<u64>>,
+    cv: Condvar,
+    idle: AtomicUsize,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            idle: AtomicUsize::new(0),
+        }
+    }
+}
+
 struct State {
     jobs: BTreeMap<u64, Job>,
-    queue: VecDeque<u64>,
     next_id: u64,
     shutting_down: bool,
 }
@@ -241,6 +326,8 @@ struct State {
 struct Inner {
     state: Mutex<State>,
     cv: Condvar,
+    shards: Vec<Shard>,
+    max_queued_jobs: usize,
     store: SnapshotStore,
     obs: ServeObs,
     /// The fleet solver cache shared by every job, opened (and warm-loaded
@@ -263,6 +350,58 @@ impl Inner {
             if let Ok(stats) = fleet.flush() {
                 self.obs.fleet_flushes.inc();
                 self.obs.fleet_store_bytes.set(clamp_i64(stats.store_bytes));
+            }
+        }
+    }
+
+    /// Jobs currently waiting for a worker (the admission-controlled
+    /// quantity), counted from the job table — shard queues can hold
+    /// stale entries and would overcount.
+    fn queued_jobs(st: &State) -> usize {
+        st.jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count()
+    }
+
+    fn refresh_queue_depth(&self, st: &State) {
+        self.obs
+            .queue_depth
+            .set(clamp_i64(Inner::queued_jobs(st) as u64));
+    }
+
+    /// The shard with the shortest run queue right now — where `submit`
+    /// and `resume` place work. Stale entries inflate a length slightly,
+    /// which only skews this heuristic, never correctness (stealing
+    /// re-levels whatever placement gets wrong).
+    fn least_loaded_shard(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| lock(&s.queue).len())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Pushes a queued job onto a shard and wakes a worker that can take
+    /// it: the shard's own condvar always, plus one idle worker on
+    /// another shard when this shard has none parked (that worker's steal
+    /// pass will find the entry). Missed cross-shard wakeups are covered
+    /// by the workers' bounded sleep.
+    fn enqueue(&self, id: u64, shard: usize) {
+        {
+            let mut q = lock(&self.shards[shard].queue);
+            q.push_back(id);
+        }
+        self.shards[shard].cv.notify_one();
+        if self.shards[shard].idle.load(Ordering::SeqCst) == 0 {
+            if let Some(s) = self
+                .shards
+                .iter()
+                .enumerate()
+                .find(|(i, s)| *i != shard && s.idle.load(Ordering::SeqCst) > 0)
+            {
+                s.1.cv.notify_one();
             }
         }
     }
@@ -311,7 +450,8 @@ pub fn job_config(spec: &JobSpec) -> RepairConfig {
 }
 
 impl Scheduler {
-    /// Starts `workers` worker threads over a snapshot store.
+    /// Starts `workers` worker threads over a snapshot store, one shard
+    /// per worker.
     ///
     /// Job ids are seeded past the highest id with a snapshot already in
     /// the store, so a fresh submit can never silently adopt a previous
@@ -331,12 +471,31 @@ impl Scheduler {
         store: SnapshotStore,
         cache_dir: Option<PathBuf>,
     ) -> Scheduler {
+        Scheduler::with_options(
+            SchedulerOptions {
+                workers,
+                cache_dir,
+                ..SchedulerOptions::default()
+            },
+            store,
+        )
+    }
+
+    /// The fully-shaped constructor: worker count, shard count, admission
+    /// bound, fleet cache.
+    pub fn with_options(opts: SchedulerOptions, store: SnapshotStore) -> Scheduler {
+        let workers = opts.workers.max(1);
+        let shard_count = if opts.shards == 0 {
+            workers
+        } else {
+            opts.shards
+        };
         let next_id = store
             .list()
             .ok()
             .and_then(|ids| ids.last().copied())
             .map_or(1, |max| max + 1);
-        let fleet = cache_dir.as_deref().map(|dir| {
+        let fleet = opts.cache_dir.as_deref().map(|dir| {
             FleetCache::open_shared(dir, cpr_core::RepairConfig::quick().solver.fleet_capacity)
         });
         let obs = ServeObs::new(cpr_obs::global());
@@ -346,20 +505,22 @@ impl Scheduler {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
-                queue: VecDeque::new(),
                 next_id,
                 shutting_down: false,
             }),
             cv: Condvar::new(),
+            shards: (0..shard_count).map(|_| Shard::new()).collect(),
+            max_queued_jobs: opts.max_queued_jobs.max(1),
             store,
             obs,
             fleet,
-            cache_dir,
+            cache_dir: opts.cache_dir,
         });
-        let handles = (0..workers.max(1))
-            .map(|_| {
+        let handles = (0..workers)
+            .map(|w| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                let home = w % shard_count;
+                std::thread::spawn(move || worker_loop(&inner, home))
             })
             .collect();
         Scheduler {
@@ -368,14 +529,24 @@ impl Scheduler {
         }
     }
 
+    /// The number of run-queue shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     /// Validates and enqueues a job; returns its id.
+    ///
+    /// Admission is bounded: while [`SchedulerOptions::max_queued_jobs`]
+    /// jobs are already waiting, the submit is refused with a typed
+    /// [`ERR_OVERLOADED`] error (running jobs don't count — they occupy
+    /// workers, not queue space).
     ///
     /// With [`JobSpec::resume_from`], the job explicitly adopts the stored
     /// snapshot of that previous job (typically one a prior server process
     /// parked at shutdown) and continues it under the new id. The snapshot
     /// must exist and its header must match the spec's subject — both are
     /// checked here, so a wrong id fails the submit instead of the worker.
-    pub fn submit(&self, spec: JobSpec) -> Result<u64, String> {
+    pub fn submit(&self, spec: JobSpec) -> Result<u64, ServeError> {
         // Resolve the subject up front so a typo fails the submit, not the
         // worker.
         let problem = job_problem(&spec)?;
@@ -393,39 +564,54 @@ impl Scheduler {
             }
             None => None,
         };
-        let mut st = lock(&self.inner.state);
-        if st.shutting_down {
-            return Err("server is shutting down".into());
-        }
-        let id = st.next_id;
-        st.next_id += 1;
-        if let Some(bytes) = inherited {
-            // Copied under the new id *before* the job is enqueued, so the
-            // worker's snapshot lookup always finds it.
-            self.inner
-                .store
-                .save(id, &bytes)
-                .map_err(|e| format!("cannot adopt snapshot for job {id}: {e}"))?;
-        }
-        st.jobs.insert(
-            id,
-            Job {
-                spec,
-                state: JobState::Queued,
-                iterations: 0,
-                stop_reason: None,
-                report: None,
-                error: None,
-                cancel_requested: false,
-                pause_requested: false,
-                inbox: Vec::new(),
-                queued_at: Instant::now(),
-                obs: JobObs::default(),
-            },
-        );
-        st.queue.push_back(id);
-        self.inner.obs.jobs_submitted.inc();
-        self.inner.cv.notify_all();
+        let shard = self.inner.least_loaded_shard();
+        let id = {
+            let mut st = lock(&self.inner.state);
+            if st.shutting_down {
+                return Err("server is shutting down".into());
+            }
+            if Inner::queued_jobs(&st) >= self.inner.max_queued_jobs {
+                self.inner.obs.jobs_overloaded.inc();
+                return Err(ServeError::coded(
+                    ERR_OVERLOADED,
+                    format!(
+                        "job queue is full ({} queued); retry later",
+                        self.inner.max_queued_jobs
+                    ),
+                ));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            if let Some(bytes) = inherited {
+                // Copied under the new id *before* the job is enqueued, so
+                // the worker's snapshot lookup always finds it.
+                self.inner
+                    .store
+                    .save(id, &bytes)
+                    .map_err(|e| format!("cannot adopt snapshot for job {id}: {e}"))?;
+            }
+            st.jobs.insert(
+                id,
+                Job {
+                    spec,
+                    state: JobState::Queued,
+                    iterations: 0,
+                    stop_reason: None,
+                    report: None,
+                    error: None,
+                    cancel_requested: false,
+                    pause_requested: false,
+                    inbox: Vec::new(),
+                    queued_at: Instant::now(),
+                    shard,
+                    obs: JobObs::default(),
+                },
+            );
+            self.inner.obs.jobs_submitted.inc();
+            self.inner.refresh_queue_depth(&st);
+            id
+        };
+        self.inner.enqueue(id, shard);
         Ok(id)
     }
 
@@ -454,6 +640,7 @@ impl Scheduler {
                         ("subject", Json::Str(j.spec.subject.clone())),
                         ("state", Json::Str(j.state.name().to_owned())),
                         ("iterations", Json::Int(j.iterations as i64)),
+                        ("shard", Json::Int(j.shard as i64)),
                     ];
                     row.extend(j.obs.fields());
                     Json::obj(row)
@@ -462,8 +649,9 @@ impl Scheduler {
         )
     }
 
-    /// Requests cancellation. Queued jobs cancel immediately; running jobs
-    /// checkpoint first, so they stay resumable.
+    /// Requests cancellation. Queued jobs cancel immediately (their shard
+    /// queue entry goes stale and is skipped); running jobs checkpoint
+    /// first, so they stay resumable.
     pub fn cancel(&self, id: u64) -> Result<JobStatus, String> {
         let mut st = lock(&self.inner.state);
         let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
@@ -471,7 +659,7 @@ impl Scheduler {
             JobState::Queued => {
                 job.state = JobState::Canceled;
                 let status = status_of(id, job);
-                st.queue.retain(|q| *q != id);
+                self.inner.refresh_queue_depth(&st);
                 self.inner.cv.notify_all();
                 Ok(status)
             }
@@ -497,7 +685,7 @@ impl Scheduler {
             JobState::Queued => {
                 job.state = JobState::Paused;
                 let status = status_of(id, job);
-                st.queue.retain(|q| *q != id);
+                self.inner.refresh_queue_depth(&st);
                 self.inner.cv.notify_all();
                 Ok(status)
             }
@@ -509,27 +697,50 @@ impl Scheduler {
         }
     }
 
-    /// Re-enqueues a paused or canceled job. It continues from its latest
-    /// durable snapshot (or from scratch if it never started).
+    /// Re-enqueues a paused or canceled job on the least-loaded shard. It
+    /// continues from its latest durable snapshot (or from scratch if it
+    /// never started).
     pub fn resume(&self, id: u64) -> Result<JobStatus, String> {
-        let mut st = lock(&self.inner.state);
-        if st.shutting_down {
-            return Err("server is shutting down".into());
+        self.resume_on(id, self.inner.least_loaded_shard())
+    }
+
+    /// Like [`Scheduler::resume`], but places the job on an explicit
+    /// shard — the rebalance hook: drain logic (and tests) use it to move
+    /// parked work onto specific shards. Crossing shards is pure
+    /// placement; the job's repair state comes entirely from its
+    /// snapshot, so the report is bit-identical wherever it lands.
+    pub fn resume_on(&self, id: u64, shard: usize) -> Result<JobStatus, String> {
+        if shard >= self.inner.shards.len() {
+            return Err(format!(
+                "no shard {shard} (this scheduler has {})",
+                self.inner.shards.len()
+            ));
         }
-        let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
-        match job.state {
-            JobState::Paused | JobState::Canceled => {
-                job.state = JobState::Queued;
-                job.cancel_requested = false;
-                job.pause_requested = false;
-                job.queued_at = Instant::now();
-                let status = status_of(id, job);
-                st.queue.push_back(id);
-                self.inner.cv.notify_all();
-                Ok(status)
+        let status = {
+            let mut st = lock(&self.inner.state);
+            if st.shutting_down {
+                return Err("server is shutting down".into());
             }
-            s => Err(format!("job {id} is {} and cannot be resumed", s.name())),
-        }
+            let job = st.jobs.get_mut(&id).ok_or_else(|| format!("no job {id}"))?;
+            match job.state {
+                JobState::Paused | JobState::Canceled => {
+                    job.state = JobState::Queued;
+                    job.cancel_requested = false;
+                    job.pause_requested = false;
+                    job.queued_at = Instant::now();
+                    if job.shard != shard {
+                        self.inner.obs.shard_rebalanced.inc();
+                    }
+                    job.shard = shard;
+                    let status = status_of(id, job);
+                    self.inner.refresh_queue_depth(&st);
+                    status
+                }
+                s => return Err(format!("job {id} is {} and cannot be resumed", s.name())),
+            }
+        };
+        self.inner.enqueue(id, shard);
+        Ok(status)
     }
 
     /// Streams an input into a live job — the continuous-repair entry
@@ -671,27 +882,28 @@ impl Scheduler {
     }
 
     /// Graceful shutdown: pause every running job (each checkpoints and
-    /// parks), drop the queue, and join the workers.
+    /// parks), park queued jobs, and join the workers.
     pub fn shutdown(&self) {
         {
             let mut st = lock(&self.inner.state);
             st.shutting_down = true;
-            // Queued jobs park as paused. Their snapshots (none yet for
-            // these) stay in the store; a future scheduler over the same
-            // store seeds its ids past them and can only pick one up when
-            // a client submits with `resume_from` explicitly.
-            let queued: Vec<u64> = st.queue.drain(..).collect();
-            for id in queued {
-                if let Some(job) = st.jobs.get_mut(&id) {
-                    job.state = JobState::Paused;
-                }
-            }
+            // Queued jobs park as paused; their shard-queue entries go
+            // stale. Their snapshots (none yet for these) stay in the
+            // store; a future scheduler over the same store seeds its ids
+            // past them and can only pick one up when a client submits
+            // with `resume_from` explicitly.
             for job in st.jobs.values_mut() {
-                if job.state == JobState::Running {
-                    job.pause_requested = true;
+                match job.state {
+                    JobState::Queued => job.state = JobState::Paused,
+                    JobState::Running => job.pause_requested = true,
+                    _ => {}
                 }
             }
+            self.inner.refresh_queue_depth(&st);
             self.inner.cv.notify_all();
+        }
+        for shard in &self.inner.shards {
+            shard.cv.notify_all();
         }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&self.workers));
         for h in handles {
@@ -741,30 +953,67 @@ fn status_of(id: u64, job: &Job) -> JobStatus {
     }
 }
 
-fn worker_loop(inner: &Inner) {
-    loop {
-        let (id, spec) = {
+/// Claims the next runnable job visible from `home`: the home shard's
+/// queue first, then the other shards in ring order (a successful
+/// cross-shard pop is a steal). Entries are claimed by re-checking, under
+/// the global lock, that the job is still `Queued` — stale entries left
+/// behind by cancel/pause/shutdown are popped and dropped. The shard lock
+/// is always released before the global lock is taken, so there is no
+/// lock-order coupling between the two.
+fn claim_job(inner: &Inner, home: usize) -> Option<(u64, JobSpec)> {
+    let n = inner.shards.len();
+    for offset in 0..n {
+        let src = (home + offset) % n;
+        loop {
+            let popped = lock(&inner.shards[src].queue).pop_front();
+            let Some(id) = popped else { break };
             let mut st = lock(&inner.state);
-            loop {
-                if let Some(id) = st.queue.pop_front() {
-                    // A stale queue entry (job vanished) is skipped rather
-                    // than panicking with the lock held.
-                    let Some(job) = st.jobs.get_mut(&id) else {
-                        continue;
-                    };
-                    job.state = JobState::Running;
-                    let waited = nanos_u64(job.queued_at.elapsed());
-                    job.obs.queue_wait_nanos += waited;
-                    inner.obs.queue_wait.record(waited);
-                    break (id, job.spec.clone());
-                }
-                if st.shutting_down {
-                    return;
-                }
-                st = inner.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            let Some(job) = st.jobs.get_mut(&id) else {
+                continue;
+            };
+            if job.state != JobState::Queued {
+                continue; // stale entry: canceled, paused, or parked
             }
-        };
-        run_job(inner, id, &spec);
+            job.state = JobState::Running;
+            job.shard = home;
+            let waited = nanos_u64(job.queued_at.elapsed());
+            job.obs.queue_wait_nanos += waited;
+            inner.obs.queue_wait.record(waited);
+            if src != home {
+                inner.obs.shard_steals.inc();
+            }
+            let spec = job.spec.clone();
+            inner.refresh_queue_depth(&st);
+            return Some((id, spec));
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: &Inner, home: usize) {
+    loop {
+        if let Some((id, spec)) = claim_job(inner, home) {
+            run_job(inner, id, &spec);
+            continue;
+        }
+        if lock(&inner.state).shutting_down {
+            return;
+        }
+        let shard = &inner.shards[home];
+        let q = lock(&shard.queue);
+        if !q.is_empty() {
+            continue; // work arrived between the claim pass and this lock
+        }
+        // The bounded sleep backstops two benign races: a cross-shard
+        // enqueue that found no idle worker to wake, and an idle-count
+        // read that raced this registration.
+        shard.idle.fetch_add(1, Ordering::SeqCst);
+        let (q, _) = shard
+            .cv
+            .wait_timeout(q, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+        shard.idle.fetch_sub(1, Ordering::SeqCst);
+        drop(q);
     }
 }
 
@@ -1224,6 +1473,7 @@ mod tests {
         assert!(row.get("snapshots_written").and_then(Json::as_u64).unwrap() > 0);
         assert!(row.get("snapshot_bytes").and_then(Json::as_u64).unwrap() > 0);
         assert!(row.get("queue_wait_nanos").and_then(Json::as_u64).is_some());
+        assert!(row.get("shard").and_then(Json::as_u64).is_some());
         sched.shutdown();
         let _ = std::fs::remove_dir_all(sched.store().dir());
     }
@@ -1279,7 +1529,9 @@ mod tests {
     #[test]
     fn queued_jobs_cancel_pause_and_resume() {
         // No free workers: the single worker is busy with the first job,
-        // so the rest stay queued and exercise the queued-state paths.
+        // so the rest stay queued and exercise the queued-state paths
+        // (including stale shard-queue entries being skipped, since lazy
+        // removal leaves their ids behind).
         let sched = Scheduler::new(1, temp_store("queued"));
         let subject = first_subject();
         let busy = sched.submit(quick_spec(&subject)).unwrap();
@@ -1297,6 +1549,74 @@ mod tests {
             let st = sched.wait(id, Duration::from_secs(240)).unwrap();
             assert_eq!(st.state, JobState::Done, "job {id}");
         }
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn submits_past_the_admission_bound_get_a_typed_overloaded_error() {
+        // One worker occupied by a long-running job; a queue bound of 1
+        // admits exactly one waiter, and the next submit is refused with
+        // the machine-readable `overloaded` code.
+        let store = temp_store("overload");
+        let sched = Scheduler::with_options(
+            SchedulerOptions {
+                workers: 1,
+                max_queued_jobs: 1,
+                ..SchedulerOptions::default()
+            },
+            store,
+        );
+        let subject = first_subject();
+        let mut long = quick_spec(&subject);
+        long.max_iterations = Some(500);
+        let busy = sched.submit(long).unwrap();
+        // Wait until the worker has actually claimed it, so the admission
+        // count sees one queued, not two.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while sched.status(busy).unwrap().state == JobState::Queued {
+            assert!(Instant::now() < deadline, "job never started");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let waiter = sched.submit(quick_spec(&subject)).unwrap();
+        let err = sched.submit(quick_spec(&subject)).unwrap_err();
+        assert_eq!(err.code(), Some(crate::protocol::ERR_OVERLOADED));
+        assert!(err.contains("queue is full"), "{err}");
+        // Admission pressure clears as the queue drains: cancel the
+        // waiter and the next submit is accepted again.
+        sched.cancel(waiter).unwrap();
+        assert!(sched.submit(quick_spec(&subject)).is_ok());
+        sched.cancel(busy).unwrap();
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(sched.store().dir());
+    }
+
+    #[test]
+    fn work_submitted_to_one_shard_is_stolen_by_idle_workers() {
+        // Four workers, four shards, four jobs force-placed far from
+        // their claimants via resume_on: with every job parked first and
+        // then resumed onto shard 0, three of the four can only run if
+        // other shards' workers steal them.
+        let store = temp_store("steal");
+        let sched = Scheduler::with_options(
+            SchedulerOptions {
+                workers: 4,
+                shards: 4,
+                ..SchedulerOptions::default()
+            },
+            store,
+        );
+        assert_eq!(sched.shards(), 4);
+        let subject = first_subject();
+        let ids: Vec<u64> = (0..4)
+            .map(|_| sched.submit(quick_spec(&subject)).unwrap())
+            .collect();
+        for &id in &ids {
+            let st = sched.wait(id, Duration::from_secs(240)).unwrap();
+            assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+        }
+        // Placement on a nonexistent shard is refused.
+        assert!(sched.resume_on(ids[0], 99).is_err());
         sched.shutdown();
         let _ = std::fs::remove_dir_all(sched.store().dir());
     }

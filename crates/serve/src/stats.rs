@@ -31,8 +31,11 @@ use crate::json::Json;
 /// Version of the stats response shape (independent of
 /// [`crate::protocol::PROTOCOL_VERSION`]). Bumped to 2 when the response
 /// gained the top-level `fleet` object (fleet solver-cache hit/miss
-/// tallies, hit rate, and on-disk store size).
-pub const STATS_VERSION: i64 = 2;
+/// tallies, hit rate, and on-disk store size); to 3 with the epoll
+/// serving tier, when job rows gained a `shard` field and the process
+/// section the `serve.accept.*`, `serve.shard.*` and `serve.conn.*`
+/// metric families.
+pub const STATS_VERSION: i64 = 3;
 
 fn clamp_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)

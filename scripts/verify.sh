@@ -43,6 +43,9 @@ for fixture in div_zero:possible-division-by-zero index_oob:possible-index-out-o
   }
 done
 
+echo "==> serve subsystem: unit tests (epoll loop, sharded scheduler, framing, admission)"
+cargo test -q --release -p cpr-serve --lib
+
 echo "==> serve subsystem: loopback server smoke tests (incl. stats verb + metrics allowlist)"
 cargo test -q --release -p cpr-serve --test server_smoke
 
@@ -53,9 +56,13 @@ echo "==> observability: every allowlisted metric documented in DESIGN.md"
 while IFS= read -r metric; do
   case "$metric" in ''|'#'*|'['*) continue;; esac
   subsystem="${metric%%.*}"
-  # Fleet-cache metrics get the stricter two-level prefix: a bare
-  # mention of `solver.` must not vouch for the solver.fleet.* family.
-  case "$metric" in solver.fleet.*) subsystem="solver.fleet";; esac
+  # Fleet-cache and serving-tier metrics get the stricter two-level
+  # prefix: a bare mention of `solver.` must not vouch for the
+  # solver.fleet.* family, nor `serve.` for serve.accept.*/shard./conn.
+  case "$metric" in
+    solver.fleet.*) subsystem="solver.fleet";;
+    serve.accept.*|serve.shard.*|serve.conn.*) subsystem="${metric%.*}";;
+  esac
   grep -q -e "$metric" -e "\`$subsystem\." DESIGN.md || {
     echo "metric $metric is in docs/metrics_allowlist.txt but DESIGN.md never mentions it or its subsystem"
     exit 1
